@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt reproduce experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full benchmark pass used for bench_output.txt.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table, figure and ablation (several minutes).
+experiments:
+	$(GO) run ./cmd/vsweep -all -out repro/results -svg repro/figs | tee experiments_output.txt
+
+reproduce:
+	./reproduce.sh
+
+clean:
+	rm -rf repro

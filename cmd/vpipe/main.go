@@ -1,0 +1,77 @@
+// Command vpipe reproduces the paper's Fig. 1: pipeline diagrams for a
+// three-instruction dependence chain under the base processor and the Super,
+// Great and Good speculative-execution models, with correct and incorrect
+// predictions.
+//
+// Usage:
+//
+//	vpipe                 # all seven scenarios, like the figure
+//	vpipe -model great    # a single model (with -mispredict for the wrong-
+//	vpipe -table          # print the Section 4.1 latency-variable table
+//	                        prediction scenario)
+//
+// Event codes: D dispatch, I issue, W result write (the write/verification
+// stage), V verification, X invalidation, R retire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"valuespec/internal/core"
+	"valuespec/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vpipe: ")
+	model := flag.String("model", "", "show only this model (super, great, good, base)")
+	mispredict := flag.Bool("mispredict", false, "with -model: show the misprediction scenario")
+	table := flag.Bool("table", false, "print the latency-variable table (Section 4.1) and exit")
+	flag.Parse()
+
+	if *table {
+		fmt.Print(core.Table(core.Presets()...))
+		return
+	}
+
+	if *model != "" {
+		var m *core.Model
+		if *model != "base" {
+			mm, err := core.PresetByName(*model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m = &mm
+		}
+		show(*model, m, *mispredict)
+		return
+	}
+
+	// All seven scenarios of Fig. 1.
+	show("base", nil, false)
+	for _, preset := range core.Presets() {
+		preset := preset
+		show(preset.Name, &preset, false)
+	}
+	for _, preset := range core.Presets() {
+		preset := preset
+		show(preset.Name, &preset, true)
+	}
+}
+
+func show(name string, m *core.Model, mispredict bool) {
+	scenario := "correct prediction"
+	if m == nil {
+		scenario = "no value speculation"
+	} else if mispredict {
+		scenario = "outputs of instructions 1 and 2 mispredicted"
+	}
+	log1, st, err := harness.Fig1Scenario(m, mispredict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s (%s): %d cycles\n", name, scenario, st.Cycles)
+	fmt.Println(harness.Fig1Diagram(log1))
+}

@@ -1,0 +1,126 @@
+// Command vsim runs one benchmark on one processor configuration under one
+// speculative-execution model and prints the measured statistics.
+//
+// Usage:
+//
+//	vsim -bench compress                         # base processor
+//	vsim -bench compress -model great            # Great model, I/R
+//	vsim -bench gcc -model super -width 16 -window 96 -update D -oracle
+//	vsim -list                                   # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/emu"
+	"valuespec/internal/harness"
+	"valuespec/internal/vpred"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsim: ")
+	var (
+		benchName = flag.String("bench", "compress", "benchmark to run")
+		modelName = flag.String("model", "", "speculative model (super, great, good); empty = base processor")
+		width     = flag.Int("width", 8, "issue width")
+		window    = flag.Int("window", 48, "instruction window size")
+		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
+		update    = flag.String("update", "I", "predictor update timing: I (immediate) or D (delayed)")
+		oracle    = flag.Bool("oracle", false, "use oracle confidence instead of resetting counters")
+		traceN    = flag.Int("trace", 0, "print a pipeline timeline of the first N instructions")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range bench.All() {
+			fmt.Printf("%-9s %s (default scale %d)\n", w.Name, w.Description, w.DefaultScale)
+		}
+		return
+	}
+
+	w, err := bench.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := harness.Spec{
+		Workload: w,
+		Scale:    *scale,
+		Config:   cpu.Config{IssueWidth: *width, WindowSize: *window},
+	}
+	switch *update {
+	case "I":
+		spec.Setting.Update = cpu.UpdateImmediate
+	case "D":
+		spec.Setting.Update = cpu.UpdateDelayed
+	default:
+		log.Fatalf("bad -update %q, want I or D", *update)
+	}
+	spec.Setting.Oracle = *oracle
+	if *modelName != "" {
+		m, err := core.PresetByName(*modelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Model = &m
+	}
+
+	if *traceN > 0 {
+		runTraced(spec, *traceN)
+		return
+	}
+	res, err := harness.Simulate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := "base"
+	if spec.Model != nil {
+		label = fmt.Sprintf("%s %s", spec.Model.Name, spec.Setting)
+	}
+	fmt.Printf("%s on %s (%s):\n%s", w.Name, harness.ConfigName(spec.Config), label, res.Stats)
+}
+
+// runTraced repeats the simulation with an event observer attached and
+// prints a pipeline timeline of the first n dynamic instructions.
+func runTraced(spec harness.Spec, n int) {
+	scale := spec.Scale
+	if scale <= 0 {
+		scale = spec.Workload.DefaultScale
+	}
+	m, err := emu.New(spec.Workload.Build(scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opts *cpu.SpecOptions
+	if spec.Model != nil {
+		var conf confidence.Estimator = confidence.Default()
+		if spec.Setting.Oracle {
+			conf = confidence.Oracle{}
+		}
+		opts = &cpu.SpecOptions{
+			Enabled:    true,
+			Model:      *spec.Model,
+			Predictor:  vpred.NewFCM(vpred.DefaultFCMConfig()),
+			Confidence: conf,
+			Update:     spec.Setting.Update,
+		}
+	}
+	p, err := cpu.New(spec.Config, opts, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evlog := &cpu.EventLog{}
+	p.SetObserver(evlog)
+	if _, err := p.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline timeline, first %d instructions (D dispatch, I issue, W write, M memory, V verify, X invalidate, B resolve, R retire):\n", n)
+	fmt.Print(harness.Timeline(evlog, n))
+}

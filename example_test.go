@@ -1,0 +1,114 @@
+package valuespec_test
+
+import (
+	"fmt"
+	"log"
+
+	"valuespec"
+)
+
+// ExampleSimulate runs one benchmark on the base processor and under the
+// Great model, and reports whether value speculation helped.
+func ExampleSimulate() {
+	w, err := valuespec.WorkloadByName("m88ksim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := valuespec.Config4x24()
+	base, err := valuespec.Simulate(valuespec.Spec{Workload: w, Scale: 10, Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := valuespec.Great()
+	spec, err := valuespec.Simulate(valuespec.Spec{
+		Workload: w, Scale: 10, Config: cfg,
+		Model:   &model,
+		Setting: valuespec.Setting{Update: valuespec.UpdateImmediate, Oracle: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("speculation helped:", spec.IPC() > base.IPC())
+	// Output:
+	// speculation helped: true
+}
+
+// ExampleAssemble builds and runs a program from assembly text.
+func ExampleAssemble() {
+	prog, err := valuespec.Assemble(`
+		ldi r1, 6
+		ldi r2, 7
+		mul r3, r1, r2
+		st r3, 0(r0)
+		halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := valuespec.NewMachine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := valuespec.NewPipeline(valuespec.Config4x24(), nil, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retired %d instructions, mem[0] = %d\n", st.Retired, m.Mem(0))
+	// Output:
+	// retired 5 instructions, mem[0] = 42
+}
+
+// ExampleModelTable prints the paper's Section 4.1 latency-variable table.
+func ExampleModelTable() {
+	fmt.Print(valuespec.ModelTable(valuespec.Super(), valuespec.Great(), valuespec.Good()))
+	// Output:
+	// Latency Variable                      super    great     good
+	// Execution-Equality-Invalidation           0        0        1
+	// Execution-Equality-Verification           0        0        1
+	// Verification-Free Issue Resource          1        1        1
+	// Verification-Free Retirement Res.         1        1        1
+	// Invalidation-Reissue                      0        1        1
+	// Verification-Branch                       0        1        1
+	// Verification Address-Mem. Access          0        1        1
+}
+
+// ExampleModelByName looks up a preset model.
+func ExampleModelByName() {
+	m, err := valuespec.ModelByName("great")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Name, "reissue latency:", m.Lat.InvalidateReissue)
+	// Output:
+	// great reissue latency: 1
+}
+
+// ExampleNewFCM demonstrates the context-based predictor learning a
+// repeating value sequence.
+func ExampleNewFCM() {
+	p := valuespec.NewFCM(valuespec.DefaultFCMConfig())
+	seq := []int64{3, 1, 4, 1, 5}
+	// Train over the sequence a few times.
+	for round := 0; round < 4; round++ {
+		for _, v := range seq {
+			_, cookie := p.Lookup(100)
+			p.TrainImmediate(100, cookie, v)
+		}
+	}
+	// Now it predicts the sequence.
+	correct := 0
+	for _, v := range seq {
+		pred, cookie := p.Lookup(100)
+		if pred == v {
+			correct++
+		}
+		p.TrainImmediate(100, cookie, v)
+	}
+	fmt.Printf("%d/%d correct\n", correct, len(seq))
+	// Output:
+	// 5/5 correct
+}

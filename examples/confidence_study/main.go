@@ -1,0 +1,101 @@
+// Confidence study: the paper's Section 6 finds that confidence estimation,
+// not predictor update timing, is the first-order performance lever — the
+// 3-bit resetting counters keep misspeculation tiny (IH < 1%) at the cost of
+// leaving 20-25% of correct predictions unused (CL).
+//
+// This example reproduces that analysis: it compares never/real/oracle/
+// always confidence under the Great model, then sweeps the resetting-counter
+// width to chart the coverage-versus-misspeculation tradeoff.
+//
+// Run with: go run ./examples/confidence_study  (takes a couple of minutes)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valuespec"
+	"valuespec/internal/harness"
+	"valuespec/internal/stats"
+	"valuespec/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := valuespec.Config8x48()
+	model := valuespec.Great()
+	workloads := valuespec.Workloads()
+
+	// Per-workload base IPCs.
+	var baseSpecs []valuespec.Spec
+	for _, w := range workloads {
+		baseSpecs = append(baseSpecs, valuespec.Spec{Workload: w, Config: cfg})
+	}
+	baseRes, err := valuespec.SimulateAll(baseSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseIPC := map[string]float64{}
+	for _, r := range baseRes {
+		baseIPC[r.Spec.Workload.Name] = r.IPC()
+	}
+
+	estimators := []struct {
+		name string
+		mk   func() valuespec.ConfidenceEstimator
+	}{
+		{"never (base)", valuespec.NeverConfidence},
+		{"real 3-bit", func() valuespec.ConfidenceEstimator { return valuespec.NewResettingConfidence(16, 3) }},
+		{"oracle", valuespec.OracleConfidence},
+		{"always", valuespec.AlwaysConfidence},
+	}
+	var bars []textplot.Bar
+	for _, est := range estimators {
+		var specs []valuespec.Spec
+		for _, w := range workloads {
+			m := model
+			specs = append(specs, valuespec.Spec{
+				Workload: w, Config: cfg, Model: &m,
+				Setting:       valuespec.Setting{Update: valuespec.UpdateImmediate},
+				NewConfidence: est.mk,
+			})
+		}
+		results, err := valuespec.SimulateAll(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sps []float64
+		for _, r := range results {
+			sps = append(sps, r.IPC()/baseIPC[r.Spec.Workload.Name])
+		}
+		hm, err := stats.HarmonicMean(sps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bars = append(bars, textplot.Bar{Label: est.name, Value: hm})
+	}
+	fmt.Print(textplot.BarChart("Great model, I update — speedup by confidence estimator:", bars, 45, 1.0))
+
+	fmt.Println("\nResetting-counter width sweep (coverage vs. misspeculation):")
+	points, err := harness.ConfidenceSweep(cfg, model,
+		valuespec.Setting{Update: valuespec.UpdateImmediate}, workloads, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", p.CounterBits),
+			fmt.Sprintf("%d correct in a row", 1<<p.CounterBits-1),
+			fmt.Sprintf("%.3f", p.Speedup),
+			fmt.Sprintf("%.1f%%", 100*(p.CH+p.IH)),
+			fmt.Sprintf("%.1f%%", 100*p.IH),
+			fmt.Sprintf("%.1f%%", 100*p.CL),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"Bits", "Threshold", "Speedup", "Speculated", "IH (bad)", "CL (wasted)"}, cells))
+	fmt.Println("\nNarrow counters speculate eagerly (high IH); wide counters waste")
+	fmt.Println("correct predictions (high CL). The paper's 3-bit choice sits between.")
+}

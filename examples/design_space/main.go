@@ -1,0 +1,117 @@
+// Design space: the paper's central claim is that a value-speculative
+// microarchitecture should be *described* as a point in a formal design
+// space, so that it can be evaluated and compared precisely. This example
+// does exactly that: it defines two hypothetical machines as custom Models —
+// a "budget" design (slow verification network, hierarchical invalidation,
+// no speculative forwarding) and an "aggressive" design (Super latencies
+// plus speculative branch/memory resolution) — prints their latency-variable
+// table next to the paper's presets, and measures where they land.
+//
+// Run with: go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"valuespec"
+	"valuespec/internal/stats"
+	"valuespec/internal/textplot"
+)
+
+func budgetDesign() valuespec.Model {
+	return valuespec.Model{
+		Name: "budget",
+		Lat: valuespec.Latencies{
+			ExecEqInvalidate:  2, // shared comparator tree, two stages
+			ExecEqVerify:      2,
+			VerifyFreeIssue:   2, // release off the critical path
+			VerifyFreeRetire:  2,
+			InvalidateReissue: 2,
+			VerifyBranch:      2,
+			VerifyAddrMem:     2,
+		},
+		Verification:       valuespec.VerifyHierarchical, // reuse the wakeup tag bus
+		Invalidation:       valuespec.InvalidateHierarchical,
+		BranchResolution:   valuespec.ResolveValidOnly,
+		MemResolution:      valuespec.ResolveValidOnly,
+		Wakeup:             valuespec.WakeupLimited, // cap wasted reissues
+		ForwardSpeculative: false,                   // simpler result bus
+	}
+}
+
+func aggressiveDesign() valuespec.Model {
+	m := valuespec.Super()
+	m.Name = "aggressive"
+	m.BranchResolution = valuespec.ResolveSpeculative
+	m.MemResolution = valuespec.ResolveSpeculative
+	return m
+}
+
+func main() {
+	log.SetFlags(0)
+
+	budget, aggressive := budgetDesign(), aggressiveDesign()
+	fmt.Println("Latency variables (paper presets + the two custom designs):")
+	fmt.Println(valuespec.ModelTable(valuespec.Super(), valuespec.Great(), valuespec.Good(), budget, aggressive))
+
+	cfg := valuespec.Config8x48()
+	workloads := valuespec.Workloads()
+
+	// Base IPCs once.
+	var baseSpecs []valuespec.Spec
+	for _, w := range workloads {
+		baseSpecs = append(baseSpecs, valuespec.Spec{Workload: w, Config: cfg})
+	}
+	baseRes, err := valuespec.SimulateAll(baseSpecs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseIPC := map[string]float64{}
+	for _, r := range baseRes {
+		baseIPC[r.Spec.Workload.Name] = r.IPC()
+	}
+
+	models := []valuespec.Model{valuespec.Good(), budget, valuespec.Great(), aggressive, valuespec.Super()}
+	var rows [][]string
+	for i := range models {
+		m := &models[i]
+		var specs []valuespec.Spec
+		for _, w := range workloads {
+			specs = append(specs, valuespec.Spec{
+				Workload: w, Config: cfg, Model: m,
+				Setting: valuespec.Setting{Update: valuespec.UpdateImmediate},
+			})
+		}
+		results, err := valuespec.SimulateAll(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sps []float64
+		var waves int64
+		for _, r := range results {
+			sps = append(sps, r.IPC()/baseIPC[r.Spec.Workload.Name])
+			waves += r.Stats.InvalidationWaves
+		}
+		hm, err := stats.HarmonicMean(sps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%.3f", hm),
+			fmt.Sprintf("%.3f", stats.Min(sps)),
+			fmt.Sprintf("%.3f", stats.Max(sps)),
+			fmt.Sprintf("%d", waves),
+		})
+	}
+	fmt.Println("Measured on the full suite (8/48, I/R):")
+	fmt.Print(textplot.Table(
+		[]string{"Model", "Speedup (hmean)", "Worst bench", "Best bench", "Invalidations"}, rows))
+	fmt.Println("\nThe parameter vectors predict the ranks: the budget design's")
+	fmt.Println("two-cycle verification sinks it below the base machine (the latency")
+	fmt.Println("sweep shows Exec-Eq-Verify is the critical variable), while the")
+	fmt.Println("aggressive design's speculative branch/memory resolution lifts it")
+	fmt.Println("above Super. Describing a machine as a Model makes such comparisons")
+	fmt.Println("exact and reproducible — the paper's thesis.")
+}

@@ -1,0 +1,3 @@
+module valuespec
+
+go 1.22

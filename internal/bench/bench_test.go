@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"valuespec/internal/emu"
+	"valuespec/internal/isa"
+)
+
+func TestSuiteMatchesTable1Order(t *testing.T) {
+	want := []string{"compress", "gcc", "go", "ijpeg", "m88ksim", "perl", "vortex", "xlisp"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want Table 1 order %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("perl")
+	if err != nil || w.Name != "perl" {
+		t.Errorf("ByName(perl) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("spice"); err == nil {
+		t.Error("unknown benchmark resolved")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if All()[0].Name != "compress" {
+		t.Error("All() exposes internal state")
+	}
+}
+
+// TestWorkloadsHaltAndHaveRealisticMixes runs every workload at a reduced
+// scale and checks the properties the paper's methodology depends on:
+// termination, a value-prediction candidate fraction in Table 1's band, and
+// the presence of branches and memory traffic.
+func TestWorkloadsHaltAndHaveRealisticMixes(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			scale := w.DefaultScale / 8
+			if scale < 1 {
+				scale = 1
+			}
+			c, err := Characterize(w, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.DynamicInstr < 1000 {
+				t.Errorf("only %d dynamic instructions", c.DynamicInstr)
+			}
+			if f := c.PredictedFrac; f < 0.45 || f > 0.95 {
+				t.Errorf("predicted fraction %.2f outside plausible band [0.45, 0.95]", f)
+			}
+			if c.Mix.Frac(isa.ClassBranch) < 0.02 {
+				t.Errorf("branch fraction %.3f too low", c.Mix.Frac(isa.ClassBranch))
+			}
+			memFrac := c.Mix.Frac(isa.ClassLoad) + c.Mix.Frac(isa.ClassStore)
+			if memFrac < 0.02 {
+				t.Errorf("memory fraction %.3f too low", memFrac)
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic checks that building a workload twice yields
+// identical programs and identical traces — experiments must be exactly
+// reproducible.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		p1, p2 := w.Build(2), w.Build(2)
+		if !reflect.DeepEqual(p1.Code, p2.Code) || !reflect.DeepEqual(p1.Data, p2.Data) {
+			t.Errorf("%s: two builds differ", w.Name)
+		}
+	}
+}
+
+// TestWorkloadsScale checks that the scale parameter actually controls the
+// dynamic instruction count monotonically.
+func TestWorkloadsScale(t *testing.T) {
+	for _, w := range All() {
+		c1, err := Characterize(w, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		c3, err := Characterize(w, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if c3.DynamicInstr <= c1.DynamicInstr {
+			t.Errorf("%s: scale 3 ran %d instructions, scale 1 ran %d",
+				w.Name, c3.DynamicInstr, c1.DynamicInstr)
+		}
+	}
+}
+
+// TestXlispCountsQueens checks the one workload with a verifiable answer:
+// 7-queens has exactly 40 solutions per solve.
+func TestXlispCountsQueens(t *testing.T) {
+	solves := 2
+	m, err := emu.New(Xlisp(solves))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem(0x20 + 8); got != int64(40*solves) {
+		t.Errorf("solutions = %d, want %d", got, 40*solves)
+	}
+}
+
+// TestCompressIsLossless sanity-checks the compress kernel: every pass over
+// the same input must produce the same output length, and hits+emissions
+// must cover the input.
+func TestCompressIsLossless(t *testing.T) {
+	m, err := emu.New(Compress(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	outLen := m.Mem(0x20)
+	hits := m.Mem(0x21)
+	if outLen+hits != 512 {
+		t.Errorf("emitted %d + hits %d != input length 512", outLen, hits)
+	}
+	if hits == 0 {
+		t.Error("dictionary never hit; the input alphabet is too random")
+	}
+}
+
+// TestM88ksimRegisterZeroInvariant checks the simulated machine's r0 stays
+// zero through interpretation.
+func TestM88ksimRegisterZeroInvariant(t *testing.T) {
+	m, err := emu.New(M88ksim(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem(0x100); got != 0 {
+		t.Errorf("simulated r0 = %d, want 0", got)
+	}
+}
+
+// TestVortexPermutationCycle checks the linked list visits all records:
+// next = (i+17) mod 512 with gcd(17,512)=1 is a full cycle.
+func TestVortexPermutationCycle(t *testing.T) {
+	m, err := emu.New(Vortex(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Every record's f2 field was written during the single pass.
+	const db, recSize, nrec = 0x10000, 8, 512
+	seed := 0
+	for i := 0; i < nrec; i++ {
+		if m.Mem(int64(db+i*recSize+2)) == 0 {
+			seed++
+		}
+	}
+	// f2 = key ^ f1 + pass can be zero by chance for a few records, but a
+	// skipped region would leave long runs of zeros.
+	if seed > 8 {
+		t.Errorf("%d records look unvisited", seed)
+	}
+}
+
+func TestCharacterizeErrorOnNonHalting(t *testing.T) {
+	// A zero-scale build of a pass-based kernel still halts (zero passes);
+	// characterize must succeed and report a tiny count.
+	c, err := Characterize(Workload{Name: "tiny", Build: Compress}, 0)
+	if err != nil {
+		t.Fatalf("zero-scale compress: %v", err)
+	}
+	if c.DynamicInstr == 0 {
+		t.Error("no instructions at all")
+	}
+}

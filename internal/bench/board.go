@@ -1,0 +1,115 @@
+package bench
+
+import "valuespec/internal/program"
+
+// Go is the stand-in for SPECint95 go: repeated scans of a 19x19 board
+// counting same-colored neighbors and occasionally mutating cells. The
+// kernel is dominated by short loads, comparisons and poorly predictable
+// data-dependent branches — the signature of the go program (the paper's
+// least branch-predictable benchmark).
+//
+// scale sets the number of full-board evaluation passes.
+func Go(scale int) *program.Program {
+	const (
+		bsz = 19 // board edge
+
+		rX     = 1 // LCG state
+		rI     = 2 // row
+		rJ     = 3 // column
+		rP     = 4 // pass counter
+		rPN    = 5 // pass limit
+		rIdx   = 6
+		rC     = 7 // cell color
+		rNb    = 8 // neighbor value
+		rCnt   = 9 // neighbor count
+		rScore = 10
+		rBoard = 11
+		rAddr  = 12
+		rB     = 13 // board edge constant
+		rBm1   = 14 // edge-1
+		rM     = 17
+		rA     = 18
+		rT     = 19
+	)
+	b := program.NewBuilder("go")
+
+	b.Ldi(rX, 0xC0FFEE123456789)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rA, lcgAdd)
+	b.Ldi(rBoard, 0x4000)
+	b.Ldi(rB, bsz)
+	b.Ldi(rBm1, bsz-1)
+	b.Ldi(rPN, int64(scale))
+
+	// Fill the board with colors in {0,1,2}.
+	b.Ldi(rI, 0)
+	b.Ldi(rT, bsz*bsz)
+	b.Label("fill")
+	b.Bge(rI, rT, "filled")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rA)
+	b.Shri(rC, rX, 40)
+	b.Ldi(rCnt, 3)
+	b.Rem(rC, rC, rCnt)
+	b.Add(rAddr, rBoard, rI)
+	b.St(rC, rAddr, 0)
+	b.Addi(rI, rI, 1)
+	b.Jmp("fill")
+	b.Label("filled")
+
+	b.Ldi(rScore, 0)
+	b.Ldi(rP, 0)
+	b.Label("pass")
+	b.Bge(rP, rPN, "done")
+	b.Ldi(rI, 1)
+	b.Label("rows")
+	b.Bge(rI, rBm1, "rowsdone")
+	b.Ldi(rJ, 1)
+	b.Label("cols")
+	b.Bge(rJ, rBm1, "colsdone")
+	// idx = i*19 + j; c = board[idx]
+	b.Mul(rIdx, rI, rB)
+	b.Add(rIdx, rIdx, rJ)
+	b.Add(rAddr, rBoard, rIdx)
+	b.Ld(rC, rAddr, 0)
+	b.Ldi(rCnt, 0)
+	// Four-neighborhood comparison.
+	b.Ld(rNb, rAddr, -1)
+	b.Bne(rNb, rC, "n1")
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("n1")
+	b.Ld(rNb, rAddr, 1)
+	b.Bne(rNb, rC, "n2")
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("n2")
+	b.Ld(rNb, rAddr, -bsz)
+	b.Bne(rNb, rC, "n3")
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("n3")
+	b.Ld(rNb, rAddr, bsz)
+	b.Bne(rNb, rC, "n4")
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("n4")
+	b.Add(rScore, rScore, rCnt)
+	// Surrounded cells capitulate: cell = (cell+1) mod 3.
+	b.Ldi(rT, 3)
+	b.Blt(rCnt, rT, "keep")
+	b.Addi(rC, rC, 1)
+	b.Rem(rC, rC, rT)
+	b.St(rC, rAddr, 0)
+	b.Label("keep")
+	b.Addi(rJ, rJ, 1)
+	b.Jmp("cols")
+	b.Label("colsdone")
+	b.Addi(rI, rI, 1)
+	b.Jmp("rows")
+	b.Label("rowsdone")
+	b.Addi(rP, rP, 1)
+	b.Jmp("pass")
+
+	b.Label("done")
+	b.Ldi(rAddr, 0x20)
+	b.St(rScore, rAddr, 3)
+	b.Halt()
+	return b.MustBuild()
+}

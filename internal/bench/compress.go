@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"valuespec/internal/program"
+)
+
+// LCG constants shared by the generators embedded in the workloads
+// (Knuth's MMIX multiplier). Inputs are synthesized in-program so the
+// benchmarks are self-contained, like SPEC binaries with their inputs.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// Compress is the stand-in for SPECint95 compress: LZW-style dictionary
+// compression, run as repeated passes over a fixed 512-symbol buffer (the
+// dictionary is cleared between passes). The kernel alternates a hash-probe
+// loop (loads, data-dependent hit/miss branches) with dictionary updates and
+// output emission; the per-pass repetition supplies the value locality that
+// repeated compression of similar data exhibits.
+//
+// scale sets the number of compression passes.
+func Compress(scale int) *program.Program {
+	const (
+		inLen  = 512
+		dictSz = 512
+
+		rX    = 1  // LCG state
+		rI    = 2  // loop index
+		rN    = 3  // input length
+		rC    = 4  // current symbol
+		rPrev = 5  // previous symbol
+		rH    = 6  // hash
+		rKey  = 7  // dictionary key
+		rV    = 8  // probed value
+		rOutP = 9  // output cursor
+		rAddr = 10 // address temp
+		rHits = 11 // dictionary hits
+		rIn   = 12 // input base
+		rDict = 13 // dictionary base
+		rOut  = 14 // output base
+		rPass = 15
+		rPN   = 16
+		rM    = 17 // LCG multiplier
+		rA    = 18 // LCG increment
+	)
+	b := program.NewBuilder("compress")
+
+	b.Ldi(rX, 0x2545F4914F6CDD1D)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rA, lcgAdd)
+	b.Ldi(rN, inLen)
+	b.Ldi(rIn, 0x1000)
+	b.Ldi(rDict, 0x9000)
+	b.Ldi(rOut, 0x12000)
+	b.Ldi(rPN, int64(scale))
+	b.Ldi(rI, 0)
+
+	// Synthesize the input buffer once: a small, skewed alphabet (text-like
+	// data) so dictionary hits dominate, as with compress's corpus.
+	b.Label("init")
+	b.Bge(rI, rN, "initdone")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rA)
+	b.Shri(rC, rX, 33)
+	b.Andi(rC, rC, 15) // 16-symbol alphabet
+	b.Add(rAddr, rIn, rI)
+	b.St(rC, rAddr, 0)
+	b.Addi(rI, rI, 1)
+	b.Jmp("init")
+	b.Label("initdone")
+
+	b.Ldi(rPass, 0)
+	b.Label("pass")
+	b.Bge(rPass, rPN, "done")
+	// Clear the dictionary.
+	b.Ldi(rI, 0)
+	b.Label("clear")
+	b.Bge(rI, rN, "cleared")
+	b.Add(rAddr, rDict, rI)
+	b.St(0, rAddr, 0)
+	b.Addi(rI, rI, 1)
+	b.Jmp("clear")
+	b.Label("cleared")
+
+	// Compression pass.
+	b.Ldi(rI, 0)
+	b.Ldi(rPrev, 0)
+	b.Ldi(rOutP, 0)
+	b.Ldi(rHits, 0)
+	b.Label("loop")
+	b.Bge(rI, rN, "passdone")
+	b.Add(rAddr, rIn, rI)
+	b.Ld(rC, rAddr, 0) // c = in[i]
+	// h = (prev*31 + c) & 511
+	b.Shli(rH, rPrev, 5)
+	b.Sub(rH, rH, rPrev)
+	b.Add(rH, rH, rC)
+	b.Andi(rH, rH, dictSz-1)
+	// key = prev<<8 | c, biased so that key 0 never collides with empty.
+	b.Shli(rKey, rPrev, 8)
+	b.Add(rKey, rKey, rC)
+	b.Addi(rKey, rKey, 1)
+	b.Add(rAddr, rDict, rH)
+	b.Ld(rV, rAddr, 0)
+	b.Beq(rV, rKey, "hit")
+	// Miss: install the key, emit the previous symbol.
+	b.St(rKey, rAddr, 0)
+	b.Add(rAddr, rOut, rOutP)
+	b.St(rPrev, rAddr, 0)
+	b.Addi(rOutP, rOutP, 1)
+	b.Jmp("next")
+	b.Label("hit")
+	b.Addi(rHits, rHits, 1)
+	b.Label("next")
+	b.Mov(rPrev, rC)
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("passdone")
+	b.Addi(rPass, rPass, 1)
+	b.Jmp("pass")
+
+	b.Label("done")
+	// Publish the results so the computation cannot be considered dead.
+	b.Ldi(rAddr, 0x20)
+	b.St(rOutP, rAddr, 0)
+	b.St(rHits, rAddr, 1)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,128 @@
+package bench
+
+import "valuespec/internal/program"
+
+// GCC is the stand-in for SPECint95 gcc: a table-driven expression
+// evaluator, the inner loop of a compiler's constant folder. Each pass
+// re-evaluates the same stream of 256 (op, a, b) triples (the generator is
+// reseeded per pass), dispatching through an eight-way compare-and-branch
+// chain — the mix of short dependence chains, repeated evaluation and
+// moderately predictable multi-way branches characteristic of gcc.
+//
+// scale sets the number of evaluation passes.
+func GCC(scale int) *program.Program {
+	const (
+		exprs = 256
+
+		rX    = 1 // LCG state
+		rI    = 2
+		rN    = 3
+		rOp   = 4
+		rA    = 5
+		rB    = 6
+		rR    = 7 // result
+		rAcc  = 8
+		rTmp  = 9
+		rOut  = 10
+		rJ    = 11 // output cursor
+		rPass = 12
+		rPN   = 13
+		rSeed = 14
+		rCoef = 15 // per-op coefficient table base
+		rW    = 16 // loaded coefficient
+		rM    = 17
+		rC    = 18
+		rK    = 19 // comparison constant
+	)
+	b := program.NewBuilder("gcc")
+
+	b.Ldi(rSeed, 0x1E3779B97F4A7C15)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rC, lcgAdd)
+	b.Ldi(rN, exprs)
+	b.Ldi(rOut, 0x3000)
+	b.Ldi(rCoef, 0x2F00)
+	b.InitWords(0x2F00, 3, 5, 7, 11, 13, 17, 19, 23) // per-op weights
+	b.Ldi(rPN, int64(scale))
+	b.Ldi(rPass, 0)
+	b.Ldi(rAcc, 0)
+
+	b.Label("pass")
+	b.Bge(rPass, rPN, "done")
+	b.Mov(rX, rSeed) // reseed: every pass evaluates the same stream
+	b.Ldi(rI, 0)
+	b.Ldi(rJ, 0)
+
+	b.Label("loop")
+	b.Bge(rI, rN, "passdone")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rC)
+	b.Shri(rOp, rX, 61) // op in [0,8)
+	b.Shri(rA, rX, 30)
+	b.Andi(rA, rA, 0xFFFF)
+	b.Andi(rB, rX, 0xFFFF)
+
+	// Eight-way dispatch on op.
+	b.Bne(rOp, 0, "op1")
+	b.Add(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op1")
+	b.Ldi(rK, 1)
+	b.Bne(rOp, rK, "op2")
+	b.Sub(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op2")
+	b.Ldi(rK, 2)
+	b.Bne(rOp, rK, "op3")
+	b.And(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op3")
+	b.Ldi(rK, 3)
+	b.Bne(rOp, rK, "op4")
+	b.Or(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op4")
+	b.Ldi(rK, 4)
+	b.Bne(rOp, rK, "op5")
+	b.Xor(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op5")
+	b.Ldi(rK, 5)
+	b.Bne(rOp, rK, "op6")
+	b.Mul(rR, rA, rB)
+	b.Jmp("fold")
+	b.Label("op6")
+	b.Ldi(rK, 6)
+	b.Bne(rOp, rK, "op7")
+	b.Shri(rR, rA, 3)
+	b.Add(rR, rR, rB)
+	b.Jmp("fold")
+	b.Label("op7")
+	b.Shli(rR, rA, 2)
+	b.Sub(rR, rR, rB)
+
+	b.Label("fold")
+	// Weight the result by the per-op coefficient (a symbol-table lookup).
+	b.Add(rTmp, rCoef, rOp)
+	b.Ld(rW, rTmp, 0)
+	b.Mul(rR, rR, rW)
+	b.Xor(rAcc, rAcc, rR)
+	// Spill the accumulator every 8th expression.
+	b.Andi(rTmp, rI, 7)
+	b.Bne(rTmp, 0, "next")
+	b.Add(rTmp, rOut, rJ)
+	b.St(rAcc, rTmp, 0)
+	b.Addi(rJ, rJ, 1)
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("passdone")
+	b.Addi(rPass, rPass, 1)
+	b.Jmp("pass")
+
+	b.Label("done")
+	b.Ldi(rTmp, 0x20)
+	b.St(rAcc, rTmp, 2)
+	b.Halt()
+	return b.MustBuild()
+}

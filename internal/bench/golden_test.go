@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenCharacteristics pins the exact dynamic instruction counts and
+// predicted fractions of every workload at its default scale. The workloads
+// are deterministic by construction, so any drift here means a kernel
+// changed — and with it every number in EXPERIMENTS.md.
+func TestGoldenCharacteristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale characterization")
+	}
+	golden := []struct {
+		name      string
+		dynamic   int64
+		predicted float64
+	}{
+		{"compress", 272188, 0.6919},
+		{"gcc", 317863, 0.6709},
+		{"go", 278963, 0.6461},
+		{"ijpeg", 278346, 0.8069},
+		{"m88ksim", 279846, 0.7027},
+		{"perl", 274098, 0.7899},
+		{"vortex", 279836, 0.7104},
+		{"xlisp", 246323, 0.5790},
+	}
+	for _, g := range golden {
+		w, err := ByName(g.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Characterize(w, w.DefaultScale)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if c.DynamicInstr != g.dynamic {
+			t.Errorf("%s: dynamic count %d, golden %d — kernel changed; update EXPERIMENTS.md",
+				g.name, c.DynamicInstr, g.dynamic)
+		}
+		if math.Abs(c.PredictedFrac-g.predicted) > 0.0001 {
+			t.Errorf("%s: predicted fraction %.4f, golden %.4f",
+				g.name, c.PredictedFrac, g.predicted)
+		}
+	}
+}

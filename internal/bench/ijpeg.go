@@ -1,0 +1,114 @@
+package bench
+
+import "valuespec/internal/program"
+
+// IJpeg is the stand-in for SPECint95 ijpeg: repeated blocked integer
+// transforms (2x2 butterflies, the core of a DCT) over a smooth synthetic
+// image. The kernel is regular and loop-dominated with strided loads,
+// multiplies and highly predictable branches, giving it the highest
+// value-predictability of the suite, as ijpeg has in the paper's Table 1.
+//
+// scale sets the number of full-image transform rounds.
+func IJpeg(scale int) *program.Program {
+	const (
+		w = 32 // image edge
+
+		rI    = 1
+		rJ    = 2
+		rR    = 3 // round
+		rRN   = 4
+		rA    = 5
+		rB    = 6
+		rC    = 7
+		rD    = 8
+		rS    = 9
+		rD1   = 10
+		rD2   = 11
+		rAddr = 12
+		rImg  = 13
+		rOut  = 14
+		rW    = 15
+		rAcc  = 16
+		rT    = 19
+	)
+	b := program.NewBuilder("ijpeg")
+
+	b.Ldi(rImg, 0x5000)
+	b.Ldi(rOut, 0x6000)
+	b.Ldi(rW, w)
+	b.Ldi(rRN, int64(scale))
+
+	// img[i][j] = (i/4)*8 + j/4 — a piecewise-constant gradient with 4x4
+	// tiles, the flat regions typical of photographic inputs.
+	b.Ldi(rI, 0)
+	b.Label("irows")
+	b.Bge(rI, rW, "ifilled")
+	b.Ldi(rJ, 0)
+	b.Label("icols")
+	b.Bge(rJ, rW, "icolsdone")
+	b.Shri(rA, rI, 2)
+	b.Shli(rA, rA, 3)
+	b.Shri(rB, rJ, 2)
+	b.Add(rA, rA, rB)
+	b.Andi(rA, rA, 255)
+	b.Mul(rAddr, rI, rW)
+	b.Add(rAddr, rAddr, rJ)
+	b.Add(rAddr, rAddr, rImg)
+	b.St(rA, rAddr, 0)
+	b.Addi(rJ, rJ, 1)
+	b.Jmp("icols")
+	b.Label("icolsdone")
+	b.Addi(rI, rI, 1)
+	b.Jmp("irows")
+	b.Label("ifilled")
+
+	b.Ldi(rAcc, 0)
+	b.Ldi(rR, 0)
+	b.Label("round")
+	b.Bge(rR, rRN, "done")
+	b.Ldi(rI, 0)
+	b.Label("rows")
+	b.Bge(rI, rW, "rowsdone")
+	b.Ldi(rJ, 0)
+	b.Label("cols")
+	b.Bge(rJ, rW, "colsdone")
+	// 2x2 block butterfly.
+	b.Mul(rAddr, rI, rW)
+	b.Add(rAddr, rAddr, rJ)
+	b.Add(rAddr, rAddr, rImg)
+	b.Ld(rA, rAddr, 0)
+	b.Ld(rB, rAddr, 1)
+	b.Ld(rC, rAddr, w)
+	b.Ld(rD, rAddr, w+1)
+	b.Add(rS, rA, rB)
+	b.Add(rS, rS, rC)
+	b.Add(rS, rS, rD)
+	b.Sub(rD1, rA, rB)
+	b.Add(rD1, rD1, rC)
+	b.Sub(rD1, rD1, rD)
+	b.Add(rD2, rA, rB)
+	b.Sub(rD2, rD2, rC)
+	b.Sub(rD2, rD2, rD)
+	b.Shri(rT, rS, 2) // quantize
+	b.Mul(rAddr, rI, rW)
+	b.Add(rAddr, rAddr, rJ)
+	b.Add(rAddr, rAddr, rOut)
+	b.St(rT, rAddr, 0)
+	b.St(rD1, rAddr, 1)
+	b.St(rD2, rAddr, w)
+	b.Add(rAcc, rAcc, rS)
+	b.Addi(rJ, rJ, 2)
+	b.Jmp("cols")
+	b.Label("colsdone")
+	b.Addi(rI, rI, 2)
+	b.Jmp("rows")
+	b.Label("rowsdone")
+	b.Addi(rR, rR, 1)
+	b.Jmp("round")
+
+	b.Label("done")
+	b.Ldi(rAddr, 0x20)
+	b.St(rAcc, rAddr, 4)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,146 @@
+package bench
+
+import "valuespec/internal/program"
+
+// M88ksim is the stand-in for SPECint95 m88ksim: an interpreter executing a
+// synthetic program for a tiny 16-register machine. Every step fetches an
+// encoded instruction word, decodes fields with shifts and masks, dispatches
+// through a branch tree and touches the simulated register file in memory —
+// the classic fetch-decode-execute loop of a CPU simulator, with highly
+// repetitive (hence value-predictable) decode computations.
+//
+// scale sets the number of simulated steps (16 per unit).
+func M88ksim(scale int) *program.Program {
+	const (
+		progLen = 256 // simulated program length (words)
+
+		rX     = 1 // LCG state
+		rI     = 2
+		rN     = 3
+		rW     = 4 // fetched word
+		rOp    = 5
+		rRD    = 6
+		rRS1   = 7
+		rRS2   = 8
+		rVA    = 9  // value of rs1
+		rVB    = 10 // value of rs2
+		rRes   = 11
+		rSPC   = 12 // simulated PC
+		rAddr  = 13
+		rProg  = 14 // simulated program base
+		rRegs  = 15 // simulated register file base
+		rSMem  = 16 // simulated data memory base
+		rM     = 17
+		rA     = 18
+		rK     = 19
+		rSteps = 20
+	)
+	b := program.NewBuilder("m88ksim")
+
+	b.Ldi(rX, 0x88888888AAAA1)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rA, lcgAdd)
+	b.Ldi(rProg, 0x7000)
+	b.Ldi(rRegs, 0x100)
+	b.Ldi(rSMem, 0x7800)
+
+	// Synthesize the simulated program image.
+	b.Ldi(rI, 0)
+	b.Ldi(rN, progLen)
+	b.Label("gen")
+	b.Bge(rI, rN, "gendone")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rA)
+	b.Shri(rW, rX, 30)
+	b.Andi(rW, rW, 0x7FFF)
+	b.Add(rAddr, rProg, rI)
+	b.St(rW, rAddr, 0)
+	b.Addi(rI, rI, 1)
+	b.Jmp("gen")
+	b.Label("gendone")
+
+	// Interpreter main loop.
+	b.Ldi(rSPC, 0)
+	b.Ldi(rSteps, 0)
+	b.Ldi(rN, int64(16*scale))
+	b.Label("step")
+	b.Bge(rSteps, rN, "done")
+	// Fetch.
+	b.Andi(rSPC, rSPC, progLen-1)
+	b.Add(rAddr, rProg, rSPC)
+	b.Ld(rW, rAddr, 0)
+	// Decode: op[14:12] rd[11:8] rs1[7:4] rs2[3:0].
+	b.Shri(rOp, rW, 12)
+	b.Andi(rOp, rOp, 7)
+	b.Shri(rRD, rW, 8)
+	b.Andi(rRD, rRD, 15)
+	b.Shri(rRS1, rW, 4)
+	b.Andi(rRS1, rRS1, 15)
+	b.Andi(rRS2, rW, 15)
+	// Register reads.
+	b.Add(rAddr, rRegs, rRS1)
+	b.Ld(rVA, rAddr, 0)
+	b.Add(rAddr, rRegs, rRS2)
+	b.Ld(rVB, rAddr, 0)
+	// Execute.
+	b.Bne(rOp, 0, "x1")
+	b.Add(rRes, rVA, rVB)
+	b.Jmp("wb")
+	b.Label("x1")
+	b.Ldi(rK, 1)
+	b.Bne(rOp, rK, "x2")
+	b.Sub(rRes, rVA, rVB)
+	b.Jmp("wb")
+	b.Label("x2")
+	b.Ldi(rK, 2)
+	b.Bne(rOp, rK, "x3")
+	b.Xor(rRes, rVA, rVB)
+	b.Jmp("wb")
+	b.Label("x3")
+	b.Ldi(rK, 3)
+	b.Bne(rOp, rK, "x4")
+	b.And(rRes, rVA, rVB)
+	b.Jmp("wb")
+	b.Label("x4")
+	b.Ldi(rK, 4)
+	b.Bne(rOp, rK, "x5")
+	b.Addi(rRes, rVA, 1)
+	b.Jmp("wb")
+	b.Label("x5")
+	b.Ldi(rK, 5)
+	b.Bne(rOp, rK, "x6")
+	// Simulated load: smem[(va+vb) & 255].
+	b.Add(rRes, rVA, rVB)
+	b.Andi(rRes, rRes, 255)
+	b.Add(rAddr, rSMem, rRes)
+	b.Ld(rRes, rAddr, 0)
+	b.Jmp("wb")
+	b.Label("x6")
+	b.Ldi(rK, 6)
+	b.Bne(rOp, rK, "x7")
+	// Simulated store: smem[vb & 255] = va; no register writeback.
+	b.Andi(rRes, rVB, 255)
+	b.Add(rAddr, rSMem, rRes)
+	b.St(rVA, rAddr, 0)
+	b.Jmp("advance")
+	b.Label("x7")
+	// Simulated conditional branch: skip forward rd words if va == 0.
+	b.Bne(rVA, 0, "advance")
+	b.Add(rSPC, rSPC, rRD)
+	b.Jmp("advance")
+	b.Label("wb")
+	// Register writeback (r0 of the simulated machine stays zero).
+	b.Beq(rRD, 0, "advance")
+	b.Add(rAddr, rRegs, rRD)
+	b.St(rRes, rAddr, 0)
+	b.Label("advance")
+	b.Addi(rSPC, rSPC, 1)
+	b.Addi(rSteps, rSteps, 1)
+	b.Jmp("step")
+
+	b.Label("done")
+	b.Ldi(rAddr, 0x20)
+	b.St(rSPC, rAddr, 5)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"valuespec/internal/isa"
+	"valuespec/internal/program"
+)
+
+// Micro-kernels: minimal programs with one controlled dependence pattern
+// each, generalizing the paper's Fig. 1 example into measurable workloads.
+// They are not part of the Table 1 suite; tests and examples use them to
+// demonstrate model behavior in isolation:
+//
+//	ChainMicro        a single serial dependence chain (value prediction's
+//	                  best case: every prediction breaks the chain)
+//	ParallelMicro     fully independent operations (no dependences to break:
+//	                  value prediction can only add overhead)
+//	PointerChaseMicro loads whose addresses depend on the previous load
+//	BranchMicro       data-dependent branches fed by computed values
+
+// ChainMicro builds a program that repeatedly folds a value through a
+// serial chain of adds: iterations x depth dependent operations.
+func ChainMicro(iterations, depth int) *program.Program {
+	const (
+		rV = 1
+		rI = 2
+		rN = 3
+	)
+	b := program.NewBuilder("micro-chain")
+	b.Ldi(rV, 1)
+	b.Ldi(rI, 0)
+	b.Ldi(rN, int64(iterations))
+	b.Label("loop")
+	b.Bge(rI, rN, "done")
+	for i := 0; i < depth; i++ {
+		b.Addi(rV, rV, 1) // each depends on the previous
+	}
+	// Wrap with a short period so each static instruction's value sequence
+	// repeats and the context-based predictor can learn it.
+	b.Andi(rV, rV, 63)
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Ldi(rN, 0x20)
+	b.St(rV, rN, 9)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ParallelMicro builds a program of independent operations: depth parallel
+// accumulators each incremented once per iteration.
+func ParallelMicro(iterations, width int) *program.Program {
+	if width > 24 {
+		width = 24
+	}
+	const (
+		rI = 30
+		rN = 29
+	)
+	b := program.NewBuilder("micro-parallel")
+	for r := 1; r <= width; r++ {
+		b.Ldi(isa.Reg(r), int64(r))
+	}
+	b.Ldi(rI, 0)
+	b.Ldi(rN, int64(iterations))
+	b.Label("loop")
+	b.Bge(rI, rN, "done")
+	for r := 1; r <= width; r++ {
+		b.Addi(isa.Reg(r), isa.Reg(r), 1) // independent of every other accumulator
+	}
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Ldi(rN, 0x20)
+	b.St(1, rN, 10)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// PointerChaseMicro builds a linked-list walk: a ring of n nodes traversed
+// for the given number of steps, each load's address produced by the
+// previous load.
+func PointerChaseMicro(steps, nodes int) *program.Program {
+	const (
+		rCur  = 1
+		rI    = 2
+		rN    = 3
+		rBase = 4
+		rAddr = 5
+		rT    = 6
+		base  = 0x2000
+	)
+	b := program.NewBuilder("micro-chase")
+	// Build the ring: node i points to (i + 7) mod nodes.
+	b.Ldi(rBase, base)
+	b.Ldi(rI, 0)
+	b.Ldi(rN, int64(nodes))
+	b.Label("build")
+	b.Bge(rI, rN, "built")
+	b.Addi(rT, rI, 7)
+	b.Rem(rT, rT, rN)
+	b.Add(rAddr, rBase, rI)
+	b.St(rT, rAddr, 0)
+	b.Addi(rI, rI, 1)
+	b.Jmp("build")
+	b.Label("built")
+	// Chase.
+	b.Ldi(rCur, 0)
+	b.Ldi(rI, 0)
+	b.Ldi(rN, int64(steps))
+	b.Label("chase")
+	b.Bge(rI, rN, "done")
+	b.Add(rAddr, rBase, rCur)
+	b.Ld(rCur, rAddr, 0) // next address depends on this load
+	b.Addi(rI, rI, 1)
+	b.Jmp("chase")
+	b.Label("done")
+	b.Ldi(rT, 0x20)
+	b.St(rCur, rT, 11)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// BranchMicro builds a loop whose inner branch direction depends on a
+// computed value with the given period (period 1 = always taken; larger
+// periods are harder for gshare until its history warms).
+func BranchMicro(iterations, period int) *program.Program {
+	const (
+		rI   = 1
+		rN   = 2
+		rP   = 3
+		rT   = 4
+		rAcc = 5
+	)
+	b := program.NewBuilder("micro-branch")
+	b.Ldi(rI, 0)
+	b.Ldi(rN, int64(iterations))
+	b.Ldi(rP, int64(period))
+	b.Ldi(rAcc, 0)
+	b.Label("loop")
+	b.Bge(rI, rN, "done")
+	b.Rem(rT, rI, rP)
+	b.Bne(rT, 0, "skip")
+	b.Addi(rAcc, rAcc, 3)
+	b.Label("skip")
+	b.Addi(rAcc, rAcc, 1)
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Ldi(rN, 0x20)
+	b.St(rAcc, rN, 12)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"testing"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/emu"
+	"valuespec/internal/vpred"
+)
+
+func TestMicroKernelsHalt(t *testing.T) {
+	kernels := []struct {
+		name string
+		prog interface{ Validate() error }
+	}{
+		{"chain", ChainMicro(50, 8)},
+		{"parallel", ParallelMicro(50, 8)},
+		{"chase", PointerChaseMicro(200, 64)},
+		{"branch", BranchMicro(200, 3)},
+	}
+	for _, k := range kernels {
+		if err := k.prog.Validate(); err != nil {
+			t.Errorf("%s: %v", k.name, err)
+		}
+	}
+}
+
+// TestChainGainsMoreThanParallel pins the first-order behavior of value
+// speculation: breaking a serial chain helps, while predicting already-
+// independent work cannot (oracle confidence isolates the upside).
+func TestChainGainsMoreThanParallel(t *testing.T) {
+	run := func(progName string, speculate bool) *cpu.Stats {
+		var prog = ChainMicro(400, 12)
+		if progName == "parallel" {
+			prog = ParallelMicro(400, 12)
+		}
+		m, err := emu.New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opts *cpu.SpecOptions
+		if speculate {
+			g := core.Great()
+			opts = &cpu.SpecOptions{
+				Enabled:    true,
+				Model:      g,
+				Predictor:  vpred.NewFCM(vpred.DefaultFCMConfig()),
+				Confidence: confidence.Oracle{},
+				Update:     cpu.UpdateImmediate,
+			}
+		}
+		cfg := cpu.Config8x48()
+		p, err := cpu.New(cfg, opts, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	chainBase, chainSpec := run("chain", false), run("chain", true)
+	parBase, parSpec := run("parallel", false), run("parallel", true)
+	chainGain := float64(chainBase.Cycles) / float64(chainSpec.Cycles)
+	parGain := float64(parBase.Cycles) / float64(parSpec.Cycles)
+	t.Logf("chain gain %.3f, parallel gain %.3f", chainGain, parGain)
+	if chainGain <= parGain {
+		t.Errorf("chain gain %.3f not above parallel gain %.3f", chainGain, parGain)
+	}
+	if chainGain < 1.5 {
+		t.Errorf("oracle speculation on a pure chain gained only %.3f", chainGain)
+	}
+	if parGain < 0.97 {
+		t.Errorf("speculation on parallel work cost %.3f", parGain)
+	}
+}
+
+// TestBranchMicroPeriodMatters checks the branch micro-kernel actually
+// modulates gshare difficulty: a period-1 pattern (branch never taken) is
+// learned immediately; an irregular period costs mispredictions while cold.
+func TestBranchMicroPeriodMatters(t *testing.T) {
+	run := func(period int) *cpu.Stats {
+		m, err := emu.New(BranchMicro(500, period))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cpu.New(cpu.Config8x48(), nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	regular, irregular := run(1), run(7)
+	if regular.BranchAccuracy() <= irregular.BranchAccuracy()-0.001 {
+		t.Errorf("period-1 accuracy %.3f not above period-7 accuracy %.3f",
+			regular.BranchAccuracy(), irregular.BranchAccuracy())
+	}
+}
+
+// TestPointerChaseIsSerial checks the chase micro-kernel has the IPC
+// signature of a pointer chase: far below the machine width.
+func TestPointerChaseIsSerial(t *testing.T) {
+	m, err := emu.New(PointerChaseMicro(500, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cpu.New(cpu.Config8x48(), nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := st.IPC(); ipc > 2.5 {
+		t.Errorf("pointer chase IPC %.2f; expected a serial bottleneck", ipc)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import "valuespec/internal/program"
+
+// Perl is the stand-in for SPECint95 perl: string hashing into a bucket
+// table plus decimal formatting of the hashes, repeated over the same set of
+// 64 strings per pass (the generator is reseeded). The formatting loop uses
+// the machine's long-latency DIV/REM operations, giving this kernel the
+// longest serial dependence chains of the suite, as an interpreter's
+// number-to-string conversions do.
+//
+// scale sets the number of passes.
+func Perl(scale int) *program.Program {
+	const (
+		strs = 64
+
+		rX    = 1
+		rI    = 2
+		rN    = 3
+		rH    = 4 // hash accumulator
+		rC    = 5 // character
+		rK    = 6 // inner counter
+		rLim  = 7
+		rAddr = 8
+		rTab  = 9  // bucket table base
+		rBuf  = 10 // digit buffer base
+		rBp   = 11 // digit cursor
+		rV    = 12
+		rTen  = 13
+		rD    = 14
+		rPass = 15
+		rPN   = 16
+		rM    = 17
+		rA    = 18
+		rT    = 19
+		rSeed = 20
+	)
+	b := program.NewBuilder("perl")
+
+	b.Ldi(rSeed, 0x5EED5EED5EED5)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rA, lcgAdd)
+	b.Ldi(rTab, 0x8000)
+	b.Ldi(rBuf, 0x8400)
+	b.Ldi(rTen, 10)
+	b.Ldi(rN, strs)
+	b.Ldi(rPN, int64(scale))
+	b.Ldi(rPass, 0)
+
+	b.Label("pass")
+	b.Bge(rPass, rPN, "done")
+	b.Mov(rX, rSeed)
+	b.Ldi(rI, 0)
+	b.Ldi(rBp, 0)
+
+	b.Label("loop")
+	b.Bge(rI, rN, "passdone")
+	// Hash an eight-character "string": h = h*131 + c.
+	b.Ldi(rH, 0)
+	b.Ldi(rK, 0)
+	b.Ldi(rLim, 8)
+	b.Label("hash")
+	b.Bge(rK, rLim, "hashed")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rA)
+	b.Shri(rC, rX, 41)
+	b.Andi(rC, rC, 127)
+	b.Shli(rT, rH, 7)
+	b.Add(rT, rT, rH) // h*129
+	b.Shli(rD, rH, 1)
+	b.Add(rT, rT, rD) // h*131
+	b.Add(rH, rT, rC)
+	b.Addi(rK, rK, 1)
+	b.Jmp("hash")
+	b.Label("hashed")
+	// Bucket the hash: tab[h & 255]++.
+	b.Andi(rT, rH, 255)
+	b.Add(rAddr, rTab, rT)
+	b.Ld(rV, rAddr, 0)
+	b.Addi(rV, rV, 1)
+	b.St(rV, rAddr, 0)
+	// Every fourth string, format its low 20 bits in decimal.
+	b.Andi(rT, rI, 3)
+	b.Bne(rT, 0, "next")
+	b.Andi(rV, rH, 0xFFFFF)
+	b.Label("digits")
+	b.Beq(rV, 0, "next")
+	b.Rem(rD, rV, rTen)
+	b.Div(rV, rV, rTen)
+	b.Andi(rT, rBp, 63)
+	b.Add(rAddr, rBuf, rT)
+	b.St(rD, rAddr, 0)
+	b.Addi(rBp, rBp, 1)
+	b.Jmp("digits")
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Jmp("loop")
+	b.Label("passdone")
+	b.Addi(rPass, rPass, 1)
+	b.Jmp("pass")
+
+	b.Label("done")
+	b.Ldi(rAddr, 0x20)
+	b.St(rBp, rAddr, 6)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import "valuespec/internal/program"
+
+// Vortex is the stand-in for SPECint95 vortex: an object store of fixed-size
+// records chained into a linked list, traversed and mutated in passes. The
+// pointer-chasing traversal makes each iteration's address depend on the
+// previous iteration's load — the serial load chain that makes value
+// prediction attractive for database codes.
+//
+// scale sets the number of traversal passes over 512 records.
+func Vortex(scale int) *program.Program {
+	const (
+		nrec    = 512
+		recSize = 8 // words per record: key, f1, f2, f3, next, pad x3
+
+		rX    = 1
+		rI    = 2
+		rN    = 3
+		rCur  = 4 // current record index
+		rBase = 5 // current record address
+		rKey  = 6
+		rF1   = 7
+		rF2   = 8
+		rNext = 9
+		rSum  = 10
+		rP    = 11 // pass counter
+		rPN   = 12
+		rDB   = 13
+		rAddr = 14
+		rM    = 17
+		rA    = 18
+		rT    = 19
+	)
+	b := program.NewBuilder("vortex")
+
+	b.Ldi(rX, 0x0B0E0C0A5EED7)
+	b.Ldi(rM, lcgMul)
+	b.Ldi(rA, lcgAdd)
+	b.Ldi(rDB, 0x10000)
+	b.Ldi(rN, nrec)
+	b.Ldi(rPN, int64(scale))
+
+	// Build the records; next = (i + 17) mod 512 walks a full cycle.
+	b.Ldi(rI, 0)
+	b.Label("build")
+	b.Bge(rI, rN, "built")
+	b.Mul(rX, rX, rM)
+	b.Add(rX, rX, rA)
+	b.Shli(rBase, rI, 3)
+	b.Add(rBase, rBase, rDB)
+	b.Shri(rKey, rX, 20)
+	b.St(rKey, rBase, 0) // key
+	b.St(rI, rBase, 1)   // f1
+	b.St(rX, rBase, 2)   // f2 seed
+	b.Addi(rT, rI, 17)
+	b.Andi(rT, rT, nrec-1)
+	b.St(rT, rBase, 4) // next
+	b.Addi(rI, rI, 1)
+	b.Jmp("build")
+	b.Label("built")
+
+	b.Ldi(rSum, 0)
+	b.Ldi(rP, 0)
+	b.Label("pass")
+	b.Bge(rP, rPN, "done")
+	b.Ldi(rCur, 0)
+	b.Ldi(rI, 0)
+	b.Label("walk")
+	b.Bge(rI, rN, "walked")
+	b.Shli(rBase, rCur, 3)
+	b.Add(rBase, rBase, rDB)
+	b.Ld(rKey, rBase, 0)
+	b.Ld(rF1, rBase, 1)
+	b.Xor(rF2, rKey, rF1)
+	b.Add(rF2, rF2, rP)
+	b.St(rF2, rBase, 2)
+	b.Add(rSum, rSum, rKey)
+	// Hot records get their key bumped (a data-dependent branch).
+	b.Andi(rT, rKey, 15)
+	b.Bne(rT, 0, "cold")
+	b.Addi(rKey, rKey, 1)
+	b.St(rKey, rBase, 0)
+	b.Label("cold")
+	b.Ld(rCur, rBase, 4) // pointer chase
+	b.Addi(rI, rI, 1)
+	b.Jmp("walk")
+	b.Label("walked")
+	b.Addi(rP, rP, 1)
+	b.Jmp("pass")
+
+	b.Label("done")
+	b.Ldi(rAddr, 0x20)
+	b.St(rSum, rAddr, 7)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import "valuespec/internal/program"
+
+// Xlisp is the stand-in for SPECint95 xlisp running the paper's "7 queens"
+// input: a recursive n-queens solver with real procedure calls (JAL/JR), an
+// explicit stack in memory, and the backtracking branch behavior of a Lisp
+// evaluator's recursive descent.
+//
+// scale sets the number of complete 7-queens solves.
+func Xlisp(scale int) *program.Program {
+	const (
+		queens = 7
+
+		rT1   = 1 // scratch / constant 7
+		rC    = 2 // safe-check column
+		rAddr = 3
+		rQ    = 4 // queen row at column c
+		rDiff = 5
+		rCD   = 6  // column distance
+		rCol  = 10 // current column (argument)
+		rRow  = 11 // candidate row
+		rSol  = 20 // solutions found
+		rRep  = 21 // repetition counter
+		rSP   = 29 // stack pointer
+		rRA   = 31 // return address
+		cols  = 0x500
+		stack = 0x900
+	)
+	b := program.NewBuilder("xlisp")
+
+	b.Ldi(rSP, stack)
+	b.Ldi(rSol, 0)
+	b.Ldi(rRep, int64(scale))
+	b.Label("outer")
+	b.Beq(rRep, 0, "end")
+	b.Ldi(rCol, 0)
+	b.Jal(rRA, "place")
+	b.Addi(rRep, rRep, -1)
+	b.Jmp("outer")
+	b.Label("end")
+	b.Ldi(rAddr, 0x20)
+	b.St(rSol, rAddr, 8)
+	b.Halt()
+
+	// place(col): try every row in the current column, recursing on safe
+	// placements. Frame: [ra, col, row].
+	b.Label("place")
+	b.Addi(rSP, rSP, -3)
+	b.St(rRA, rSP, 0)
+	b.St(rCol, rSP, 1)
+	b.Ldi(rT1, queens)
+	b.Bne(rCol, rT1, "body")
+	b.Addi(rSol, rSol, 1)
+	b.Jmp("ret")
+	b.Label("body")
+	b.Ldi(rRow, 0)
+	b.Label("rowloop")
+	b.Ldi(rT1, queens)
+	b.Bge(rRow, rT1, "ret")
+	// safe(row, col): no prior queen on the same row or diagonal.
+	b.Ldi(rC, 0)
+	b.Label("safeloop")
+	b.Bge(rC, rCol, "safe")
+	b.Ldi(rAddr, cols)
+	b.Add(rAddr, rAddr, rC)
+	b.Ld(rQ, rAddr, 0)
+	b.Beq(rQ, rRow, "unsafe")
+	b.Sub(rDiff, rQ, rRow)
+	b.Bge(rDiff, 0, "posd")
+	b.Sub(rDiff, 0, rDiff)
+	b.Label("posd")
+	b.Sub(rCD, rCol, rC)
+	b.Beq(rDiff, rCD, "unsafe")
+	b.Addi(rC, rC, 1)
+	b.Jmp("safeloop")
+	b.Label("safe")
+	// cols[col] = row; place(col+1).
+	b.Ldi(rAddr, cols)
+	b.Add(rAddr, rAddr, rCol)
+	b.St(rRow, rAddr, 0)
+	b.St(rRow, rSP, 2)
+	b.Addi(rCol, rCol, 1)
+	b.Jal(rRA, "place")
+	b.Ld(rCol, rSP, 1)
+	b.Ld(rRow, rSP, 2)
+	b.Label("unsafe")
+	b.Addi(rRow, rRow, 1)
+	b.Jmp("rowloop")
+	b.Label("ret")
+	b.Ld(rRA, rSP, 0)
+	b.Ld(rCol, rSP, 1)
+	b.Addi(rSP, rSP, 3)
+	b.Jr(rRA)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,125 @@
+package confidence
+
+import "testing"
+
+func TestResettingSaturationThreshold(t *testing.T) {
+	r := NewResetting(8, 3)
+	pc := 5
+	if r.Confident(pc, true) {
+		t.Error("cold counter confident")
+	}
+	// Six corrects: counter 6 < 7, still unconfident.
+	for i := 0; i < 6; i++ {
+		r.Update(pc, true)
+	}
+	if r.Confident(pc, true) {
+		t.Error("confident below saturation")
+	}
+	r.Update(pc, true) // 7 == max
+	if !r.Confident(pc, true) {
+		t.Error("not confident at saturation")
+	}
+	// Saturated counter stays saturated.
+	r.Update(pc, true)
+	if !r.Confident(pc, true) {
+		t.Error("saturation lost on further corrects")
+	}
+}
+
+func TestResettingResetsOnIncorrect(t *testing.T) {
+	r := NewResetting(8, 3)
+	pc := 9
+	for i := 0; i < 7; i++ {
+		r.Update(pc, true)
+	}
+	r.Update(pc, false)
+	if r.Confident(pc, true) {
+		t.Error("confident right after a misprediction")
+	}
+	// Needs the full run of corrects again.
+	for i := 0; i < 6; i++ {
+		r.Update(pc, true)
+	}
+	if r.Confident(pc, true) {
+		t.Error("confident before re-saturating")
+	}
+	r.Update(pc, true)
+	if !r.Confident(pc, true) {
+		t.Error("did not re-saturate")
+	}
+}
+
+func TestResettingIndependentPCs(t *testing.T) {
+	r := NewResetting(8, 3)
+	for i := 0; i < 7; i++ {
+		r.Update(1, true)
+	}
+	if r.Confident(2, true) {
+		t.Error("confidence leaked across PCs")
+	}
+	// PCs separated by the table size alias.
+	if !r.Confident(1+256, true) {
+		t.Error("aliased PCs should share a counter (8-bit table)")
+	}
+}
+
+func TestResettingReset(t *testing.T) {
+	r := NewResetting(8, 3)
+	for i := 0; i < 7; i++ {
+		r.Update(3, true)
+	}
+	r.Reset()
+	if r.Confident(3, true) {
+		t.Error("confidence survives Reset")
+	}
+}
+
+func TestResettingMax(t *testing.T) {
+	if got := NewResetting(8, 3).Max(); got != 7 {
+		t.Errorf("Max() = %d, want 7", got)
+	}
+	if got := Default().Max(); got != 7 {
+		t.Errorf("Default().Max() = %d, want 7 (3-bit)", got)
+	}
+}
+
+func TestResettingPanicsOnBadWidth(t *testing.T) {
+	for _, bits := range []uint{0, 8} {
+		func() {
+			defer func() { recover() }()
+			NewResetting(8, bits)
+			t.Errorf("NewResetting(8, %d) did not panic", bits)
+		}()
+	}
+}
+
+func TestOracle(t *testing.T) {
+	var o Oracle
+	if !o.Confident(1, true) || o.Confident(1, false) {
+		t.Error("oracle must mirror the ground truth")
+	}
+	o.Update(1, false) // no-op
+	o.Reset()
+}
+
+func TestAlwaysAndNever(t *testing.T) {
+	var a Always
+	var n Never
+	if !a.Confident(1, false) {
+		t.Error("Always not confident")
+	}
+	if n.Confident(1, true) {
+		t.Error("Never confident")
+	}
+	a.Update(1, true)
+	n.Update(1, true)
+	a.Reset()
+	n.Reset()
+}
+
+func TestScripted(t *testing.T) {
+	s := &Scripted{PCs: map[int]bool{7: true}}
+	if !s.Confident(7, false) || s.Confident(8, true) {
+		t.Error("scripted confidence wrong")
+	}
+}

@@ -1,0 +1,18 @@
+package confidence
+
+// Scripted is confident exactly for the listed PCs; used for controlled
+// experiments such as the paper's Fig. 1 scenarios.
+type Scripted struct {
+	PCs map[int]bool
+}
+
+var _ Estimator = (*Scripted)(nil)
+
+// Confident implements Estimator.
+func (s *Scripted) Confident(pc int, willBeCorrect bool) bool { return s.PCs[pc] }
+
+// Update implements Estimator.
+func (s *Scripted) Update(pc int, correct bool) {}
+
+// Reset implements Estimator.
+func (s *Scripted) Reset() {}

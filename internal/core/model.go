@@ -1,0 +1,406 @@
+// Package core defines the speculative-execution model — the paper's primary
+// contribution (Section 4): a formal, complete description of how value
+// speculation manifests in a dynamically-scheduled microarchitecture.
+//
+// A Model combines two kinds of parameters:
+//
+//   - model variables: which mechanism implements wakeup, selection,
+//     verification, invalidation, and branch/memory resolution; and
+//   - latency variables: the cycles between the microarchitectural events
+//     that value speculation introduces (execution, equality, verification,
+//     invalidation, resource release, reissue, and the release of branch and
+//     memory instructions).
+//
+// The paper's three example models — Super, Great and Good — are provided as
+// presets; arbitrary points in the design space can be described by filling
+// in a Model by hand. The timing simulator in internal/cpu consumes a Model
+// verbatim, so an experiment is reproducible from its Model alone.
+//
+// # Value states
+//
+// Value speculation extends the classic valid/invalid operand readiness to
+// four states (Section 2.2): a value is predicted when it comes straight
+// from the value predictor, speculative when it is the result of a
+// computation that consumed at least one predicted or speculative input,
+// valid when it is read from architected state or computed from only valid
+// inputs, and invalid when it is not available at all.
+//
+// # Invalidation filtering
+//
+// One simulator-level refinement is documented here because it affects
+// semantics: an invalidation wave carries the corrected value and nullifies
+// only consumers whose captured operand differs from it (value-based
+// invalidation filtering). Consumers that speculatively captured a value
+// that turns out to equal the corrected one are verified rather than
+// squashed. This matches value-equality hardware, which compares full
+// values, and avoids the measure-zero modeling question of coincidental
+// matches between wrong inputs and correct outputs.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueState is the readiness state of an operand or result; the 2-bit ready
+// field of the paper's extended reservation station.
+type ValueState uint8
+
+// The four value states, ordered by increasing certainty.
+const (
+	StateInvalid     ValueState = iota // not available
+	StatePredicted                     // obtained directly from the value predictor
+	StateSpeculative                   // computed from at least one predicted/speculative input
+	StateValid                         // architected or computed from only valid inputs
+)
+
+func (s ValueState) String() string {
+	switch s {
+	case StateInvalid:
+		return "invalid"
+	case StatePredicted:
+		return "predicted"
+	case StateSpeculative:
+		return "speculative"
+	case StateValid:
+		return "valid"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Available reports whether an operand in state s can feed a speculative
+// execution (anything but invalid).
+func (s ValueState) Available() bool { return s != StateInvalid }
+
+// Speculative reports whether an operand in state s would taint its
+// consumer's result.
+func (s ValueState) Speculative() bool { return s == StatePredicted || s == StateSpeculative }
+
+// VerificationScheme selects how correct predictions propagate validity to
+// direct and indirect successors (Section 3.2).
+type VerificationScheme uint8
+
+// Verification schemes.
+const (
+	// VerifyParallel is the flattened-hierarchical verification network:
+	// all direct and indirect successors of a correctly predicted
+	// instruction are validated in parallel. The highest-potential and
+	// highest-cost scheme; the paper's default.
+	VerifyParallel VerificationScheme = iota
+	// VerifyHierarchical validates one dependence level per cycle using the
+	// tag-broadcast wakeup mechanism.
+	VerifyHierarchical
+	// VerifyRetirement overloads the retirement mechanism: only the
+	// retire-width oldest instructions can be validated each cycle.
+	VerifyRetirement
+	// VerifyHybrid combines retirement-based release with hierarchical
+	// misprediction detection: validity propagates hierarchically, and in
+	// addition the oldest instructions are validated by retirement.
+	VerifyHybrid
+)
+
+func (v VerificationScheme) String() string {
+	switch v {
+	case VerifyParallel:
+		return "parallel"
+	case VerifyHierarchical:
+		return "hierarchical"
+	case VerifyRetirement:
+		return "retirement"
+	case VerifyHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("verification(%d)", uint8(v))
+}
+
+// InvalidationScheme selects how mispredictions reach successors
+// (Section 3.1).
+type InvalidationScheme uint8
+
+// Invalidation schemes.
+const (
+	// InvalidateParallel nullifies all direct and indirect successors in
+	// parallel (flattened-hierarchical); the paper's default.
+	InvalidateParallel InvalidationScheme = iota
+	// InvalidateHierarchical nullifies one dependence level per cycle.
+	InvalidateHierarchical
+	// InvalidateComplete treats a value misprediction like a branch
+	// misprediction: every instruction younger than the mispredicted one is
+	// squashed and refetched.
+	InvalidateComplete
+)
+
+func (i InvalidationScheme) String() string {
+	switch i {
+	case InvalidateParallel:
+		return "parallel"
+	case InvalidateHierarchical:
+		return "hierarchical"
+	case InvalidateComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("invalidation(%d)", uint8(i))
+}
+
+// ResolutionPolicy selects whether branch or memory instructions may resolve
+// with speculative operands (Sections 3.2, 3.4).
+type ResolutionPolicy uint8
+
+// Resolution policies.
+const (
+	// ResolveValidOnly delays resolution until every input operand is
+	// valid; the paper's default for both branches and memory.
+	ResolveValidOnly ResolutionPolicy = iota
+	// ResolveSpeculative allows resolution with predicted or speculative
+	// operands (Sodani–Sohi's alternative); a wrong speculative branch
+	// resolution is repaired when the operands become valid.
+	ResolveSpeculative
+)
+
+func (r ResolutionPolicy) String() string {
+	switch r {
+	case ResolveValidOnly:
+		return "valid-only"
+	case ResolveSpeculative:
+		return "speculative"
+	}
+	return fmt.Sprintf("resolution(%d)", uint8(r))
+}
+
+// WakeupPolicy selects when a nullified instruction may wake up again
+// (Section 3.4, the Sodani-Sohi comparison of wakeup schemes).
+type WakeupPolicy uint8
+
+// Wakeup policies.
+const (
+	// WakeupAnyValue wakes an instruction whenever a new value for an
+	// operand arrives, even if the operand is still speculative
+	// (Rotenberg et al.); a misspeculated instruction may reissue quickly
+	// but also needlessly. The paper's default.
+	WakeupAnyValue WakeupPolicy = iota
+	// WakeupLimited allows at most two executions (Lipasti et al.): after
+	// the second, the instruction waits until all of its operands are
+	// valid.
+	WakeupLimited
+)
+
+func (w WakeupPolicy) String() string {
+	switch w {
+	case WakeupAnyValue:
+		return "any-value"
+	case WakeupLimited:
+		return "limited"
+	}
+	return fmt.Sprintf("wakeup(%d)", uint8(w))
+}
+
+// SelectionPolicy selects how issue slots are granted among ready
+// instructions (Section 3.5).
+type SelectionPolicy uint8
+
+// Selection policies.
+const (
+	// SelectNonSpecFirst gives branches and loads priority, prefers
+	// non-speculative instructions over speculative ones, and breaks ties
+	// oldest-first. The paper's scheme.
+	SelectNonSpecFirst SelectionPolicy = iota
+	// SelectOldestFirst ignores the speculative state of operands: within
+	// each class group, strictly oldest-first.
+	SelectOldestFirst
+)
+
+func (s SelectionPolicy) String() string {
+	switch s {
+	case SelectNonSpecFirst:
+		return "nonspec-first"
+	case SelectOldestFirst:
+		return "oldest-first"
+	}
+	return fmt.Sprintf("selection(%d)", uint8(s))
+}
+
+// Latencies are the paper's latency variables (Section 4), each measured in
+// cycles from the end of the first event to the end of the second.
+// Execution–Equality is folded into the two events it gates, exactly as the
+// paper's Section 4.1 table reports them.
+type Latencies struct {
+	// ExecEqInvalidate is Execution–Equality–Invalidation: cycles from the
+	// end of an execution until the successors of a detected misprediction
+	// are nullified.
+	ExecEqInvalidate int
+	// ExecEqVerify is Execution–Equality–Verification: cycles from the end
+	// of an execution until the successors of a confirmed prediction are
+	// validated.
+	ExecEqVerify int
+	// VerifyFreeIssue is Verification–Free Issue Resource: cycles after an
+	// instruction is verified before its reservation station is released.
+	VerifyFreeIssue int
+	// VerifyFreeRetire is Verification–Free Retirement Resource: cycles
+	// after an instruction is verified before its reorder-buffer entry is
+	// released.
+	VerifyFreeRetire int
+	// InvalidateReissue is Invalidation–Reissue: cycles after an
+	// instruction is invalidated before it may reissue.
+	InvalidateReissue int
+	// VerifyBranch is Verification–Branch: cycles after the inputs of a
+	// branch are verified before the branch can issue, when its inputs had
+	// been speculative.
+	VerifyBranch int
+	// VerifyAddrMem is Verification Address–Memory Access: cycles after the
+	// verification of a speculative address before the access may issue.
+	VerifyAddrMem int
+}
+
+// Validate checks the latency variables for consistency. Resource-release
+// latencies must be at least one cycle: in the paper's microarchitecture,
+// resources cannot be freed earlier than the cycle following the completion
+// of an instruction.
+func (l Latencies) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"ExecEqInvalidate", l.ExecEqInvalidate},
+		{"ExecEqVerify", l.ExecEqVerify},
+		{"InvalidateReissue", l.InvalidateReissue},
+		{"VerifyBranch", l.VerifyBranch},
+		{"VerifyAddrMem", l.VerifyAddrMem},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("core: latency %s must be non-negative, got %d", f.name, f.v)
+		}
+	}
+	if l.VerifyFreeIssue < 1 || l.VerifyFreeRetire < 1 {
+		return fmt.Errorf("core: resource-release latencies must be >= 1 (got issue=%d retire=%d)",
+			l.VerifyFreeIssue, l.VerifyFreeRetire)
+	}
+	return nil
+}
+
+// Model is a complete speculative-execution model: the set of model
+// variables plus the latency variables. The zero value is not a valid model;
+// start from a preset or fill in every field.
+type Model struct {
+	Name string
+	Lat  Latencies
+
+	Verification     VerificationScheme
+	Invalidation     InvalidationScheme
+	BranchResolution ResolutionPolicy
+	MemResolution    ResolutionPolicy
+	Wakeup           WakeupPolicy
+	Selection        SelectionPolicy
+
+	// ForwardSpeculative selects whether speculative results are forwarded
+	// to dependents (the paper's choice, highest potential) or held back
+	// (Rychlik et al.'s implementation-friendly alternative).
+	ForwardSpeculative bool
+}
+
+// Validate checks the model for consistency.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("core: model must be named")
+	}
+	if err := m.Lat.Validate(); err != nil {
+		return fmt.Errorf("model %s: %w", m.Name, err)
+	}
+	return nil
+}
+
+// Super is the paper's most optimistic model: zero-cycle
+// equality/verification/invalidation, zero-cycle reissue, and zero-cycle
+// release of branch and memory instructions.
+func Super() Model {
+	return Model{
+		Name: "super",
+		Lat: Latencies{
+			ExecEqInvalidate:  0,
+			ExecEqVerify:      0,
+			VerifyFreeIssue:   1,
+			VerifyFreeRetire:  1,
+			InvalidateReissue: 0,
+			VerifyBranch:      0,
+			VerifyAddrMem:     0,
+		},
+		Verification:       VerifyParallel,
+		Invalidation:       InvalidateParallel,
+		BranchResolution:   ResolveValidOnly,
+		MemResolution:      ResolveValidOnly,
+		ForwardSpeculative: true,
+	}
+}
+
+// Great differs from Super by one-cycle reissue and one-cycle release of
+// branch and memory instructions.
+func Great() Model {
+	m := Super()
+	m.Name = "great"
+	m.Lat.InvalidateReissue = 1
+	m.Lat.VerifyBranch = 1
+	m.Lat.VerifyAddrMem = 1
+	return m
+}
+
+// Good is the paper's most pessimistic example model: like Great, but with
+// one-cycle equality–verification and equality–invalidation.
+func Good() Model {
+	m := Great()
+	m.Name = "good"
+	m.Lat.ExecEqInvalidate = 1
+	m.Lat.ExecEqVerify = 1
+	return m
+}
+
+// Presets returns the paper's three example models in optimism order.
+func Presets() []Model { return []Model{Super(), Great(), Good()} }
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Model, error) {
+	for _, m := range Presets() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("core: unknown model %q (want super, great or good)", name)
+}
+
+// Table renders the latency variables of the given models side by side in
+// the format of the paper's Section 4.1 table.
+func Table(models ...Model) string {
+	rows := []struct {
+		label string
+		get   func(Latencies) int
+	}{
+		{"Execution-Equality-Invalidation", func(l Latencies) int { return l.ExecEqInvalidate }},
+		{"Execution-Equality-Verification", func(l Latencies) int { return l.ExecEqVerify }},
+		{"Verification-Free Issue Resource", func(l Latencies) int { return l.VerifyFreeIssue }},
+		{"Verification-Free Retirement Res.", func(l Latencies) int { return l.VerifyFreeRetire }},
+		{"Invalidation-Reissue", func(l Latencies) int { return l.InvalidateReissue }},
+		{"Verification-Branch", func(l Latencies) int { return l.VerifyBranch }},
+		{"Verification Address-Mem. Access", func(l Latencies) int { return l.VerifyAddrMem }},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s", "Latency Variable")
+	for _, m := range models {
+		fmt.Fprintf(&b, " %8s", m.Name)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s", r.label)
+		for _, m := range models {
+			fmt.Fprintf(&b, " %8d", r.get(m.Lat))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String summarizes the model on one line.
+func (m Model) String() string {
+	return fmt.Sprintf("%s{eqInv=%d eqVer=%d freeIss=%d freeRet=%d reissue=%d br=%d mem=%d ver=%s inv=%s brRes=%s memRes=%s wake=%s sel=%s fwd=%t}",
+		m.Name, m.Lat.ExecEqInvalidate, m.Lat.ExecEqVerify, m.Lat.VerifyFreeIssue, m.Lat.VerifyFreeRetire,
+		m.Lat.InvalidateReissue, m.Lat.VerifyBranch, m.Lat.VerifyAddrMem,
+		m.Verification, m.Invalidation, m.BranchResolution, m.MemResolution,
+		m.Wakeup, m.Selection, m.ForwardSpeculative)
+}

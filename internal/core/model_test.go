@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetLatencies pins the paper's Section 4.1 table exactly.
+func TestPresetLatencies(t *testing.T) {
+	cases := []struct {
+		model Model
+		want  Latencies
+	}{
+		{Super(), Latencies{0, 0, 1, 1, 0, 0, 0}},
+		{Great(), Latencies{0, 0, 1, 1, 1, 1, 1}},
+		{Good(), Latencies{1, 1, 1, 1, 1, 1, 1}},
+	}
+	for _, c := range cases {
+		if c.model.Lat != c.want {
+			t.Errorf("%s latencies = %+v, want %+v", c.model.Name, c.model.Lat, c.want)
+		}
+	}
+}
+
+func TestPresetModelVariables(t *testing.T) {
+	for _, m := range Presets() {
+		if m.Verification != VerifyParallel || m.Invalidation != InvalidateParallel {
+			t.Errorf("%s: presets use the parallel verification network", m.Name)
+		}
+		if m.BranchResolution != ResolveValidOnly || m.MemResolution != ResolveValidOnly {
+			t.Errorf("%s: presets resolve branches and memory with valid operands only", m.Name)
+		}
+		if !m.ForwardSpeculative {
+			t.Errorf("%s: presets forward speculative values", m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPresetOrder(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 || ps[0].Name != "super" || ps[1].Name != "great" || ps[2].Name != "good" {
+		t.Errorf("Presets() = %v", ps)
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	m, err := PresetByName("great")
+	if err != nil || m.Name != "great" {
+		t.Errorf("PresetByName(great) = %v, %v", m.Name, err)
+	}
+	if _, err := PresetByName("excellent"); err == nil {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Model{
+		{}, // unnamed
+		{Name: "neg", Lat: Latencies{ExecEqVerify: -1, VerifyFreeIssue: 1, VerifyFreeRetire: 1}},
+		{Name: "free0", Lat: Latencies{VerifyFreeIssue: 0, VerifyFreeRetire: 1}},
+		{Name: "free0r", Lat: Latencies{VerifyFreeIssue: 1, VerifyFreeRetire: 0}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v validated", m)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table(Presets()...)
+	for _, want := range []string{
+		"super", "great", "good",
+		"Execution-Equality-Invalidation",
+		"Verification Address-Mem. Access",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The good column of the first row is 1; super and great are 0.
+	line := strings.SplitN(out, "\n", 3)[1]
+	if !strings.Contains(strings.Join(strings.Fields(line), " "), "0 0 1") {
+		t.Errorf("first latency row = %q, want super/great/good = 0 0 1", line)
+	}
+}
+
+func TestValueStateHelpers(t *testing.T) {
+	if StateInvalid.Available() {
+		t.Error("invalid is available")
+	}
+	for _, s := range []ValueState{StatePredicted, StateSpeculative, StateValid} {
+		if !s.Available() {
+			t.Errorf("%v not available", s)
+		}
+	}
+	if !StatePredicted.Speculative() || !StateSpeculative.Speculative() {
+		t.Error("predicted/speculative not speculative")
+	}
+	if StateValid.Speculative() || StateInvalid.Speculative() {
+		t.Error("valid/invalid speculative")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	names := []string{
+		StateInvalid.String(), StatePredicted.String(), StateSpeculative.String(), StateValid.String(),
+		VerifyParallel.String(), VerifyHierarchical.String(), VerifyRetirement.String(), VerifyHybrid.String(),
+		InvalidateParallel.String(), InvalidateHierarchical.String(), InvalidateComplete.String(),
+		ResolveValidOnly.String(), ResolveSpeculative.String(),
+	}
+	for _, n := range names {
+		if n == "" || strings.Contains(n, "(") {
+			t.Errorf("missing enum name: %q", n)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	s := Great().String()
+	for _, want := range []string{"great", "reissue=1", "br=1", "valid-only"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Model.String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package cpu implements the dynamically-scheduled superscalar timing
+// simulator that the speculative-execution model of internal/core plugs
+// into. The microarchitecture follows the paper's Section 2: a Register
+// Update Unit-style unified issue/retirement instruction window, wakeup and
+// selection logic that prioritizes branches and loads and then the oldest
+// instruction (preferring non-speculative over speculative candidates), a
+// load/store queue as large as the window with single-cycle store-to-load
+// forwarding, a perfect load-hit predictor, gshare branch prediction with an
+// ideal fetch engine, and the memory hierarchy of internal/mem.
+//
+// Value speculation (Section 2.2) adds a value predictor with confidence
+// estimation, predicted/speculative operand states, a verification network
+// for flattened-hierarchical (parallel) verification and selective
+// invalidation, and the latency events of the core.Model.
+//
+// # Timing conventions
+//
+// All stamps are cycle numbers. An execution selected in cycle s with
+// latency L finishes during cycle s+L-1 ("doneCycle"); its result is written
+// to the reservation stations during the following cycle (the paper's
+// write/verification stage, W = doneCycle+1) and a bypassed consumer may
+// issue at W. Equality outcomes become actionable at W plus the model's
+// Execution-Equality-Verification or -Invalidation latency. Resources are
+// released Verification-Free-Resource cycles after an instruction's output
+// is known valid, which reproduces the base machine's "no release earlier
+// than the cycle after completion".
+package cpu
+
+import (
+	"fmt"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/mem"
+	"valuespec/internal/vpred"
+)
+
+// UpdateTiming selects when the value predictor is trained (Section 5.2).
+type UpdateTiming uint8
+
+// Update timings.
+const (
+	// UpdateImmediate trains the predictor with the correct value right
+	// after each prediction ("I").
+	UpdateImmediate UpdateTiming = iota
+	// UpdateDelayed trains the prediction table at retirement; the history
+	// table is updated speculatively with the prediction at prediction time
+	// ("D").
+	UpdateDelayed
+)
+
+func (u UpdateTiming) String() string {
+	if u == UpdateImmediate {
+		return "I"
+	}
+	return "D"
+}
+
+// Config describes one processor configuration.
+type Config struct {
+	// IssueWidth is the peak number of instructions selected for issue per
+	// cycle; it is also the fetch and retirement bandwidth.
+	IssueWidth int
+	// WindowSize is the number of reservation stations in the unified
+	// issue/retirement window; the load/store queue has the same size.
+	WindowSize int
+	// DCachePorts limits data-cache accesses per cycle; the paper uses half
+	// the issue width. Zero selects IssueWidth/2.
+	DCachePorts int
+	// Mem configures the cache hierarchy; the zero value selects the
+	// paper's parameters.
+	Mem mem.HierarchyConfig
+	// BranchHistoryBits sizes the gshare predictor; zero selects the
+	// paper's 16 bits / 64K counters.
+	BranchHistoryBits uint
+	// PerfectBranches replaces gshare with an oracle that never
+	// mispredicts conditional branches; used to isolate value-speculation
+	// effects from branch quality.
+	PerfectBranches bool
+	// MaxCycles aborts the simulation if it runs this many cycles without
+	// finishing; zero selects a generous default. A deadlocked simulation
+	// (a modeling bug) returns an error instead of spinning forever.
+	MaxCycles int64
+}
+
+// Normalize fills defaulted fields.
+func (c Config) Normalize() Config {
+	if c.DCachePorts == 0 {
+		c.DCachePorts = c.IssueWidth / 2
+		if c.DCachePorts == 0 {
+			c.DCachePorts = 1
+		}
+	}
+	if c.Mem.L1I.SizeBytes == 0 {
+		c.Mem = mem.DefaultHierarchyConfig()
+	}
+	if c.BranchHistoryBits == 0 {
+		c.BranchHistoryBits = 16
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 1 << 40
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("cpu: IssueWidth must be positive, got %d", c.IssueWidth)
+	}
+	if c.WindowSize <= 0 {
+		return fmt.Errorf("cpu: WindowSize must be positive, got %d", c.WindowSize)
+	}
+	if c.WindowSize < c.IssueWidth {
+		return fmt.Errorf("cpu: WindowSize %d smaller than IssueWidth %d", c.WindowSize, c.IssueWidth)
+	}
+	return nil
+}
+
+// Config4x24, Config8x48 and Config16x96 return the paper's three processor
+// configurations (issue width / window size).
+func Config4x24() Config  { return Config{IssueWidth: 4, WindowSize: 24} }
+func Config8x48() Config  { return Config{IssueWidth: 8, WindowSize: 48} }
+func Config16x96() Config { return Config{IssueWidth: 16, WindowSize: 96} }
+
+// PaperConfigs returns the three width/window configurations of Section 6.
+func PaperConfigs() []Config {
+	return []Config{Config4x24(), Config8x48(), Config16x96()}
+}
+
+// SpecOptions configures value speculation. A nil *SpecOptions (or Enabled
+// false) simulates the base processor.
+type SpecOptions struct {
+	Enabled bool
+	// Model is the speculative-execution model under test.
+	Model core.Model
+	// Predictor supplies value predictions; nil selects the paper's FCM.
+	Predictor vpred.Predictor
+	// Confidence gates speculation; nil selects the paper's 3-bit resetting
+	// counters.
+	Confidence confidence.Estimator
+	// Update selects immediate or delayed predictor training.
+	Update UpdateTiming
+	// Predictable restricts which operations are value-predicted; nil
+	// predicts every register-writing instruction (the paper's setup).
+	// Lipasti's original load-value prediction corresponds to
+	// func(op isa.Op) bool { return op == isa.LD }.
+	Predictable func(op isa.Op) bool
+}
+
+// Normalize fills defaulted fields.
+func (s *SpecOptions) Normalize() *SpecOptions {
+	if s == nil || !s.Enabled {
+		return nil
+	}
+	out := *s
+	if out.Predictor == nil {
+		out.Predictor = vpred.NewFCM(vpred.DefaultFCMConfig())
+	}
+	if out.Confidence == nil {
+		out.Confidence = confidence.Default()
+	}
+	return &out
+}

@@ -1,0 +1,400 @@
+package cpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/emu"
+	"valuespec/internal/isa"
+	"valuespec/internal/program"
+	"valuespec/internal/trace"
+	"valuespec/internal/vpred"
+)
+
+func TestMaxCyclesAborts(t *testing.T) {
+	// A generous stream with a 1-cycle budget must abort, not spin.
+	recs := chainN(4)
+	cfg := flatMemConfig(Config4x24())
+	cfg.MaxCycles = 1
+	p, err := New(cfg, nil, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Errorf("Run with 1-cycle budget: err = %v", err)
+	}
+}
+
+func TestWindowWraparoundStress(t *testing.T) {
+	// Thousands of instructions through a tiny ring exercise slot reuse,
+	// producer-age guards and event-token invalidation together.
+	var recs []trace.Record
+	val := int64(1)
+	for i := 0; i < 3000; i++ {
+		src := isa.Reg(1 + (i+1)%3)
+		dst := isa.Reg(1 + i%3)
+		recs = append(recs, trace.Record{
+			Seq: int64(i), PC: i % 7,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: dst, Src1: src, Src2: src},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{src, src},
+			SrcVals: [2]int64{val, val},
+			DstVal:  val * 2,
+			NextPC:  i + 1,
+		})
+		val = (val*2)%1000 + 1
+	}
+	spec := &SpecOptions{
+		Enabled:    true,
+		Model:      core.Good(),
+		Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 8, PredictionBits: 8, HistoryDepth: 4}),
+		Confidence: confidence.Always{},
+	}
+	cfg := flatMemConfig(Config{IssueWidth: 2, WindowSize: 5})
+	p, err := New(cfg, spec, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 3000 {
+		t.Errorf("retired %d of 3000", st.Retired)
+	}
+}
+
+func TestSpeculativeStoreForwarding(t *testing.T) {
+	// Under speculative memory resolution, a load may forward data that is
+	// still predicted; if the prediction was wrong the load must be
+	// nullified through the memory dependence, not just the register
+	// dependence.
+	recs := []trace.Record{
+		{ // predicted producer of the store data (wrong prediction)
+			Seq: 0, PC: 0,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 10, Src2: 10},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 10},
+			SrcVals: [2]int64{5, 5},
+			DstVal:  10,
+			NextPC:  1,
+		},
+		{ // store r1 -> [100]
+			Seq: 1, PC: 1,
+			Instr:   isa.Instruction{Op: isa.ST, Src1: 11, Src2: 1},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{11, 1},
+			SrcVals: [2]int64{100, 10},
+			Addr:    100,
+			NextPC:  2,
+		},
+		{ // load [100]
+			Seq: 2, PC: 2,
+			Instr:   isa.Instruction{Op: isa.LD, Dst: 2, Src1: 11},
+			NSrc:    1,
+			SrcRegs: [2]isa.Reg{11},
+			SrcVals: [2]int64{100},
+			Addr:    100,
+			DstVal:  10,
+			NextPC:  3,
+		},
+		{ // consumer of the load
+			Seq: 3, PC: 3,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 3, Src1: 2, Src2: 2},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{2, 2},
+			SrcVals: [2]int64{10, 10},
+			DstVal:  20,
+			NextPC:  4,
+		},
+	}
+	m := core.Great()
+	m.MemResolution = core.ResolveSpeculative
+	m.Lat.ExecEqInvalidate = 3 // let the wrong value reach the load first
+	st, _ := runChain(t, m, recs, map[int]int64{0: 999}, map[int]bool{0: true})
+	if st.StoreForwards == 0 {
+		t.Error("no forwarding occurred")
+	}
+	if st.Nullified == 0 {
+		t.Error("wrong forwarded data was never invalidated")
+	}
+}
+
+func TestJRWithSpeculativeOperandWaitsForValid(t *testing.T) {
+	// An indirect jump consuming a predicted value must wait for validity
+	// (branch resolution is valid-only), adding the Verification-Branch
+	// latency under Great.
+	recs := []trace.Record{
+		{
+			Seq: 0, PC: 0,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 10, Src2: 10},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 10},
+			SrcVals: [2]int64{1, 1},
+			DstVal:  2,
+			NextPC:  1,
+		},
+		{
+			Seq: 1, PC: 1,
+			Instr:   isa.Instruction{Op: isa.JR, Src1: 1},
+			NSrc:    1,
+			SrcRegs: [2]isa.Reg{1},
+			SrcVals: [2]int64{2},
+			Taken:   true,
+			NextPC:  2,
+		},
+		{
+			Seq: 2, PC: 2,
+			Instr:  isa.Instruction{Op: isa.HALT},
+			NextPC: 3,
+		},
+	}
+	preds := map[int]int64{0: 2}
+	conf := map[int]bool{0: true}
+	stS, _ := runChain(t, core.Super(), recs, preds, conf)
+	stG, _ := runChain(t, core.Great(), recs, preds, conf)
+	if got := stG.Cycles - stS.Cycles; got != 1 {
+		t.Errorf("JR Verification-Branch cost = %d, want 1", got)
+	}
+}
+
+func TestHierarchicalWaveReachesDeepChains(t *testing.T) {
+	// Hierarchical invalidation walks one level per cycle but must still
+	// reach every consumer: same nullified set as the parallel wave on a
+	// chain deep enough to need several continuation events.
+	recs := chainN(12)
+	preds := map[int]int64{0: recs[0].DstVal + 1}
+	conf := map[int]bool{0: true}
+	m := core.Great()
+	m.Invalidation = core.InvalidateHierarchical
+	m.Lat.ExecEqInvalidate = 6 // let the wrong value spread far first
+	st, _ := runChain(t, m, recs, preds, conf)
+	if st.Nullified < 5 {
+		t.Errorf("hierarchical wave nullified only %d entries", st.Nullified)
+	}
+	if st.Retired != 12 {
+		t.Errorf("retired %d of 12", st.Retired)
+	}
+}
+
+func TestObserverVerifyAndInvalidateEvents(t *testing.T) {
+	// Correct prediction emits EvVerify for the root; wrong prediction
+	// emits EvInvalidate for the consumer.
+	recs := chainN(2)
+	_, logOK := runChain(t, core.Great(), recs, map[int]int64{0: recs[0].DstVal}, map[int]bool{0: true})
+	_, logBad := runChain(t, core.Great(), recs, map[int]int64{0: recs[0].DstVal + 5}, map[int]bool{0: true})
+	count := func(log *EventLog, k EventKind) int {
+		n := 0
+		for _, ev := range log.Events {
+			if ev.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	if count(logOK, EvVerify) == 0 {
+		t.Error("no verify event on a correct prediction")
+	}
+	if count(logOK, EvInvalidate) != 0 {
+		t.Error("invalidate event on a correct prediction")
+	}
+	if count(logBad, EvInvalidate) == 0 {
+		t.Error("no invalidate event on a wrong prediction")
+	}
+}
+
+func TestStoreRetireNeedsPort(t *testing.T) {
+	// With one port, many independent stores retire at most one per cycle.
+	var recs []trace.Record
+	for i := 0; i < 6; i++ {
+		recs = append(recs, trace.Record{
+			Seq: int64(i), PC: i,
+			Instr:   isa.Instruction{Op: isa.ST, Src1: 10, Src2: 11, Imm: int64(i)},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 11},
+			SrcVals: [2]int64{64, 7},
+			Addr:    64 + int64(i),
+			NextPC:  i + 1,
+		})
+	}
+	one := flatMemConfig(Config8x48())
+	one.DCachePorts = 1
+	four := flatMemConfig(Config8x48())
+	four.DCachePorts = 4
+	run := func(cfg Config) int64 {
+		p, err := New(cfg, nil, &trace.SliceSource{Records: recs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	if c1, c4 := run(one), run(four); c1 <= c4 {
+		t.Errorf("1-port stores (%d cycles) not slower than 4-port (%d)", c1, c4)
+	}
+}
+
+func TestEventLogBySeq(t *testing.T) {
+	recs := chainN(3)
+	_, log := runChain(t, core.Super(), recs, map[int]int64{}, map[int]bool{})
+	evs := log.BySeq(1)
+	if len(evs) == 0 {
+		t.Fatal("no events for seq 1")
+	}
+	for _, ev := range evs {
+		if ev.Seq != 1 {
+			t.Errorf("BySeq(1) returned seq %d", ev.Seq)
+		}
+	}
+}
+
+func TestOccupancyStat(t *testing.T) {
+	recs := chainN(10)
+	p, err := New(flatMemConfig(Config4x24()), nil, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := st.AvgOccupancy(); occ <= 0 || occ > 24 {
+		t.Errorf("average occupancy %.2f outside (0, window]", occ)
+	}
+}
+
+func TestTraceDrivenEqualsExecuteDriven(t *testing.T) {
+	// Simulating from a recorded binary trace must be cycle-identical to
+	// simulating from the live emulator: the pipeline consumes only the
+	// record stream.
+	prog, err := program.Assemble(`
+		ldi r1, 0
+		ldi r2, 64
+		ldi r3, 25
+	loop:
+		beq r3, r0, done
+		ld r4, (r2)
+		add r4, r4, r3
+		st r4, (r2)
+		addi r3, r3, -1
+		jmp loop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := emu.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteAll(&buf, live); err != nil {
+		t.Fatal(err)
+	}
+	reader, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live2, err := emu.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(src trace.Source) *Stats {
+		spec := &SpecOptions{Enabled: true, Model: core.Great(),
+			Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 8, PredictionBits: 8, HistoryDepth: 4}),
+			Confidence: confidence.NewResetting(8, 2)}
+		p, err := New(Config8x48(), spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	stLive := run(live2)
+	stTrace := run(reader)
+	if err := reader.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if stLive.Cycles != stTrace.Cycles || stLive.Retired != stTrace.Retired {
+		t.Errorf("trace-driven run differs: %d/%d cycles, %d/%d retired",
+			stTrace.Cycles, stLive.Cycles, stTrace.Retired, stLive.Retired)
+	}
+}
+
+func TestPerfectBranchesNeverMispredict(t *testing.T) {
+	// An unpredictable alternating branch: gshare must miss sometimes in
+	// the cold phase, the perfect front end never.
+	var recs []trace.Record
+	for i := 0; i < 40; i++ {
+		taken := i%2 == 0
+		next := i + 1
+		recs = append(recs, trace.Record{
+			Seq: int64(i), PC: i % 3,
+			Instr:   isa.Instruction{Op: isa.BNE, Src1: 10, Src2: 11, Target: next},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 11},
+			SrcVals: [2]int64{1, 2},
+			Taken:   taken,
+			NextPC:  next,
+		})
+	}
+	perfect := flatMemConfig(Config8x48())
+	perfect.PerfectBranches = true
+	real := flatMemConfig(Config8x48())
+
+	run := func(cfg Config) *Stats {
+		p, err := New(cfg, nil, &trace.SliceSource{Records: recs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	stP, stR := run(perfect), run(real)
+	if stP.BranchMispredicts != 0 {
+		t.Errorf("perfect front end mispredicted %d times", stP.BranchMispredicts)
+	}
+	if stR.BranchMispredicts == 0 {
+		t.Error("gshare never missed an adversarial pattern; the control is vacuous")
+	}
+	if stP.Cycles >= stR.Cycles {
+		t.Errorf("perfect branches (%d cycles) not faster than gshare (%d)", stP.Cycles, stR.Cycles)
+	}
+}
+
+func TestPredictableScopeFilter(t *testing.T) {
+	// With a loads-only filter, ALU instructions must not be predicted.
+	recs := chainN(6) // all ADDs
+	spec := &SpecOptions{
+		Enabled:     true,
+		Model:       core.Great(),
+		Predictor:   vpred.NewFCM(vpred.FCMConfig{HistoryBits: 8, PredictionBits: 8, HistoryDepth: 4}),
+		Confidence:  confidence.Always{},
+		Predictable: func(op isa.Op) bool { return op == isa.LD },
+	}
+	p, err := New(flatMemConfig(Config8x48()), spec, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Predictions != 0 {
+		t.Errorf("loads-only scope predicted %d ALU instructions", st.Predictions)
+	}
+}

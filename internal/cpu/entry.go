@@ -1,0 +1,181 @@
+package cpu
+
+import (
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/trace"
+)
+
+// never is a cycle stamp meaning "not yet"; real stamps are non-negative.
+const never int64 = -1
+
+// operand is one source operand of a reservation station: the 2-bit ready
+// state of the paper's extended RS plus the simulator-side bookkeeping that
+// lets the verification network act with value-based filtering.
+type operand struct {
+	reg isa.Reg
+
+	// Producer linkage. inWindow is false when the value was read from the
+	// architected register file at dispatch (always valid).
+	inWindow bool
+	prodIdx  int   // ring index of the producing entry
+	prodAge  int64 // age of the producer, to detect slot reuse
+
+	// Current value view, synced from the producer by the per-cycle sweep.
+	state   core.ValueState
+	correct bool  // ground truth: the held value is architecturally correct
+	ready   int64 // earliest cycle a consumer may issue using this value
+	validAt int64 // cycle the value became Valid (never until then)
+
+	// everSpec records whether the operand was ever predicted or
+	// speculative; the Verification-Branch and Verification-Address-Memory
+	// latencies only apply to operands that needed verification.
+	everSpec bool
+}
+
+// available reports whether the operand can feed an execution at cycle c
+// under the forwarding policy.
+func (o *operand) available(c int64, forwardSpec bool) bool {
+	if !o.state.Available() || o.ready == never || c < o.ready {
+		return false
+	}
+	if !forwardSpec && o.state == core.StateSpeculative {
+		return false
+	}
+	return true
+}
+
+// validBy reports whether the operand is Valid with validAt <= c.
+func (o *operand) validBy(c int64) bool {
+	return o.state == core.StateValid && o.validAt != never && o.validAt <= c
+}
+
+// entry is one reservation station in the unified instruction window.
+type entry struct {
+	used bool
+	idx  int   // ring index of this entry (fixed for its lifetime)
+	age  int64 // dispatch order, unique across the run
+	rec  trace.Record
+	cls  isa.Class
+
+	dispatchCycle int64
+	nsrc          int
+	src           [2]operand
+
+	// Value prediction of this entry's output.
+	vpMade    bool   // a prediction was made (register-writing instruction)
+	vpUsed    bool   // the prediction drove speculation (confident)
+	vpCorrect bool   // ground truth: predicted value == actual result
+	vpDead    bool   // equality exposed the prediction as wrong
+	vpValue   int64  // the predicted value
+	vpCookie  uint64 // predictor training cookie
+	replayed  bool   // re-dispatched after a squash (not re-predicted)
+
+	// Execution state. execToken invalidates stale completion and equality
+	// events after nullification.
+	issued        bool
+	inFlight      bool
+	execCount     int   // executions begun (for the limited-wakeup policy)
+	inFlightDone  int64 // doneCycle of the in-flight execution
+	inFlightClean bool
+	usedCorrect   [2]bool // ground truth of each operand value consumed at issue
+	execToken     int64
+	earliestIssue int64
+	wasNullified  bool
+
+	doneExec  bool  // latest execution has completed and broadcast
+	execClean bool  // that execution consumed only correct values
+	doneCycle int64 // cycle during which it completed
+	eqDone    bool  // equality outcome actionable (speculated predictions)
+	eqReady   int64 // cycle the equality outcome becomes actionable
+	usedSpec  bool  // some input was speculative when last issued
+
+	// Output view exposed to consumers; see broadcast and refreshOutput.
+	outState   core.ValueState
+	outCorrect bool
+	outReady   int64
+	validAt    int64 // cycle output became known-valid (never until then)
+
+	// Memory state. For loads, execution is address generation and the
+	// access is a separate phase; for stores, address generation is the
+	// only execution and the access happens at retirement.
+	agDone     bool
+	agCycle    int64 // cycle the generated address becomes usable
+	memStarted bool
+	memDone    bool
+	memDoneAt  int64
+	fwdStore   int64 // age of the forwarding store, never if from cache
+	fwdDataOK  bool  // ground truth of the value the access returned
+	fwdProdAge int64 // age of the forwarded data's producer, never if none
+
+	// Branch state.
+	resolved    bool
+	resolveAt   int64
+	brMispred   bool // gshare direction was wrong (conditional branches)
+	specResolve bool // resolved speculatively with wrong operands (ablation)
+
+	// retireAt is the earliest retirement cycle once the output is valid.
+	retireAt int64
+}
+
+func (e *entry) writesReg() bool { return isa.WritesReg(e.rec.Instr.Op) }
+
+// reset prepares a slot for a new dispatch.
+func (e *entry) reset() {
+	*e = entry{
+		inFlightDone:  never,
+		earliestIssue: never,
+		doneCycle:     never,
+		eqReady:       never,
+		outReady:      never,
+		validAt:       never,
+		agCycle:       never,
+		memDoneAt:     never,
+		fwdStore:      never,
+		fwdProdAge:    never,
+		resolveAt:     never,
+		retireAt:      never,
+	}
+}
+
+// nullify voids the effects of previous executions so the entry can wake up
+// again (the paper's nullification semantics), applying the
+// Invalidation-Reissue latency from cycle c.
+func (e *entry) nullify(c, reissueLat int64) {
+	e.issued = false
+	e.inFlight = false
+	e.execToken++
+	e.wasNullified = true
+	e.doneExec = false
+	e.execClean = false
+	e.doneCycle = never
+	e.eqDone = false
+	e.eqReady = never
+	e.validAt = never
+	e.retireAt = never
+	e.usedSpec = false
+	// Memory and branch work is redone after reissue.
+	e.agDone = false
+	e.agCycle = never
+	e.memStarted = false
+	e.memDone = false
+	e.memDoneAt = never
+	e.fwdStore = never
+	e.fwdDataOK = false
+	e.fwdProdAge = never
+	e.resolved = false
+	e.resolveAt = never
+	e.earliestIssue = maxi64(e.earliestIssue, c+reissueLat)
+	// Output view: if this entry's own prediction is still standing its
+	// consumers keep the predicted value; otherwise nothing is available
+	// until the re-execution broadcasts.
+	if e.vpUsed && !e.vpDead {
+		e.outState = core.StatePredicted
+		e.outCorrect = e.vpCorrect
+		e.outReady = e.dispatchCycle
+	} else {
+		e.outState = core.StateInvalid
+		e.outCorrect = false
+		e.outReady = never
+	}
+}

@@ -1,0 +1,188 @@
+package cpu
+
+import (
+	"testing"
+
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/trace"
+)
+
+// scriptedPredictor returns fixed predictions per PC; PCs without an entry
+// predict zero (which the scripted confidence marks unconfident).
+type scriptedPredictor struct{ preds map[int]int64 }
+
+func (s *scriptedPredictor) Lookup(pc int) (int64, uint64)                 { return s.preds[pc], 0 }
+func (s *scriptedPredictor) TrainImmediate(pc int, ck uint64, v int64)     {}
+func (s *scriptedPredictor) SpeculateHistory(pc int, pred int64)           {}
+func (s *scriptedPredictor) TrainDelayed(pc int, ck uint64, pred, v int64) {}
+func (s *scriptedPredictor) Reset()                                        {}
+
+// scriptedConfidence is confident exactly for the listed PCs.
+type scriptedConfidence struct{ conf map[int]bool }
+
+func (s *scriptedConfidence) Confident(pc int, willBeCorrect bool) bool { return s.conf[pc] }
+func (s *scriptedConfidence) Update(pc int, correct bool)               {}
+func (s *scriptedConfidence) Reset()                                    {}
+
+// chain3 builds the dynamic records for the paper's Fig. 1 example: three
+// single-cycle instructions forming a dependence chain (2 depends on 1, 3
+// depends on 2), all in the instruction window from the start.
+func chain3() []trace.Record {
+	add := func(seq int64, dst, src isa.Reg, srcVal, dstVal int64) trace.Record {
+		return trace.Record{
+			Seq: seq, PC: int(seq),
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: dst, Src1: src, Src2: src},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{src, src},
+			SrcVals: [2]int64{srcVal, srcVal},
+			DstVal:  dstVal,
+			NextPC:  int(seq) + 1,
+		}
+	}
+	return []trace.Record{
+		add(0, 1, 10, 1, 2), // r1 = r10 + r10 = 2
+		add(1, 2, 1, 2, 4),  // r2 = r1 + r1 = 4
+		add(2, 3, 2, 4, 8),  // r3 = r2 + r2 = 8
+	}
+}
+
+// runChain3 simulates the 3-chain under the given model. If mispredict is
+// true the predictions for instructions 1 and 2 are wrong; otherwise they
+// are correct. model == nil simulates the base processor.
+func runChain3(t *testing.T, model *core.Model, mispredict bool) *Stats {
+	t.Helper()
+	recs := chain3()
+	var spec *SpecOptions
+	if model != nil {
+		preds := map[int]int64{0: recs[0].DstVal, 1: recs[1].DstVal}
+		if mispredict {
+			preds[0] = recs[0].DstVal + 100
+			preds[1] = recs[1].DstVal + 100
+		}
+		spec = &SpecOptions{
+			Enabled:    true,
+			Model:      *model,
+			Predictor:  &scriptedPredictor{preds: preds},
+			Confidence: &scriptedConfidence{conf: map[int]bool{0: true, 1: true}},
+		}
+	}
+	p, err := New(flatMemConfig(Config4x24()), spec, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Retired != 3 {
+		t.Fatalf("retired %d instructions, want 3", st.Retired)
+	}
+	return st
+}
+
+// flatMemConfig removes memory-hierarchy latency (every level one cycle) so
+// timing tests observe pure pipeline behavior, as in the paper's Fig. 1
+// where the instructions are already in the instruction window.
+func flatMemConfig(cfg Config) Config {
+	cfg = cfg.Normalize()
+	cfg.Mem.L1IHitLat = 1
+	cfg.Mem.L1DHitLat = 1
+	cfg.Mem.L2HitLat = 1
+	cfg.Mem.MemLat = 1
+	return cfg
+}
+
+// TestFig1CycleCounts pins the exact cycle counts of the paper's Fig. 1
+// scenarios under this simulator's timing conventions (dispatch in cycle 0,
+// first issue in cycle 1). The base processor needs 5 cycles of activity
+// (issue t..retire t+4 in the paper's terms); the models pack progressively
+// more work per cycle.
+func TestFig1CycleCounts(t *testing.T) {
+	models := map[string]core.Model{
+		"super": core.Super(),
+		"great": core.Great(),
+		"good":  core.Good(),
+	}
+
+	base := runChain3(t, nil, false).Cycles
+
+	cases := []struct {
+		model      string
+		mispredict bool
+		want       int64
+	}{
+		{"super", false, 4},
+		{"great", false, 4},
+		{"good", false, 5},
+		{"super", true, 6},
+		{"great", true, 7},
+		{"good", true, 8},
+	}
+	if base != 6 {
+		t.Errorf("base cycles = %d, want 6", base)
+	}
+	for _, c := range cases {
+		m := models[c.model]
+		got := runChain3(t, &m, c.mispredict).Cycles
+		t.Logf("%s mispredict=%t: %d cycles (base %d)", c.model, c.mispredict, got, base)
+		if got != c.want {
+			t.Errorf("%s mispredict=%t: cycles = %d, want %d", c.model, c.mispredict, got, c.want)
+		}
+	}
+}
+
+// TestFig1Orderings checks the paper's qualitative claims independent of the
+// exact cycle accounting: with correct predictions every model beats the
+// base machine and optimism never hurts; with mispredictions the Super model
+// matches the base machine (zero-latency recovery) and each pessimism step
+// costs cycles.
+func TestFig1Orderings(t *testing.T) {
+	base := runChain3(t, nil, false).Cycles
+	super, great, good := core.Super(), core.Great(), core.Good()
+
+	sc := runChain3(t, &super, false).Cycles
+	grc := runChain3(t, &great, false).Cycles
+	gdc := runChain3(t, &good, false).Cycles
+	if !(sc <= grc && grc <= gdc && gdc < base) {
+		t.Errorf("correct prediction: want super(%d) <= great(%d) <= good(%d) < base(%d)", sc, grc, gdc, base)
+	}
+
+	sm := runChain3(t, &super, true).Cycles
+	grm := runChain3(t, &great, true).Cycles
+	gdm := runChain3(t, &good, true).Cycles
+	if sm != base {
+		t.Errorf("super with mispredictions = %d cycles, want base %d (zero-latency recovery)", sm, base)
+	}
+	if !(sm <= grm && grm <= gdm) {
+		t.Errorf("mispredict: want super(%d) <= great(%d) <= good(%d)", sm, grm, gdm)
+	}
+}
+
+// TestBaseEqualsNeverConfidence checks that a value-speculative pipeline
+// whose confidence estimator never speculates behaves cycle-identically to
+// the base processor (the paper: "when computation does not include
+// predicted values, all models have behavior identical to the
+// base-processor").
+func TestBaseEqualsNeverConfidence(t *testing.T) {
+	recs := chain3()
+	for _, m := range core.Presets() {
+		spec := &SpecOptions{
+			Enabled:    true,
+			Model:      m,
+			Predictor:  &scriptedPredictor{preds: map[int]int64{}},
+			Confidence: &scriptedConfidence{conf: map[int]bool{}},
+		}
+		p, err := New(flatMemConfig(Config4x24()), spec, &trace.SliceSource{Records: recs})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if st.Cycles != 6 {
+			t.Errorf("model %s without speculation: %d cycles, want base 6", m.Name, st.Cycles)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package cpu
+
+import "fmt"
+
+// EventKind classifies pipeline events reported to an Observer.
+type EventKind uint8
+
+// Pipeline event kinds.
+const (
+	EvDispatch   EventKind = iota // instruction entered the window
+	EvIssue                       // selected for execution (address generation for memory ops)
+	EvExecDone                    // execution result written (the W stage)
+	EvMemAccess                   // load access completed
+	EvVerify                      // own prediction verified correct
+	EvInvalidate                  // nullified by an invalidation wave
+	EvResolve                     // control transfer resolved
+	EvRetire                      // released from the window
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "dispatch"
+	case EvIssue:
+		return "issue"
+	case EvExecDone:
+		return "exec"
+	case EvMemAccess:
+		return "mem"
+	case EvVerify:
+		return "verify"
+	case EvInvalidate:
+		return "invalidate"
+	case EvResolve:
+		return "resolve"
+	case EvRetire:
+		return "retire"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one observed pipeline event.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Seq   int64 // dynamic sequence number of the instruction
+	PC    int
+}
+
+// Observer receives pipeline events as they happen; used by the pipeline-
+// diagram tool and by tests that assert event orderings. Observe is called
+// synchronously from the simulation loop.
+type Observer interface {
+	Observe(Event)
+}
+
+// SetObserver installs an observer; pass nil to remove. Must be called
+// before Run.
+func (p *Pipeline) SetObserver(o Observer) { p.obs = o }
+
+func (p *Pipeline) emit(c int64, kind EventKind, e *entry) {
+	if p.obs != nil {
+		p.obs.Observe(Event{Cycle: c, Kind: kind, Seq: e.rec.Seq, PC: e.rec.PC})
+	}
+}
+
+// EventLog is an Observer that records everything.
+type EventLog struct {
+	Events []Event
+}
+
+// Observe implements Observer.
+func (l *EventLog) Observe(ev Event) { l.Events = append(l.Events, ev) }
+
+// BySeq returns the events of one dynamic instruction in order.
+func (l *EventLog) BySeq(seq int64) []Event {
+	var out []Event
+	for _, ev := range l.Events {
+		if ev.Seq == seq {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

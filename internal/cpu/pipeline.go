@@ -1,0 +1,445 @@
+package cpu
+
+import (
+	"fmt"
+
+	"valuespec/internal/bpred"
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/mem"
+	"valuespec/internal/trace"
+)
+
+// eqEvent is a scheduled equality outcome for one execution of one entry.
+type eqEvent struct {
+	idx   int   // ring index
+	age   int64 // entry age (slot-reuse guard)
+	token int64 // execution token (nullification guard)
+	match bool  // equality matched (verification) or not (invalidation)
+}
+
+// waveEvent continues a hierarchical invalidation wave: the set of producer
+// ages whose direct consumers are nullified next.
+type waveEvent struct {
+	ages map[int64]bool
+}
+
+// Pipeline simulates one program on one processor configuration under one
+// speculative-execution model. Create with New, drive with Run.
+type Pipeline struct {
+	cfg   Config
+	spec  *SpecOptions
+	model core.Model
+
+	hier *mem.Hierarchy
+	bp   *bpred.Gshare
+
+	src     trace.Source
+	srcDone bool
+	pending []trace.Record // replay queue, consumed before src
+
+	entries []entry
+	head    int // ring index of the oldest entry
+	count   int
+	nextAge int64
+
+	regProd    [isa.NumRegs]int
+	regProdAge [isa.NumRegs]int64
+
+	cycle       int64
+	fetchResume int64 // earliest cycle fetch may proceed
+	blockingAge int64 // age of the unresolved mispredicted branch, never if none
+
+	eqEvents   map[int64][]eqEvent
+	waveEvents map[int64][]waveEvent
+
+	portsUsed int // D-cache ports consumed this cycle
+
+	obs   Observer
+	stats Stats
+}
+
+// New builds a pipeline for cfg running the instruction stream src under the
+// given speculation options (nil or disabled options simulate the base
+// processor).
+func New(cfg Config, spec *SpecOptions, src trace.Source) (*Pipeline, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.Normalize()
+	// The base processor releases resources the cycle after completion; the
+	// same release latencies apply when value speculation is off.
+	model := core.Model{
+		Name: "base",
+		Lat:  core.Latencies{VerifyFreeIssue: 1, VerifyFreeRetire: 1},
+	}
+	if spec != nil {
+		model = spec.Model
+		if err := model.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	p := &Pipeline{
+		cfg:         cfg,
+		spec:        spec,
+		model:       model,
+		hier:        mem.NewHierarchy(cfg.Mem),
+		bp:          bpred.NewGshare(cfg.BranchHistoryBits),
+		src:         src,
+		entries:     make([]entry, cfg.WindowSize),
+		blockingAge: never,
+		eqEvents:    make(map[int64][]eqEvent),
+		waveEvents:  make(map[int64][]waveEvent),
+	}
+	for i := range p.regProd {
+		p.regProd[i] = -1
+	}
+	return p, nil
+}
+
+// Stats returns the accumulated statistics.
+func (p *Pipeline) Stats() *Stats { return &p.stats }
+
+// Hierarchy exposes the cache hierarchy for post-run inspection.
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// Branch exposes the branch predictor for post-run inspection.
+func (p *Pipeline) Branch() *bpred.Gshare { return p.bp }
+
+// specOn reports whether value speculation is active.
+func (p *Pipeline) specOn() bool { return p.spec != nil }
+
+// slot returns the ring index of the i-th oldest entry (0 = head).
+func (p *Pipeline) slot(i int) int { return (p.head + i) % len(p.entries) }
+
+// Run simulates until the instruction stream is drained and the window is
+// empty, returning the statistics. It returns an error if the simulation
+// exceeds the cycle budget or stops making progress (a modeling bug).
+func (p *Pipeline) Run() (*Stats, error) {
+	lastRetired, lastProgress := int64(0), int64(0)
+	for {
+		if p.count == 0 && p.srcDone && len(p.pending) == 0 {
+			return &p.stats, nil
+		}
+		if p.cycle >= p.cfg.MaxCycles {
+			return &p.stats, fmt.Errorf("cpu: exceeded cycle budget %d", p.cfg.MaxCycles)
+		}
+		p.step()
+		if p.stats.Retired != lastRetired {
+			lastRetired, lastProgress = p.stats.Retired, p.cycle
+		} else if p.cycle-lastProgress > 100000 {
+			return &p.stats, fmt.Errorf("cpu: no retirement for 100000 cycles at cycle %d (%s)",
+				p.cycle, p.dumpHead())
+		}
+	}
+}
+
+// step advances the machine one cycle.
+func (p *Pipeline) step() {
+	c := p.cycle
+	p.portsUsed = 0
+	p.stats.OccupancySum += int64(p.count)
+
+	p.writeback(c)     // finish executions and memory accesses
+	p.runEvents(c)     // equality outcomes: verification flags, invalidation waves
+	p.sweep(c)         // sync operand views, settle validity (verification network)
+	p.retire(c)        // release the oldest completed entries
+	p.issue(c)         // wakeup + selection
+	p.startAccesses(c) // memory access phase of loads
+	p.fetch(c)         // fetch + dispatch
+
+	p.cycle++
+	p.stats.Cycles = p.cycle
+}
+
+// dumpHead describes the oldest entry for deadlock diagnostics.
+func (p *Pipeline) dumpHead() string {
+	if p.count == 0 {
+		return "window empty"
+	}
+	e := &p.entries[p.head]
+	return fmt.Sprintf("head %v issued=%t done=%t clean=%t out=%v validAt=%d src0=%+v",
+		e.rec.String(), e.issued, e.doneExec, e.execClean, e.outState, e.validAt, e.src[0])
+}
+
+// ---------------------------------------------------------------------------
+// Writeback
+
+func (p *Pipeline) writeback(c int64) {
+	for i := 0; i < p.count; i++ {
+		e := &p.entries[p.slot(i)]
+		if e.inFlight && e.inFlightDone == c-1 {
+			p.completeExec(e, c)
+		}
+		if e.cls == isa.ClassLoad && e.memStarted && !e.memDone && e.memDoneAt == c-1 {
+			p.completeLoad(e, c)
+		}
+	}
+}
+
+// completeExec finishes the in-flight execution of e at cycle c (the paper's
+// write/verification stage).
+func (p *Pipeline) completeExec(e *entry, c int64) {
+	p.emit(c, EvExecDone, e)
+	e.inFlight = false
+	e.doneExec = true
+	e.execClean = e.inFlightClean
+	e.doneCycle = c - 1
+
+	switch e.cls {
+	case isa.ClassLoad:
+		// Execution was address generation only; the access is a separate
+		// phase. Mark the address generated; output broadcasts at access
+		// completion.
+		e.agDone = true
+		e.agCycle = c
+		e.doneExec = false // the load's result is not produced yet
+		return
+	case isa.ClassStore:
+		// Address generation complete; data flows at retirement.
+		e.agDone = true
+		e.agCycle = c
+		return
+	case isa.ClassBranch:
+		p.resolveBranch(e, c)
+		return
+	case isa.ClassJump:
+		if e.rec.Instr.Op == isa.JR {
+			p.resolveBranch(e, c)
+			if !e.writesReg() {
+				return
+			}
+		}
+	}
+	p.broadcast(e, c)
+}
+
+// completeLoad finishes the memory access of a load.
+func (p *Pipeline) completeLoad(e *entry, c int64) {
+	p.emit(c, EvMemAccess, e)
+	e.memDone = true
+	e.doneExec = true
+	e.execClean = e.inFlightClean && e.fwdDataOK
+	e.doneCycle = e.memDoneAt
+	p.broadcast(e, c)
+}
+
+// broadcast publishes e's computed result to consumers at cycle c and, for
+// speculated predictions, schedules the equality outcome.
+func (p *Pipeline) broadcast(e *entry, c int64) {
+	if !e.writesReg() {
+		return
+	}
+	if e.vpUsed && !e.vpDead {
+		// Consumers keep the predicted value until equality resolves.
+		match := e.execClean && e.vpCorrect
+		lat := int64(p.model.Lat.ExecEqVerify)
+		if !match {
+			lat = int64(p.model.Lat.ExecEqInvalidate)
+		}
+		e.eqReady = c + lat
+		p.eqEvents[e.eqReady] = append(p.eqEvents[e.eqReady],
+			eqEvent{idx: e.idx, age: e.age, token: e.execToken, match: match})
+		return
+	}
+	e.outCorrect = e.execClean
+	e.outReady = c
+	if e.outState != core.StateValid {
+		e.outState = core.StateSpeculative // sweep upgrades to Valid
+	}
+}
+
+// resolveBranch handles the completion of a control-transfer execution.
+func (p *Pipeline) resolveBranch(e *entry, c int64) {
+	p.emit(c, EvResolve, e)
+	e.resolved = true
+	e.resolveAt = c
+	trustworthy := e.execClean
+
+	if trustworthy {
+		if e.specResolve {
+			// An earlier speculative resolution was wrong; the valid
+			// re-resolution redirects the front end again.
+			e.specResolve = false
+			p.squashYounger(e.age, c)
+			p.fetchResume = c + 1
+			if p.blockingAge == e.age {
+				p.blockingAge = never
+			}
+		}
+		if e.brMispred && p.blockingAge == e.age {
+			// The mispredicted branch is resolved; redirect fetch.
+			p.blockingAge = never
+			p.fetchResume = c + 1
+		}
+		return
+	}
+	// Speculative resolution with wrong operand values (only possible under
+	// ResolveSpeculative): the computed direction is wrong.
+	if !e.brMispred {
+		// gshare was right, but this resolution says otherwise: false
+		// redirect. Squash younger work; the valid re-resolution (after the
+		// invalidation wave reissues this branch) repairs it.
+		e.specResolve = true
+		p.squashYounger(e.age, c)
+		p.fetchResume = c + 1 // wrong-path fetch resumes (modeled as stall-until-repair)
+	}
+	// If gshare was wrong too, fetch stays blocked until a valid resolution.
+}
+
+// ---------------------------------------------------------------------------
+// Equality events and invalidation waves
+
+func (p *Pipeline) runEvents(c int64) {
+	if evs, ok := p.waveEvents[c]; ok {
+		delete(p.waveEvents, c)
+		for _, w := range evs {
+			p.waveStep(w.ages, c)
+		}
+	}
+	evs, ok := p.eqEvents[c]
+	if !ok {
+		return
+	}
+	delete(p.eqEvents, c)
+	var roots map[int64]bool
+	for _, ev := range evs {
+		e := &p.entries[ev.idx]
+		if !e.used || e.age != ev.age || e.execToken != ev.token {
+			continue // nullified or squashed since scheduling
+		}
+		if ev.match {
+			p.emit(c, EvVerify, e)
+			e.eqDone = true
+			// Expose the computed value (same value, upgradeable state).
+			e.outCorrect = e.execClean
+			e.outReady = min64(e.outReady, c)
+			continue
+		}
+		// Misprediction detected: the entry's prediction is dead and its
+		// computed value replaces it for consumers.
+		p.stats.InvalidationWaves++
+		e.eqDone = true
+		e.vpDead = true
+		e.outState = core.StateSpeculative
+		e.outCorrect = e.execClean
+		e.outReady = c
+		if roots == nil {
+			roots = make(map[int64]bool)
+		}
+		roots[e.age] = true
+		if p.model.Invalidation == core.InvalidateComplete {
+			p.squashYounger(e.age, c)
+			p.fetchResume = maxi64(p.fetchResume, c+1)
+		}
+	}
+	if len(roots) > 0 && p.model.Invalidation != core.InvalidateComplete {
+		p.waveStep(roots, c)
+	}
+}
+
+// waveStep nullifies the consumers of the producers in ages. For parallel
+// (flattened) invalidation the wave closes transitively within the cycle;
+// for hierarchical invalidation each dependence level costs a cycle, so the
+// newly nullified entries seed a continuation event at c+1.
+func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
+	hier := p.model.Invalidation == core.InvalidateHierarchical
+	next := map[int64]bool{}
+	reissue := int64(p.model.Lat.InvalidateReissue)
+	for i := 0; i < p.count; i++ {
+		e := &p.entries[p.slot(i)]
+		if !e.used {
+			continue
+		}
+		if !e.issued && !e.doneExec && !e.inFlight {
+			continue // never consumed anything; the sweep refreshes its view
+		}
+		wrong := false
+		for s := 0; s < e.nsrc; s++ {
+			o := &e.src[s]
+			if o.inWindow && ages[o.prodAge] && !e.usedCorrect[s] {
+				wrong = true
+				break
+			}
+		}
+		if !wrong && e.fwdProdAge != never && ages[e.fwdProdAge] && !e.fwdDataOK {
+			wrong = true
+		}
+		if !wrong {
+			continue
+		}
+		p.emit(c, EvInvalidate, e)
+		p.stats.Nullified++
+		e.nullify(c, reissue)
+		if hier {
+			next[e.age] = true
+		} else {
+			ages[e.age] = true
+		}
+	}
+	if hier && len(next) > 0 {
+		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next})
+	}
+}
+
+// squashYounger removes every entry strictly younger than age from the
+// window and queues their records for re-dispatch (they are on the correct
+// path; complete invalidation refetches them, as does a repaired speculative
+// branch resolution).
+func (p *Pipeline) squashYounger(age int64, c int64) {
+	keep := 0
+	var requeue []trace.Record
+	for i := 0; i < p.count; i++ {
+		e := &p.entries[p.slot(i)]
+		if e.age <= age {
+			keep++
+			continue
+		}
+		requeue = append(requeue, e.rec)
+		e.used = false
+	}
+	if len(requeue) == 0 {
+		return
+	}
+	p.stats.CompleteSquashes += int64(len(requeue))
+	p.count = keep
+	p.pending = append(requeue, p.pending...)
+	if p.blockingAge > age {
+		// The blocking mispredicted branch was squashed; it will block
+		// again when re-dispatched.
+		p.blockingAge = never
+	}
+	p.rebuildRegProd()
+}
+
+func (p *Pipeline) rebuildRegProd() {
+	for i := range p.regProd {
+		p.regProd[i] = -1
+	}
+	for i := 0; i < p.count; i++ {
+		idx := p.slot(i)
+		e := &p.entries[idx]
+		if e.writesReg() && e.rec.Instr.Dst != isa.R0 {
+			p.regProd[e.rec.Instr.Dst] = idx
+			p.regProdAge[e.rec.Instr.Dst] = e.age
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a == never {
+		return b
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,363 @@
+package cpu
+
+import (
+	"testing"
+
+	"valuespec/internal/emu"
+	"valuespec/internal/isa"
+	"valuespec/internal/program"
+	"valuespec/internal/trace"
+)
+
+// runProgram assembles src, emulates it and runs the pipeline on the stream,
+// returning the pipeline and its stats.
+func runProgram(t *testing.T, cfg Config, spec *SpecOptions, src string) (*Pipeline, *Stats, *EventLog) {
+	t.Helper()
+	prog, err := program.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := emu.New(prog)
+	if err != nil {
+		t.Fatalf("emu: %v", err)
+	}
+	p, err := New(cfg, spec, m)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	log := &EventLog{}
+	p.SetObserver(log)
+	st, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p, st, log
+}
+
+// memAccessCycle returns the completion cycle of the EvMemAccess event of
+// the dynamic instruction seq, or -1.
+func memAccessCycle(log *EventLog, seq int64) int64 {
+	for _, ev := range log.Events {
+		if ev.Seq == seq && ev.Kind == EvMemAccess {
+			return ev.Cycle
+		}
+	}
+	return -1
+}
+
+func TestBranchMispredictPenalty(t *testing.T) {
+	// A cold gshare predicts taken; a not-taken branch therefore stalls
+	// fetch until it resolves, while a taken branch sails through.
+	mispredicted := `
+		ldi r1, 1
+		ldi r2, 1
+		bne r1, r2, never   ; not taken; cold predictor says taken
+		add r3, r1, r2
+		add r4, r1, r2
+		add r5, r1, r2
+		halt
+	never:
+		halt
+	`
+	predicted := `
+		ldi r1, 1
+		ldi r2, 1
+		beq r1, r2, always  ; taken; cold predictor says taken
+	always:
+		add r3, r1, r2
+		add r4, r1, r2
+		add r5, r1, r2
+		halt
+	`
+	cfg := flatMemConfig(Config8x48())
+	_, stM, _ := runProgram(t, cfg, nil, mispredicted)
+	_, stP, _ := runProgram(t, cfg, nil, predicted)
+	if stM.BranchMispredicts != 1 || stP.BranchMispredicts != 0 {
+		t.Fatalf("mispredicts = %d and %d, want 1 and 0", stM.BranchMispredicts, stP.BranchMispredicts)
+	}
+	if penalty := stM.Cycles - stP.Cycles; penalty < 3 {
+		t.Errorf("misprediction penalty = %d cycles, want >= 3", penalty)
+	}
+	if stM.FetchStallCycles == 0 {
+		t.Error("no fetch stalls recorded for a mispredicted branch")
+	}
+}
+
+func TestColdMissThenWarmHit(t *testing.T) {
+	// Two independent loads of the same block: the first takes a full
+	// memory miss, the second hits the just-filled L1.
+	src := `
+		ldi r1, 64
+		ld r2, (r1)
+		ld r3, 1(r1)
+		halt
+	`
+	_, _, log := runProgram(t, Config8x48(), nil, src)
+	first, second := memAccessCycle(log, 1), memAccessCycle(log, 2)
+	if first < 0 || second < 0 {
+		t.Fatal("missing memory-access events")
+	}
+	if first-second < 30 {
+		t.Errorf("cold load completed at %d, warm at %d; want a ~34-cycle gap", first, second)
+	}
+}
+
+func TestDCachePortContention(t *testing.T) {
+	// Four independent warm loads; with one port they drain one per cycle,
+	// with four ports they all go at once.
+	src := `
+		ldi r1, 64
+		ld r2, (r1)
+		ld r3, (r1)
+		ld r4, 1(r1)
+		ld r5, 2(r1)
+		ld r6, 3(r1)
+		halt
+	`
+	one := flatMemConfig(Config8x48())
+	one.DCachePorts = 1
+	four := flatMemConfig(Config8x48())
+	four.DCachePorts = 4
+	_, st1, _ := runProgram(t, one, nil, src)
+	_, st4, _ := runProgram(t, four, nil, src)
+	if st1.Cycles <= st4.Cycles {
+		t.Errorf("1-port run (%d cycles) not slower than 4-port run (%d)", st1.Cycles, st4.Cycles)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// The load reads the address just written by the store; forwarding must
+	// satisfy it without waiting for a cold memory miss.
+	forwarded := `
+		ldi r1, 4096
+		ldi r2, 77
+		st r2, (r1)
+		ld r3, (r1)
+		add r4, r3, r3
+		halt
+	`
+	separate := `
+		ldi r1, 4096
+		ldi r2, 77
+		st r2, (r1)
+		ld r3, 512(r1)
+		add r4, r3, r3
+		halt
+	`
+	cfg := Config8x48()
+	_, stF, _ := runProgram(t, cfg, nil, forwarded)
+	_, stS, _ := runProgram(t, cfg, nil, separate)
+	if stF.StoreForwards != 1 {
+		t.Errorf("forwards = %d, want 1", stF.StoreForwards)
+	}
+	if stS.StoreForwards != 0 {
+		t.Errorf("disjoint addresses forwarded %d times", stS.StoreForwards)
+	}
+	if stF.Cycles >= stS.Cycles {
+		t.Errorf("forwarded load (%d cycles) not faster than cold miss (%d)", stF.Cycles, stS.Cycles)
+	}
+}
+
+func TestLoadWaitsForOlderStoreAddress(t *testing.T) {
+	// The store's address depends on a 20-cycle divide; the younger load
+	// (to a different address) may not access memory until the store's
+	// address is known.
+	src := `
+		ldi r1, 4096
+		ldi r2, 100
+		ldi r3, 5
+		div r4, r2, r3     ; 20-cycle operation -> r4 = 20
+		add r5, r1, r4
+		st r2, (r5)        ; store address known only after the divide
+		ld r6, 64(r1)      ; different address, but must wait
+		halt
+	`
+	_, _, log := runProgram(t, flatMemConfig(Config8x48()), nil, src)
+	acc := memAccessCycle(log, 6)
+	if acc < 20 {
+		t.Errorf("load accessed memory at cycle %d, before the older store's address resolved", acc)
+	}
+}
+
+func TestComplexOpLatency(t *testing.T) {
+	// A dependent chain through a divide is ~19 cycles longer than through
+	// an add.
+	divChain := `
+		ldi r1, 84
+		ldi r2, 2
+		div r3, r1, r2
+		add r4, r3, r3
+		halt
+	`
+	addChain := `
+		ldi r1, 84
+		ldi r2, 2
+		add r3, r1, r2
+		add r4, r3, r3
+		halt
+	`
+	cfg := flatMemConfig(Config8x48())
+	_, stD, _ := runProgram(t, cfg, nil, divChain)
+	_, stA, _ := runProgram(t, cfg, nil, addChain)
+	if got := stD.Cycles - stA.Cycles; got != int64(isa.Latency(isa.DIV)-isa.Latency(isa.ADD)) {
+		t.Errorf("divide chain longer by %d cycles, want %d", got, isa.Latency(isa.DIV)-1)
+	}
+}
+
+func TestCallReturnThroughPipeline(t *testing.T) {
+	src := `
+		ldi r1, 3
+		jal r31, f
+		jal r31, f
+		halt
+	f:
+		add r1, r1, r1
+		jr r31
+	`
+	_, st, _ := runProgram(t, flatMemConfig(Config8x48()), nil, src)
+	if st.Retired != 8 {
+		t.Errorf("retired %d, want 8", st.Retired)
+	}
+	if st.BranchMispredicts != 0 {
+		t.Error("indirect jumps must always be predicted correctly (paper Section 5.1)")
+	}
+}
+
+func TestWindowFullStalls(t *testing.T) {
+	// A long dependent chain through a tiny window must report dispatch
+	// stalls.
+	src := "ldi r1, 1\n"
+	for i := 0; i < 64; i++ {
+		src += "add r1, r1, r1\n"
+	}
+	src += "halt\n"
+	cfg := flatMemConfig(Config{IssueWidth: 4, WindowSize: 4})
+	_, st, _ := runProgram(t, cfg, nil, src)
+	if st.WindowFullStalls == 0 {
+		t.Error("no window-full stalls on a chain 16x the window size")
+	}
+	if st.Retired != 66 {
+		t.Errorf("retired %d, want 66", st.Retired)
+	}
+}
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	src := "ldi r1, 1\n"
+	for i := 0; i < 200; i++ {
+		src += "addi r2, r1, 1\naddi r3, r1, 2\naddi r4, r1, 3\n"
+	}
+	src += "halt\n"
+	for _, cfg := range []Config{flatMemConfig(Config4x24()), flatMemConfig(Config8x48())} {
+		_, st, _ := runProgram(t, cfg, nil, src)
+		if ipc := st.IPC(); ipc > float64(cfg.IssueWidth) {
+			t.Errorf("IPC %.2f exceeds issue width %d", ipc, cfg.IssueWidth)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{IssueWidth: 4},
+		{IssueWidth: 8, WindowSize: 4},
+		{IssueWidth: -1, WindowSize: 8},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, nil, &trace.SliceSource{}); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	spec := &SpecOptions{Enabled: true} // zero model: unnamed, release latencies 0
+	if _, err := New(Config8x48(), spec, &trace.SliceSource{}); err == nil {
+		t.Error("zero-valued model accepted")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	cfgs := PaperConfigs()
+	want := [][2]int{{4, 24}, {8, 48}, {16, 96}}
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	for i, c := range cfgs {
+		if c.IssueWidth != want[i][0] || c.WindowSize != want[i][1] {
+			t.Errorf("config %d = %d/%d, want %d/%d", i, c.IssueWidth, c.WindowSize, want[i][0], want[i][1])
+		}
+		n := c.Normalize()
+		if n.DCachePorts != c.IssueWidth/2 {
+			t.Errorf("config %d ports = %d, want %d (half the issue width)", i, n.DCachePorts, c.IssueWidth/2)
+		}
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	p, err := New(Config4x24(), nil, &trace.SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil || st.Retired != 0 {
+		t.Errorf("empty source: %v, retired %d", err, st.Retired)
+	}
+}
+
+func TestObserverEventOrdering(t *testing.T) {
+	src := `
+		ldi r1, 10
+		ldi r2, 4096
+		add r3, r1, r1
+		st r3, (r2)
+		ld r4, (r2)
+		beq r3, r4, done
+		nop
+	done:
+		halt
+	`
+	_, st, log := runProgram(t, flatMemConfig(Config8x48()), nil, src)
+	type times struct{ dispatch, issue, exec, retire int64 }
+	perSeq := map[int64]*times{}
+	var retireOrder []int64
+	for _, ev := range log.Events {
+		tm := perSeq[ev.Seq]
+		if tm == nil {
+			tm = &times{dispatch: -1, issue: -1, exec: -1, retire: -1}
+			perSeq[ev.Seq] = tm
+		}
+		switch ev.Kind {
+		case EvDispatch:
+			tm.dispatch = ev.Cycle
+		case EvIssue:
+			if tm.issue < 0 {
+				tm.issue = ev.Cycle
+			}
+		case EvExecDone:
+			tm.exec = ev.Cycle
+		case EvRetire:
+			tm.retire = ev.Cycle
+			retireOrder = append(retireOrder, ev.Seq)
+		}
+	}
+	if int64(len(retireOrder)) != st.Retired {
+		t.Fatalf("observed %d retires, stats say %d", len(retireOrder), st.Retired)
+	}
+	for i := 1; i < len(retireOrder); i++ {
+		if retireOrder[i] < retireOrder[i-1] {
+			t.Fatalf("retirement out of program order: %v", retireOrder)
+		}
+	}
+	for seq, tm := range perSeq {
+		if tm.dispatch < 0 || tm.retire < 0 {
+			t.Errorf("instr %d missing lifecycle events: %+v", seq, tm)
+			continue
+		}
+		if tm.issue >= 0 && tm.issue <= tm.dispatch {
+			t.Errorf("instr %d issued at %d, dispatched at %d", seq, tm.issue, tm.dispatch)
+		}
+		if tm.exec >= 0 && tm.retire <= tm.exec-1 {
+			t.Errorf("instr %d retired at %d before exec at %d", seq, tm.retire, tm.exec)
+		}
+	}
+}

@@ -1,0 +1,487 @@
+package cpu
+
+import (
+	"testing"
+
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/trace"
+)
+
+// chainN builds an N-instruction dependence chain (each instruction doubles
+// the previous result) with register-file inputs for the first.
+func chainN(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	val := int64(1)
+	for i := range recs {
+		src := isa.Reg(10)
+		if i > 0 {
+			src = isa.Reg(i) // previous dst
+		}
+		recs[i] = trace.Record{
+			Seq: int64(i), PC: i,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: isa.Reg(i + 1), Src1: src, Src2: src},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{src, src},
+			SrcVals: [2]int64{val, val},
+			DstVal:  val * 2,
+			NextPC:  i + 1,
+		}
+		val *= 2
+	}
+	return recs
+}
+
+// runChain simulates records under the given model with scripted predictions
+// (preds maps PC to the predicted value; conf lists the confident PCs).
+func runChain(t *testing.T, model core.Model, recs []trace.Record,
+	preds map[int]int64, conf map[int]bool) (*Stats, *EventLog) {
+	t.Helper()
+	spec := &SpecOptions{
+		Enabled:    true,
+		Model:      model,
+		Predictor:  &scriptedPredictor{preds: preds},
+		Confidence: &scriptedConfidence{conf: conf},
+	}
+	p, err := New(flatMemConfig(Config8x48()), spec, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &EventLog{}
+	p.SetObserver(log)
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != int64(len(recs)) {
+		t.Fatalf("retired %d of %d", st.Retired, len(recs))
+	}
+	return st, log
+}
+
+func TestInvalidationCascadesTransitively(t *testing.T) {
+	// Only the chain root is (mis)predicted. With a slow (3-cycle)
+	// Execution-Equality-Invalidation latency the whole dependent chain has
+	// consumed the wrong value by the time the wave fires, and the
+	// flattened network must nullify all of it in a single wave.
+	recs := chainN(5)
+	preds := map[int]int64{0: recs[0].DstVal + 999}
+	conf := map[int]bool{0: true}
+	slow := core.Great()
+	slow.Lat.ExecEqInvalidate = 3
+	st, _ := runChain(t, slow, recs, preds, conf)
+	if st.InvalidationWaves != 1 {
+		t.Errorf("invalidation waves = %d, want 1", st.InvalidationWaves)
+	}
+	if st.Nullified != 4 {
+		t.Errorf("nullified = %d, want 4 (the whole dependent chain)", st.Nullified)
+	}
+	if st.Reissues != 4 {
+		t.Errorf("reissues = %d, want 4", st.Reissues)
+	}
+}
+
+func TestFastInvalidationOutrunsSerialChain(t *testing.T) {
+	// Under Super's zero-latency invalidation the wave fires the cycle the
+	// root's result writes back, before the second-level consumer has
+	// issued — so only the direct consumer is nullified and the rest of the
+	// chain simply waits for the corrected value. (This is exactly why the
+	// paper finds slow invalidation tolerable when misspeculation is rare:
+	// serial chains self-limit the damage.)
+	recs := chainN(5)
+	preds := map[int]int64{0: recs[0].DstVal + 999}
+	conf := map[int]bool{0: true}
+	st, _ := runChain(t, core.Super(), recs, preds, conf)
+	if st.Nullified != 1 {
+		t.Errorf("nullified = %d, want 1 (only the direct consumer)", st.Nullified)
+	}
+}
+
+func TestCorrectPredictionNoInvalidation(t *testing.T) {
+	recs := chainN(5)
+	preds := map[int]int64{0: recs[0].DstVal}
+	conf := map[int]bool{0: true}
+	st, _ := runChain(t, core.Super(), recs, preds, conf)
+	if st.InvalidationWaves != 0 || st.Nullified != 0 {
+		t.Errorf("correct prediction caused %d waves, %d nullifications",
+			st.InvalidationWaves, st.Nullified)
+	}
+}
+
+func TestHierarchicalInvalidationIsSlower(t *testing.T) {
+	// A deep chain misprediction: the flattened wave nullifies everything
+	// at once, the hierarchical wave walks one dependence level per cycle.
+	recs := chainN(8)
+	preds := map[int]int64{0: recs[0].DstVal + 999}
+	conf := map[int]bool{0: true}
+
+	par := core.Great()
+	hier := core.Great()
+	hier.Invalidation = core.InvalidateHierarchical
+
+	stP, _ := runChain(t, par, recs, preds, conf)
+	stH, _ := runChain(t, hier, recs, preds, conf)
+	if stH.Nullified != stP.Nullified {
+		t.Errorf("hierarchical nullified %d, parallel %d; same set expected", stH.Nullified, stP.Nullified)
+	}
+	if stH.Cycles < stP.Cycles {
+		t.Errorf("hierarchical (%d cycles) faster than parallel (%d)", stH.Cycles, stP.Cycles)
+	}
+}
+
+func TestCompleteInvalidationSquashes(t *testing.T) {
+	// Root mispredicted with independent younger instructions: complete
+	// invalidation refetches them all, selective leaves them alone.
+	recs := chainN(2) // root + one dependent
+	for i := 0; i < 4; i++ {
+		pc := 2 + i
+		recs = append(recs, trace.Record{
+			Seq: int64(pc), PC: pc,
+			Instr:   isa.Instruction{Op: isa.ADDI, Dst: isa.Reg(20 + i), Src1: isa.Reg(15), Imm: int64(i)},
+			NSrc:    1,
+			SrcRegs: [2]isa.Reg{15},
+			NextPC:  pc + 1,
+		})
+	}
+	preds := map[int]int64{0: recs[0].DstVal + 999}
+	conf := map[int]bool{0: true}
+
+	sel := core.Great()
+	comp := core.Great()
+	comp.Invalidation = core.InvalidateComplete
+
+	stSel, _ := runChain(t, sel, recs, preds, conf)
+	stComp, _ := runChain(t, comp, recs, preds, conf)
+	if stSel.CompleteSquashes != 0 {
+		t.Errorf("selective invalidation squashed %d instructions", stSel.CompleteSquashes)
+	}
+	if stComp.CompleteSquashes == 0 {
+		t.Error("complete invalidation squashed nothing")
+	}
+	if stComp.Cycles < stSel.Cycles {
+		t.Errorf("complete (%d cycles) beat selective (%d)", stComp.Cycles, stSel.Cycles)
+	}
+}
+
+func TestVerificationSchemeOrdering(t *testing.T) {
+	// Correctly predicted root of a deep chain: the parallel network
+	// verifies the whole chain at once; the hierarchical network takes a
+	// cycle per level; retirement-based verification is bounded by the
+	// retire bandwidth.
+	recs := chainN(10)
+	preds := map[int]int64{0: recs[0].DstVal}
+	conf := map[int]bool{0: true}
+
+	cycles := map[core.VerificationScheme]int64{}
+	for _, scheme := range []core.VerificationScheme{
+		core.VerifyParallel, core.VerifyHierarchical, core.VerifyRetirement, core.VerifyHybrid,
+	} {
+		m := core.Good() // nonzero verify latency makes schemes observable
+		m.Verification = scheme
+		st, _ := runChain(t, m, recs, preds, conf)
+		cycles[scheme] = st.Cycles
+	}
+	if cycles[core.VerifyParallel] > cycles[core.VerifyHierarchical] {
+		t.Errorf("parallel (%d) slower than hierarchical (%d)",
+			cycles[core.VerifyParallel], cycles[core.VerifyHierarchical])
+	}
+	if cycles[core.VerifyParallel] > cycles[core.VerifyRetirement] {
+		t.Errorf("parallel (%d) slower than retirement (%d)",
+			cycles[core.VerifyParallel], cycles[core.VerifyRetirement])
+	}
+	if cycles[core.VerifyHybrid] > cycles[core.VerifyHierarchical] ||
+		cycles[core.VerifyHybrid] > cycles[core.VerifyRetirement] {
+		t.Errorf("hybrid (%d) worse than both components (%d, %d)",
+			cycles[core.VerifyHybrid], cycles[core.VerifyHierarchical], cycles[core.VerifyRetirement])
+	}
+}
+
+func TestNoForwardingDelaysSpeculativeChains(t *testing.T) {
+	// With forwarding, consumers of speculative results run early; without
+	// it only the directly predicted value is usable and the chain
+	// serializes on verification.
+	recs := chainN(6)
+	preds := map[int]int64{0: recs[0].DstVal}
+	conf := map[int]bool{0: true}
+
+	fwd := core.Good()
+	noFwd := core.Good()
+	noFwd.ForwardSpeculative = false
+
+	stF, _ := runChain(t, fwd, recs, preds, conf)
+	stN, _ := runChain(t, noFwd, recs, preds, conf)
+	if stN.Cycles < stF.Cycles {
+		t.Errorf("no-forwarding (%d cycles) beat forwarding (%d)", stN.Cycles, stF.Cycles)
+	}
+}
+
+// branchAfterPredictedValue builds: a predicted producer, a conditional
+// branch on its value that the cold gshare mispredicts, then dependent-free
+// filler reachable only after the branch resolves.
+func branchAfterPredictedValue() []trace.Record {
+	recs := []trace.Record{
+		{
+			Seq: 0, PC: 0,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 10, Src2: 10},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 10},
+			SrcVals: [2]int64{1, 1},
+			DstVal:  2,
+			NextPC:  1,
+		},
+		{
+			// bne r1, r1 -> never taken; cold gshare predicts taken.
+			Seq: 1, PC: 1,
+			Instr:   isa.Instruction{Op: isa.BNE, Src1: 1, Src2: 1, Target: 9},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{1, 1},
+			SrcVals: [2]int64{2, 2},
+			Taken:   false,
+			NextPC:  2,
+		},
+	}
+	for i := 2; i < 6; i++ {
+		recs = append(recs, trace.Record{
+			Seq: int64(i), PC: i,
+			Instr:  isa.Instruction{Op: isa.LDI, Dst: isa.Reg(i + 1), Imm: int64(i)},
+			DstVal: int64(i),
+			NextPC: i + 1,
+		})
+	}
+	return recs
+}
+
+func TestVerifyBranchLatency(t *testing.T) {
+	// Super frees the branch the moment its input verifies; Great charges
+	// one extra cycle (Verification-Branch = 1). The mispredicted branch
+	// gates fetch, so the cycle is fully exposed.
+	recs := branchAfterPredictedValue()
+	preds := map[int]int64{0: 2} // correct prediction of the producer
+	conf := map[int]bool{0: true}
+
+	stSuper, _ := runChain(t, core.Super(), recs, preds, conf)
+	stGreat, _ := runChain(t, core.Great(), recs, preds, conf)
+	if got := stGreat.Cycles - stSuper.Cycles; got != 1 {
+		t.Errorf("Verification-Branch cost = %d cycles, want exactly 1", got)
+	}
+}
+
+func TestSpeculativeBranchResolutionResolvesEarly(t *testing.T) {
+	// With speculative resolution the branch resolves on the predicted
+	// operand without waiting for verification; under Good's 1-cycle
+	// verification that saves time on the mispredicted-branch redirect.
+	recs := branchAfterPredictedValue()
+	preds := map[int]int64{0: 2}
+	conf := map[int]bool{0: true}
+
+	validOnly := core.Good()
+	specRes := core.Good()
+	specRes.BranchResolution = core.ResolveSpeculative
+
+	stV, _ := runChain(t, validOnly, recs, preds, conf)
+	stS, _ := runChain(t, specRes, recs, preds, conf)
+	if stS.Cycles >= stV.Cycles {
+		t.Errorf("speculative resolution (%d cycles) not faster than valid-only (%d)",
+			stS.Cycles, stV.Cycles)
+	}
+}
+
+func TestSpeculativeBranchResolutionWithWrongOperandRecovers(t *testing.T) {
+	// The branch resolves speculatively with a wrong operand value, then
+	// must be repaired when the valid value arrives; the run must still
+	// retire everything.
+	recs := branchAfterPredictedValue()
+	recs[1].Taken = true // actually taken (r1 != r1 impossible; adjust operands)
+	recs[1].Instr.Op = isa.BEQ
+	recs[1].NextPC = 9
+	// Rebuild the post-branch records on the taken path.
+	recs = recs[:2]
+	for i := 9; i < 12; i++ {
+		recs = append(recs, trace.Record{
+			Seq: int64(len(recs)), PC: i,
+			Instr:  isa.Instruction{Op: isa.LDI, Dst: 20, Imm: int64(i)},
+			DstVal: int64(i),
+			NextPC: i + 1,
+		})
+	}
+	preds := map[int]int64{0: 999} // wrong prediction feeds the branch
+	conf := map[int]bool{0: true}
+
+	m := core.Great()
+	m.BranchResolution = core.ResolveSpeculative
+	st, _ := runChain(t, m, recs, preds, conf)
+	if st.Retired != int64(len(recs)) {
+		t.Errorf("retired %d of %d after a wrong speculative resolution", st.Retired, len(recs))
+	}
+}
+
+func TestVerifyAddrMemLatency(t *testing.T) {
+	// A load whose base register is a correctly predicted value: Great
+	// charges Verification-Address-Memory-Access = 1 over Super.
+	recs := []trace.Record{
+		{
+			Seq: 0, PC: 0,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 10, Src2: 10},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{10, 10},
+			SrcVals: [2]int64{32, 32},
+			DstVal:  64,
+			NextPC:  1,
+		},
+		{
+			Seq: 1, PC: 1,
+			Instr:   isa.Instruction{Op: isa.LD, Dst: 2, Src1: 1},
+			NSrc:    1,
+			SrcRegs: [2]isa.Reg{1},
+			SrcVals: [2]int64{64},
+			Addr:    64,
+			DstVal:  7,
+			NextPC:  2,
+		},
+	}
+	preds := map[int]int64{0: 64}
+	conf := map[int]bool{0: true}
+
+	_, logS := runChain(t, core.Super(), recs, preds, conf)
+	_, logG := runChain(t, core.Great(), recs, preds, conf)
+	accS, accG := memAccessCycle(logS, 1), memAccessCycle(logG, 1)
+	if accS < 0 || accG < 0 {
+		t.Fatal("missing access events")
+	}
+	if got := accG - accS; got != 1 {
+		t.Errorf("Verification-Address-Memory cost = %d cycles, want exactly 1", got)
+	}
+}
+
+func TestOracleNeverMisspeculates(t *testing.T) {
+	recs := chainN(6)
+	spec := &SpecOptions{
+		Enabled:   true,
+		Model:     core.Great(),
+		Predictor: &scriptedPredictor{preds: map[int]int64{0: 999, 1: recs[1].DstVal}},
+	}
+	// Default confidence replaced by the oracle through SpecOptions.
+	spec.Confidence = oracleConf{}
+	p, err := New(flatMemConfig(Config8x48()), spec, &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IH != 0 || st.InvalidationWaves != 0 {
+		t.Errorf("oracle confidence misspeculated: IH=%d waves=%d", st.IH, st.InvalidationWaves)
+	}
+	if st.CH == 0 {
+		t.Error("oracle confidence speculated on nothing")
+	}
+}
+
+type oracleConf struct{}
+
+func (oracleConf) Confident(pc int, willBeCorrect bool) bool { return willBeCorrect }
+func (oracleConf) Update(pc int, correct bool)               {}
+func (oracleConf) Reset()                                    {}
+
+func TestStatsConsistency(t *testing.T) {
+	recs := chainN(20)
+	preds := map[int]int64{}
+	conf := map[int]bool{}
+	for i := 0; i < 20; i += 2 {
+		preds[i] = recs[i].DstVal
+		conf[i] = true
+	}
+	preds[4] = -1 // one wrong, confident prediction
+	st, _ := runChain(t, core.Great(), recs, preds, conf)
+	if st.CH+st.CL+st.IH+st.IL != st.Predictions {
+		t.Errorf("CH+CL+IH+IL = %d, Predictions = %d",
+			st.CH+st.CL+st.IH+st.IL, st.Predictions)
+	}
+	if st.Speculated != st.CH+st.IH {
+		t.Errorf("Speculated = %d, CH+IH = %d", st.Speculated, st.CH+st.IH)
+	}
+	if st.IH != 1 {
+		t.Errorf("IH = %d, want 1", st.IH)
+	}
+}
+
+func TestWakeupLimitedCapsExecutions(t *testing.T) {
+	// A consumer of a twice-wrong value chain: under any-value wakeup it
+	// may re-execute eagerly with still-speculative values; under limited
+	// wakeup the third execution waits for valid operands. Observable as
+	// issue-event count per instruction.
+	recs := chainN(3)
+	// Both chain instructions mispredicted so the tail reissues twice.
+	preds := map[int]int64{0: recs[0].DstVal + 50, 1: recs[1].DstVal + 60}
+	conf := map[int]bool{0: true, 1: true}
+
+	slow := core.Great()
+	slow.Lat.ExecEqInvalidate = 2 // let wrong values propagate first
+
+	limited := slow
+	limited.Wakeup = core.WakeupLimited
+
+	stAny, logAny := runChain(t, slow, recs, preds, conf)
+	stLim, logLim := runChain(t, limited, recs, preds, conf)
+	issues := func(log *EventLog, seq int64) int {
+		n := 0
+		for _, ev := range log.Events {
+			if ev.Seq == seq && ev.Kind == EvIssue {
+				n++
+			}
+		}
+		return n
+	}
+	if got := issues(logLim, 2); got > 2+1 { // 2 speculative + 1 final valid
+		t.Errorf("limited wakeup issued instr 3 %d times", got)
+	}
+	if stAny.Retired != stLim.Retired {
+		t.Error("policies retired different counts")
+	}
+	// The limited policy can only reduce issue activity.
+	if stLim.Issues > stAny.Issues {
+		t.Errorf("limited wakeup issued more (%d) than any-value (%d)", stLim.Issues, stAny.Issues)
+	}
+	_ = issues(logAny, 2)
+}
+
+func TestSelectionPoliciesBothComplete(t *testing.T) {
+	// Under issue-width pressure the two selection policies order grants
+	// differently but must both drain the window correctly.
+	recs := chainN(2)
+	// Add eight independent instructions competing for two issue slots.
+	for i := 2; i < 10; i++ {
+		recs = append(recs, trace.Record{
+			Seq: int64(i), PC: i,
+			Instr:  isa.Instruction{Op: isa.LDI, Dst: isa.Reg(i + 3), Imm: int64(i)},
+			DstVal: int64(i),
+			NextPC: i + 1,
+		})
+	}
+	preds := map[int]int64{0: recs[0].DstVal}
+	conf := map[int]bool{0: true}
+
+	for _, pol := range []core.SelectionPolicy{core.SelectNonSpecFirst, core.SelectOldestFirst} {
+		m := core.Great()
+		m.Selection = pol
+		spec := &SpecOptions{
+			Enabled:    true,
+			Model:      m,
+			Predictor:  &scriptedPredictor{preds: preds},
+			Confidence: &scriptedConfidence{conf: conf},
+		}
+		cfg := flatMemConfig(Config{IssueWidth: 2, WindowSize: 12})
+		p, err := New(cfg, spec, &trace.SliceSource{Records: recs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if st.Retired != int64(len(recs)) {
+			t.Errorf("%v: retired %d of %d", pol, st.Retired, len(recs))
+		}
+	}
+}

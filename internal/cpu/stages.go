@@ -1,0 +1,599 @@
+package cpu
+
+import (
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+	"valuespec/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Sweep: operand sync and the verification network
+//
+// The sweep walks the window in age order once per cycle. Because producers
+// are always older than their consumers, a single pass settles all state
+// propagation for the flattened-hierarchical (parallel) network within the
+// cycle; the hierarchical and retirement-based schemes are modeled as extra
+// gating terms inside refreshOutput.
+
+func (p *Pipeline) sweep(c int64) {
+	for i := 0; i < p.count; i++ {
+		e := &p.entries[p.slot(i)]
+		for s := 0; s < e.nsrc; s++ {
+			p.syncOperand(&e.src[s])
+		}
+		p.refreshOutput(e, c, i)
+	}
+}
+
+// syncOperand refreshes one operand from its producer's current output view.
+// Captured values persist in the reservation station: a correct captured
+// value is never displaced, only upgraded to Valid when the producer
+// verifies; a wrong or missing value adopts whatever the producer currently
+// broadcasts.
+func (p *Pipeline) syncOperand(o *operand) {
+	if !o.inWindow {
+		return
+	}
+	pr := &p.entries[o.prodIdx]
+	if !pr.used || pr.age != o.prodAge {
+		return // producer retired; the operand already holds its final value
+	}
+	switch {
+	case o.state == core.StateInvalid:
+		if pr.outState != core.StateInvalid {
+			o.state, o.correct, o.ready, o.validAt = pr.outState, pr.outCorrect, pr.outReady, pr.validAt
+		}
+	case !o.correct:
+		// Holding a wrong value: adopt the producer's current broadcast
+		// (possibly Invalid, meaning wait for the re-execution).
+		o.state, o.correct, o.ready, o.validAt = pr.outState, pr.outCorrect, pr.outReady, pr.validAt
+	case pr.outCorrect && pr.outState == core.StateValid && o.state != core.StateValid:
+		// Same (correct) value verified: upgrade in place.
+		o.state, o.validAt = core.StateValid, pr.validAt
+	}
+	if o.state.Speculative() {
+		o.everSpec = true
+	}
+}
+
+// refreshOutput settles the validity of e's result at cycle c; pos is the
+// entry's distance from the window head (for retirement-based verification).
+func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) {
+	if e.validAt != never {
+		return // validity is monotone
+	}
+
+	switch e.cls {
+	case isa.ClassStore:
+		p.refreshStore(e, c)
+		return
+	case isa.ClassBranch:
+		if e.resolved && e.execClean {
+			e.validAt = e.resolveAt
+			e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+		}
+		return
+	}
+
+	if !e.doneExec || !e.execClean {
+		return
+	}
+	if e.vpUsed && !e.vpDead && !e.eqDone {
+		return // own prediction must pass equality first
+	}
+
+	t := e.doneCycle + 1 // the write/verification stage
+	if e.vpUsed && e.eqReady != never {
+		t = maxi64(t, e.eqReady)
+	}
+	hier := p.specOn() && p.model.Verification == core.VerifyHierarchical
+	retOnly := p.specOn() && p.model.Verification == core.VerifyRetirement
+	hybrid := p.specOn() && p.model.Verification == core.VerifyHybrid
+	specInvolved := e.vpUsed
+	for s := 0; s < e.nsrc; s++ {
+		o := &e.src[s]
+		if o.inWindow {
+			if !o.validBy(c) {
+				return
+			}
+			ot := o.validAt
+			if o.everSpec {
+				specInvolved = true
+				if hier || hybrid {
+					ot++ // one dependence level per cycle
+				}
+			}
+			t = maxi64(t, ot)
+		}
+	}
+	if specInvolved && (retOnly || hybrid) {
+		// Retirement-based verification: only the retire-width oldest
+		// instructions can be validated each cycle.
+		atHead := pos < p.cfg.IssueWidth
+		if retOnly && !atHead {
+			return
+		}
+		if hybrid && atHead {
+			// Retirement releases it now even if the hierarchical chain
+			// has not caught up.
+			t = maxi64(e.doneCycle+1, c)
+		}
+	}
+	if c < t {
+		return
+	}
+	e.validAt = t
+	e.outState = core.StateValid
+	e.outCorrect = true
+	if e.outReady == never || e.outReady > t {
+		e.outReady = t
+	}
+	e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+}
+
+// refreshStore settles a store: verified when its address is generated and
+// both operands (address base and data) are valid.
+func (p *Pipeline) refreshStore(e *entry, c int64) {
+	if !e.agDone || !e.execClean {
+		return
+	}
+	t := e.agCycle
+	for s := 0; s < e.nsrc; s++ {
+		o := &e.src[s]
+		if o.inWindow {
+			if !o.validBy(c) {
+				return
+			}
+			t = maxi64(t, o.validAt)
+		}
+	}
+	if c < t {
+		return
+	}
+	e.validAt = t
+	e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+}
+
+// ---------------------------------------------------------------------------
+// Retire
+
+func (p *Pipeline) retire(c int64) {
+	retired := 0
+	for retired < p.cfg.IssueWidth && p.count > 0 {
+		e := &p.entries[p.head]
+		if e.validAt == never || e.retireAt == never || c < e.retireAt {
+			return
+		}
+		if e.cls == isa.ClassStore {
+			if p.portsUsed >= p.cfg.DCachePorts {
+				return // store commit needs a data-cache port
+			}
+			p.portsUsed++
+			p.hier.Data(uint64(e.rec.Addr) * 8)
+		}
+		p.emit(c, EvRetire, e)
+		p.finishRetire(e)
+		e.used = false
+		p.head = p.slot(1)
+		p.count--
+		retired++
+		p.stats.Retired++
+	}
+}
+
+// finishRetire performs retirement-time training (delayed predictor update
+// and confidence update) and releases the register-producer mapping.
+func (p *Pipeline) finishRetire(e *entry) {
+	if e.writesReg() && e.rec.Instr.Dst != isa.R0 {
+		d := e.rec.Instr.Dst
+		if p.regProd[d] == e.idx && p.regProdAge[d] == e.age {
+			p.regProd[d] = -1
+		}
+	}
+	if e.vpMade && p.spec.Update == UpdateDelayed {
+		p.spec.Predictor.TrainDelayed(e.rec.PC, e.vpCookie, e.vpValue, e.rec.DstVal)
+		p.spec.Confidence.Update(e.rec.PC, e.vpCorrect)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wakeup, selection, issue
+
+// issue performs wakeup and selection for cycle c. Selection priority
+// (Section 3.5): branches and loads first, then the rest; under the paper's
+// scheme non-speculative candidates precede speculative ones within each
+// group, oldest first, while the oldest-first policy ignores the speculative
+// state of operands.
+func (p *Pipeline) issue(c int64) {
+	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
+	specPasses := 2
+	if oldestFirst {
+		specPasses = 1
+	}
+	grants := 0
+	for group := 0; group < 2; group++ {
+		memCtrl := group == 0 // branches and loads first
+		for specPass := 0; specPass < specPasses && grants < p.cfg.IssueWidth; specPass++ {
+			for i := 0; i < p.count && grants < p.cfg.IssueWidth; i++ {
+				e := &p.entries[p.slot(i)]
+				if (e.cls == isa.ClassBranch || e.cls == isa.ClassLoad) != memCtrl {
+					continue
+				}
+				if p.tryIssue(e, c, specPass == 1, !oldestFirst) {
+					grants++
+				}
+			}
+		}
+	}
+	p.stats.Issues += int64(grants)
+}
+
+// tryIssue issues e at cycle c if it is ready. When matchSpec is set,
+// allowSpec selects whether this selection pass takes candidates with
+// speculative inputs (non-speculative first) or only speculative ones;
+// without matchSpec any ready candidate is taken.
+func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
+	if e.issued || e.inFlight || c < e.earliestIssue {
+		return false
+	}
+	isCtrl := e.cls == isa.ClassBranch || e.rec.Instr.Op == isa.JR
+	validOnly := isCtrl && (!p.specOn() || p.model.BranchResolution == core.ResolveValidOnly)
+	// Under the limited-wakeup policy an instruction that has already
+	// executed twice waits for valid operands (Section 3.4).
+	if p.specOn() && p.model.Wakeup == core.WakeupLimited && e.execCount >= 2 {
+		validOnly = true
+	}
+	nsrc := e.nsrc
+	if e.cls == isa.ClassStore {
+		nsrc = 1 // address generation reads only the base register
+	}
+	spec := false
+	for s := 0; s < nsrc; s++ {
+		o := &e.src[s]
+		if validOnly {
+			if !o.validBy(c) {
+				return false
+			}
+			if isCtrl && o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyBranch) {
+				return false
+			}
+			continue
+		}
+		if !o.available(c, !p.specOn() || p.model.ForwardSpeculative) {
+			return false
+		}
+		if o.state.Speculative() {
+			spec = true
+		}
+	}
+	if matchSpec && spec != allowSpec {
+		return false
+	}
+
+	// Issue.
+	p.emit(c, EvIssue, e)
+	e.issued = true
+	e.inFlight = true
+	e.execCount++
+	e.execToken++
+	clean := true
+	specUsed := false
+	for s := 0; s < nsrc; s++ {
+		e.usedCorrect[s] = e.src[s].correct
+		if !e.src[s].correct {
+			clean = false
+		}
+		if e.src[s].state.Speculative() {
+			specUsed = true
+		}
+	}
+	for s := nsrc; s < 2; s++ {
+		e.usedCorrect[s] = true
+	}
+	e.inFlightClean = clean
+	e.usedSpec = specUsed
+	lat := int64(isa.Latency(e.rec.Instr.Op))
+	if isa.IsMem(e.rec.Instr.Op) {
+		lat = 1 // address generation
+	}
+	e.inFlightDone = c + lat - 1
+	if e.wasNullified {
+		p.stats.Reissues++
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Memory access phase
+
+// startAccesses begins data-cache accesses (or store forwards) for loads
+// whose address is resolved per the memory-resolution policy, subject to the
+// memory-ordering constraint and data-cache port limits.
+func (p *Pipeline) startAccesses(c int64) {
+	validOnly := !p.specOn() || p.model.MemResolution == core.ResolveValidOnly
+	for i := 0; i < p.count; i++ {
+		e := &p.entries[p.slot(i)]
+		if e.cls != isa.ClassLoad || !e.agDone || e.memStarted {
+			continue
+		}
+		if c < e.agCycle {
+			continue
+		}
+		o := &e.src[0]
+		if validOnly {
+			if !o.inWindowRegfileValid(c) {
+				continue
+			}
+			if o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyAddrMem) {
+				continue
+			}
+		}
+		if !p.olderStoreAddrsKnown(e, i, c, validOnly) {
+			continue
+		}
+		st := p.forwardingStore(e, i)
+		if st != nil {
+			// Store-to-load forwarding: single-cycle once the store data is
+			// available under the resolution policy.
+			d := &st.src[1]
+			if validOnly {
+				if !d.validBy(c) {
+					continue
+				}
+			} else if !d.available(c, p.model.ForwardSpeculative) {
+				continue
+			}
+			e.memStarted = true
+			e.memDoneAt = c
+			e.fwdStore = st.age
+			e.fwdDataOK = d.correct
+			if d.inWindow {
+				e.fwdProdAge = d.prodAge
+			}
+			p.stats.StoreForwards++
+			continue
+		}
+		if p.portsUsed >= p.cfg.DCachePorts {
+			continue
+		}
+		p.portsUsed++
+		lat := int64(p.hier.Data(uint64(e.rec.Addr) * 8))
+		e.memStarted = true
+		e.memDoneAt = c + lat - 1
+		e.fwdDataOK = true
+	}
+}
+
+// inWindowRegfileValid reports whether the operand is valid by cycle c,
+// treating register-file operands as always valid.
+func (o *operand) inWindowRegfileValid(c int64) bool {
+	if !o.inWindow {
+		return true
+	}
+	return o.validBy(c)
+}
+
+// olderStoreAddrsKnown implements the paper's memory-ordering rule: a load
+// may access memory only when the addresses of all preceding stores in the
+// window are known (valid under valid-only resolution).
+func (p *Pipeline) olderStoreAddrsKnown(e *entry, pos int, c int64, validOnly bool) bool {
+	for i := 0; i < pos; i++ {
+		s := &p.entries[p.slot(i)]
+		if s.cls != isa.ClassStore {
+			continue
+		}
+		if !s.agDone || c < s.agCycle {
+			return false
+		}
+		if validOnly && !s.src[0].inWindowRegfileValid(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardingStore returns the youngest older store writing the load's
+// address, if any.
+func (p *Pipeline) forwardingStore(e *entry, pos int) *entry {
+	for i := pos - 1; i >= 0; i-- {
+		s := &p.entries[p.slot(i)]
+		if s.cls == isa.ClassStore && s.rec.Addr == e.rec.Addr {
+			return s
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Fetch and dispatch
+
+func (p *Pipeline) fetch(c int64) {
+	if p.blockingAge != never {
+		p.stats.FetchStallCycles++
+		return
+	}
+	if c < p.fetchResume {
+		p.stats.FetchStallCycles++
+		return
+	}
+	var lastBlock uint64 = ^uint64(0)
+	for fetched := 0; fetched < p.cfg.IssueWidth; fetched++ {
+		if p.count == len(p.entries) {
+			p.stats.WindowFullStalls++
+			return
+		}
+		rec, replayed, ok := p.nextRecord()
+		if !ok {
+			return
+		}
+		// Instruction cache: one access per distinct block per cycle; the
+		// ideal fetch engine reads across basic blocks as long as it hits.
+		block := uint64(rec.PC) * 4 / uint64(p.cfg.Mem.L1I.BlockBytes)
+		if block != lastBlock {
+			lat := int64(p.hier.Inst(uint64(rec.PC) * 4))
+			if lat > 1 {
+				// Miss: re-fetch this instruction when the block arrives.
+				p.pushFront(rec)
+				p.fetchResume = c + lat - 1
+				return
+			}
+			lastBlock = block
+		}
+		e := p.dispatch(rec, replayed, c)
+		if isa.IsCondBranch(rec.Instr.Op) {
+			correct := true
+			if !p.cfg.PerfectBranches {
+				_, correct = p.bp.PredictAndUpdate(rec.PC, rec.Taken)
+			}
+			if !replayed {
+				p.stats.CondBranches++
+			}
+			if !correct {
+				if !replayed {
+					p.stats.BranchMispredicts++
+				}
+				e.brMispred = true
+				p.blockingAge = e.age
+				return
+			}
+		}
+	}
+}
+
+// nextRecord pulls the next correct-path record, preferring the replay
+// queue.
+func (p *Pipeline) nextRecord() (trace.Record, bool, bool) {
+	if len(p.pending) > 0 {
+		rec := p.pending[0]
+		p.pending = p.pending[1:]
+		return rec, true, true
+	}
+	if p.srcDone {
+		return trace.Record{}, false, false
+	}
+	rec, ok := p.src.Next()
+	if !ok {
+		p.srcDone = true
+		return trace.Record{}, false, false
+	}
+	return rec, false, true
+}
+
+func (p *Pipeline) pushFront(rec trace.Record) {
+	p.pending = append([]trace.Record{rec}, p.pending...)
+}
+
+// dispatch allocates a window entry for rec at cycle c.
+func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
+	idx := p.slot(p.count)
+	p.count++
+	e := &p.entries[idx]
+	e.reset()
+	e.used = true
+	e.idx = idx
+	e.age = p.nextAge
+	p.nextAge++
+	e.rec = rec
+	e.cls = isa.ClassOf(rec.Instr.Op)
+	e.replayed = replayed
+	e.dispatchCycle = c
+	e.earliestIssue = c + 1
+	e.nsrc = rec.NSrc
+	p.emit(c, EvDispatch, e)
+	p.stats.Dispatched++
+	if !replayed {
+		switch e.cls {
+		case isa.ClassLoad:
+			p.stats.Loads++
+		case isa.ClassStore:
+			p.stats.Stores++
+		}
+	}
+
+	for s := 0; s < e.nsrc; s++ {
+		o := &e.src[s]
+		*o = operand{reg: rec.SrcRegs[s], validAt: never, ready: never}
+		prod := p.regProd[o.reg]
+		if prod >= 0 && p.entries[prod].used {
+			o.inWindow = true
+			o.prodIdx = prod
+			o.prodAge = p.regProdAge[o.reg]
+			o.state = core.StateInvalid
+			p.syncOperand(o)
+		} else {
+			o.state = core.StateValid
+			o.correct = true
+			o.ready = c
+			o.validAt = c
+		}
+	}
+
+	if e.writesReg() {
+		p.predictValue(e, c)
+		if rec.Instr.Dst != isa.R0 {
+			p.regProd[rec.Instr.Dst] = idx
+			p.regProdAge[rec.Instr.Dst] = e.age
+		}
+	}
+	if !e.vpUsed {
+		e.outState = core.StateInvalid
+		e.outReady = never
+	}
+	// NOP and HALT execute trivially; give them a one-cycle pass through
+	// the pipeline like any simple operation.
+	return e
+}
+
+// predictValue performs the value-prediction dispatch work for a
+// register-writing instruction.
+func (p *Pipeline) predictValue(e *entry, c int64) {
+	if !p.specOn() || e.replayed {
+		// Replayed instructions (complete-invalidation squashes, repaired
+		// speculative branch resolutions) are not re-predicted.
+		return
+	}
+	if p.spec.Predictable != nil && !p.spec.Predictable(e.rec.Instr.Op) {
+		return
+	}
+	pc := e.rec.PC
+	pred, cookie := p.spec.Predictor.Lookup(pc)
+	e.vpMade = true
+	e.vpValue = pred
+	e.vpCookie = cookie
+	e.vpCorrect = pred == e.rec.DstVal
+	confident := p.spec.Confidence.Confident(pc, e.vpCorrect)
+
+	if !e.replayed {
+		p.stats.Predictions++
+		switch {
+		case e.vpCorrect && confident:
+			p.stats.CH++
+		case e.vpCorrect:
+			p.stats.CL++
+		case confident:
+			p.stats.IH++
+		default:
+			p.stats.IL++
+		}
+	}
+
+	switch p.spec.Update {
+	case UpdateImmediate:
+		p.spec.Predictor.TrainImmediate(pc, cookie, e.rec.DstVal)
+		if !e.replayed {
+			p.spec.Confidence.Update(pc, e.vpCorrect)
+		}
+	case UpdateDelayed:
+		p.spec.Predictor.SpeculateHistory(pc, pred)
+	}
+
+	if confident {
+		e.vpUsed = true
+		if !e.replayed {
+			p.stats.Speculated++
+		}
+		e.outState = core.StatePredicted
+		e.outCorrect = e.vpCorrect
+		e.outReady = c
+	}
+}

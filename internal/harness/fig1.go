@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/isa"
+	"valuespec/internal/mem"
+	"valuespec/internal/trace"
+	"valuespec/internal/vpred"
+)
+
+// Fig1Chain builds the dynamic records of the paper's Fig. 1 example: three
+// single-cycle instructions forming a dependence chain (2 depends on 1 and 3
+// depends on 2), already in the instruction window.
+func Fig1Chain() []trace.Record {
+	add := func(seq int64, dst, src isa.Reg, srcVal, dstVal int64) trace.Record {
+		return trace.Record{
+			Seq: seq, PC: int(seq),
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: dst, Src1: src, Src2: src},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{src, src},
+			SrcVals: [2]int64{srcVal, srcVal},
+			DstVal:  dstVal,
+			NextPC:  int(seq) + 1,
+		}
+	}
+	return []trace.Record{
+		add(0, 1, 10, 1, 2),
+		add(1, 2, 1, 2, 4),
+		add(2, 3, 2, 4, 8),
+	}
+}
+
+// Fig1Scenario simulates one Fig. 1 scenario: the 3-instruction chain under
+// the given model (nil for the base processor), with the outputs of
+// instructions 1 and 2 predicted correctly or, if mispredict is set, both
+// predicted wrong. It returns the full event log and the statistics.
+func Fig1Scenario(model *core.Model, mispredict bool) (*cpu.EventLog, *cpu.Stats, error) {
+	recs := Fig1Chain()
+	var opts *cpu.SpecOptions
+	if model != nil {
+		preds := map[int]int64{0: recs[0].DstVal, 1: recs[1].DstVal}
+		if mispredict {
+			preds[0] += 100
+			preds[1] += 100
+		}
+		opts = &cpu.SpecOptions{
+			Enabled:    true,
+			Model:      *model,
+			Predictor:  &vpred.Scripted{Preds: preds},
+			Confidence: &confidence.Scripted{PCs: map[int]bool{0: true, 1: true}},
+		}
+	}
+	cfg := cpu.Config4x24().Normalize()
+	// Unit memory latency: the paper's figure assumes the instructions are
+	// already fetched.
+	cfg.Mem = mem.HierarchyConfig{
+		L1I: cfg.Mem.L1I, L1D: cfg.Mem.L1D, L2: cfg.Mem.L2,
+		L1IHitLat: 1, L1DHitLat: 1, L2HitLat: 1, MemLat: 1,
+	}
+	p, err := cpu.New(cfg, opts, &trace.SliceSource{Records: recs})
+	if err != nil {
+		return nil, nil, err
+	}
+	log := &cpu.EventLog{}
+	p.SetObserver(log)
+	st, err := p.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return log, st, nil
+}
+
+// Fig1Diagram renders the event log of a Fig. 1 scenario as a pipeline
+// diagram; see Timeline for the format.
+func Fig1Diagram(log *cpu.EventLog) string { return Timeline(log, 0) }
+
+// Timeline renders an event log as a pipeline diagram: one row per dynamic
+// instruction (at most maxInstr rows when maxInstr > 0), one column per
+// cycle, with event codes D=dispatch I=issue W=writeback M=memory V=verify
+// X=invalidate B=branch-resolve R=retire.
+func Timeline(log *cpu.EventLog, maxInstr int) string {
+	codes := map[cpu.EventKind]string{
+		cpu.EvDispatch: "D", cpu.EvIssue: "I", cpu.EvExecDone: "W",
+		cpu.EvMemAccess: "M", cpu.EvVerify: "V", cpu.EvInvalidate: "X",
+		cpu.EvResolve: "B", cpu.EvRetire: "R",
+	}
+	cells := map[int64]map[int64]string{} // seq -> cycle -> codes
+	var maxCycle int64
+	for _, ev := range log.Events {
+		if maxInstr > 0 && ev.Seq >= int64(maxInstr) {
+			continue
+		}
+		if cells[ev.Seq] == nil {
+			cells[ev.Seq] = map[int64]string{}
+		}
+		cells[ev.Seq][ev.Cycle] += codes[ev.Kind]
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+	}
+	width := 2
+	for _, row := range cells {
+		for _, s := range row {
+			if len(s) > width {
+				width = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "cycle")
+	for c := int64(0); c <= maxCycle; c++ {
+		fmt.Fprintf(&b, " %*d", width, c)
+	}
+	b.WriteByte('\n')
+	seqs := make([]int64, 0, len(cells))
+	for s := range cells {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		fmt.Fprintf(&b, "instr %-2d", s+1)
+		for c := int64(0); c <= maxCycle; c++ {
+			cell := cells[s][c]
+			if cell == "" {
+				cell = "."
+			}
+			fmt.Fprintf(&b, " %*s", width, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,335 @@
+// Package harness wires the workloads, the functional emulator and the
+// timing simulator into the paper's experiments, and regenerates every table
+// and figure of the evaluation (Section 6):
+//
+//	Table 1 — benchmark characteristics            (Table1)
+//	Fig. 3  — model speedups across configurations (Fig3)
+//	Fig. 4  — prediction-accuracy breakdown        (Fig4)
+//
+// plus the latency-sensitivity and design-space ablations that the paper's
+// model makes expressible.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/emu"
+	"valuespec/internal/isa"
+	"valuespec/internal/stats"
+	"valuespec/internal/vpred"
+)
+
+// Setting is one predictor-update/confidence combination; the paper studies
+// the four products D/R, I/R, D/O, I/O.
+type Setting struct {
+	Update cpu.UpdateTiming
+	Oracle bool
+}
+
+func (s Setting) String() string {
+	c := "R"
+	if s.Oracle {
+		c = "O"
+	}
+	return s.Update.String() + "/" + c
+}
+
+// PaperSettings returns the four settings of Section 6 in the paper's order:
+// D/R, I/R, D/O, I/O.
+func PaperSettings() []Setting {
+	return []Setting{
+		{cpu.UpdateDelayed, false},
+		{cpu.UpdateImmediate, false},
+		{cpu.UpdateDelayed, true},
+		{cpu.UpdateImmediate, true},
+	}
+}
+
+// ConfigName renders a processor configuration as "width/window".
+func ConfigName(cfg cpu.Config) string {
+	return fmt.Sprintf("%d/%d", cfg.IssueWidth, cfg.WindowSize)
+}
+
+// Spec describes one simulation.
+type Spec struct {
+	Workload bench.Workload
+	Scale    int // 0 selects the workload default
+	Config   cpu.Config
+	// Model selects the speculative-execution model; nil runs the base
+	// processor.
+	Model   *core.Model
+	Setting Setting
+	// NewPredictor overrides the paper's FCM; a factory because predictors
+	// are stateful and simulations run concurrently.
+	NewPredictor func() vpred.Predictor
+	// NewConfidence overrides the setting's confidence estimator.
+	NewConfidence func() confidence.Estimator
+	// Predictable restricts which operations are value-predicted; nil
+	// predicts every register writer.
+	Predictable func(op isa.Op) bool
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Spec  Spec
+	Stats *cpu.Stats
+}
+
+// IPC returns the measured instructions per cycle.
+func (r Result) IPC() float64 { return r.Stats.IPC() }
+
+// Simulate runs one simulation to completion.
+func Simulate(spec Spec) (Result, error) {
+	scale := spec.Scale
+	if scale <= 0 {
+		scale = spec.Workload.DefaultScale
+	}
+	m, err := emu.New(spec.Workload.Build(scale))
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+	}
+	var opts *cpu.SpecOptions
+	if spec.Model != nil {
+		var conf confidence.Estimator = confidence.Default()
+		if spec.Setting.Oracle {
+			conf = confidence.Oracle{}
+		}
+		if spec.NewConfidence != nil {
+			conf = spec.NewConfidence()
+		}
+		pred := vpred.Predictor(vpred.NewFCM(vpred.DefaultFCMConfig()))
+		if spec.NewPredictor != nil {
+			pred = spec.NewPredictor()
+		}
+		opts = &cpu.SpecOptions{
+			Enabled:     true,
+			Model:       *spec.Model,
+			Predictor:   pred,
+			Confidence:  conf,
+			Update:      spec.Setting.Update,
+			Predictable: spec.Predictable,
+		}
+	}
+	p, err := cpu.New(spec.Config, opts, m)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s on %s: %w", spec.Workload.Name, ConfigName(spec.Config), err)
+	}
+	return Result{Spec: spec, Stats: st}, nil
+}
+
+// SimulateAll runs the given specs concurrently (bounded by GOMAXPROCS) and
+// returns results in input order. The first error aborts the batch.
+func SimulateAll(specs []Spec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Simulate(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Benchmark     string
+	DynamicInstr  int64
+	PredictedFrac float64
+}
+
+// Table1 characterizes the whole suite (at scale 0, the defaults).
+func Table1(scale int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, w := range bench.All() {
+		s := scale
+		if s <= 0 {
+			s = w.DefaultScale
+		}
+		c, err := bench.Characterize(w, s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:     c.Name,
+			DynamicInstr:  c.DynamicInstr,
+			PredictedFrac: c.PredictedFrac,
+		})
+	}
+	return rows, nil
+}
+
+// Fig3Cell is one bar of the paper's Fig. 3: the harmonic-mean speedup of
+// one model under one configuration and setting, plus the per-benchmark
+// speedups behind the mean.
+type Fig3Cell struct {
+	Config  string
+	Setting string
+	Model   string
+	Speedup float64
+	PerWkld map[string]float64
+}
+
+// Fig3 sweeps models x configurations x settings over the workload suite and
+// returns the harmonic-mean speedup cells in a deterministic order
+// (configuration, then setting, then model). scale <= 0 selects workload
+// defaults.
+func Fig3(configs []cpu.Config, models []core.Model, settings []Setting, workloads []bench.Workload, scale int) ([]Fig3Cell, error) {
+	// Base runs: one per (config, workload).
+	var baseSpecs []Spec
+	for _, cfg := range configs {
+		for _, w := range workloads {
+			baseSpecs = append(baseSpecs, Spec{Workload: w, Scale: scale, Config: cfg})
+		}
+	}
+	baseResults, err := SimulateAll(baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+	baseIPC := make(map[string]float64, len(baseResults))
+	for _, r := range baseResults {
+		baseIPC[ConfigName(r.Spec.Config)+"|"+r.Spec.Workload.Name] = r.IPC()
+	}
+
+	// Speculative runs.
+	var specs []Spec
+	for _, cfg := range configs {
+		for _, set := range settings {
+			for i := range models {
+				for _, w := range workloads {
+					specs = append(specs, Spec{
+						Workload: w, Scale: scale, Config: cfg,
+						Model: &models[i], Setting: set,
+					})
+				}
+			}
+		}
+	}
+	results, err := SimulateAll(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make(map[string]*Fig3Cell)
+	var order []string
+	for _, r := range results {
+		key := ConfigName(r.Spec.Config) + "|" + r.Spec.Setting.String() + "|" + r.Spec.Model.Name
+		cell, ok := cells[key]
+		if !ok {
+			cell = &Fig3Cell{
+				Config:  ConfigName(r.Spec.Config),
+				Setting: r.Spec.Setting.String(),
+				Model:   r.Spec.Model.Name,
+				PerWkld: make(map[string]float64),
+			}
+			cells[key] = cell
+			order = append(order, key)
+		}
+		base := baseIPC[ConfigName(r.Spec.Config)+"|"+r.Spec.Workload.Name]
+		sp, err := stats.Speedup(base, r.IPC())
+		if err != nil {
+			return nil, err
+		}
+		cell.PerWkld[r.Spec.Workload.Name] = sp
+	}
+
+	out := make([]Fig3Cell, 0, len(order))
+	for _, key := range order {
+		cell := cells[key]
+		vals := make([]float64, 0, len(cell.PerWkld))
+		for _, v := range cell.PerWkld {
+			vals = append(vals, v)
+		}
+		hm, err := stats.HarmonicMean(vals)
+		if err != nil {
+			return nil, err
+		}
+		cell.Speedup = hm
+		out = append(out, *cell)
+	}
+	return out, nil
+}
+
+// Fig4Cell is one stacked bar of the paper's Fig. 4: the arithmetic-mean
+// prediction-accuracy breakdown under the Great model for one configuration
+// and update timing, split into correct/incorrect x high/low confidence.
+type Fig4Cell struct {
+	Config         string
+	Update         cpu.UpdateTiming
+	CH, CL, IH, IL float64
+}
+
+// Fig4 measures the accuracy breakdown of the real-confidence Great-model
+// runs for each configuration and update timing, averaging the per-benchmark
+// fractions arithmetically as the paper does.
+func Fig4(configs []cpu.Config, workloads []bench.Workload, scale int) ([]Fig4Cell, error) {
+	great := core.Great()
+	var specs []Spec
+	for _, cfg := range configs {
+		for _, u := range []cpu.UpdateTiming{cpu.UpdateDelayed, cpu.UpdateImmediate} {
+			for _, w := range workloads {
+				specs = append(specs, Spec{
+					Workload: w, Scale: scale, Config: cfg,
+					Model: &great, Setting: Setting{Update: u},
+				})
+			}
+		}
+	}
+	results, err := SimulateAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	type acc struct {
+		cell Fig4Cell
+		n    int
+	}
+	cells := make(map[string]*acc)
+	var order []string
+	for _, r := range results {
+		key := ConfigName(r.Spec.Config) + "|" + r.Spec.Setting.Update.String()
+		a, ok := cells[key]
+		if !ok {
+			a = &acc{cell: Fig4Cell{Config: ConfigName(r.Spec.Config), Update: r.Spec.Setting.Update}}
+			cells[key] = a
+			order = append(order, key)
+		}
+		ch, cl, ih, il := r.Stats.Breakdown()
+		a.cell.CH += ch
+		a.cell.CL += cl
+		a.cell.IH += ih
+		a.cell.IL += il
+		a.n++
+	}
+	out := make([]Fig4Cell, 0, len(order))
+	for _, key := range order {
+		a := cells[key]
+		n := float64(a.n)
+		a.cell.CH /= n
+		a.cell.CL /= n
+		a.cell.IH /= n
+		a.cell.IL /= n
+		out = append(out, a.cell)
+	}
+	return out, nil
+}

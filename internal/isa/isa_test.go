@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNames(t *testing.T) {
+	for o := NOP; o.Valid(); o++ {
+		name := o.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("op %d has no name", uint8(o))
+		}
+	}
+	if numOps.Valid() {
+		t.Error("numOps must not be a valid op")
+	}
+	if got := Op(200).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{ADD, ClassALU}, {SUB, ClassALU}, {LDI, ClassALU}, {SLTI, ClassALU},
+		{MUL, ClassComplex}, {DIV, ClassComplex}, {REM, ClassComplex},
+		{LD, ClassLoad}, {ST, ClassStore},
+		{BEQ, ClassBranch}, {BNE, ClassBranch}, {BLT, ClassBranch}, {BGE, ClassBranch},
+		{JMP, ClassJump}, {JAL, ClassJump}, {JR, ClassJump},
+		{NOP, ClassNop}, {HALT, ClassNop},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassALU, ClassComplex, ClassLoad, ClassStore, ClassBranch, ClassJump, ClassNop} {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", uint8(c))
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	// The paper: simple integer operations take one cycle; complex integer
+	// operations take 2-24 cycles.
+	for o := NOP; o.Valid(); o++ {
+		lat := Latency(o)
+		switch ClassOf(o) {
+		case ClassComplex:
+			if lat < 2 || lat > 24 {
+				t.Errorf("complex op %v latency %d outside [2,24]", o, lat)
+			}
+		default:
+			if lat != 1 {
+				t.Errorf("op %v latency %d, want 1", o, lat)
+			}
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	writers := []Op{ADD, SUB, AND, OR, XOR, SHL, SHR, SRA, SLT, ADDI, ANDI,
+		ORI, XORI, SHLI, SHRI, SLTI, LDI, MUL, DIV, REM, LD, JAL}
+	nonWriters := []Op{ST, BEQ, BNE, BLT, BGE, JMP, JR, NOP, HALT}
+	for _, o := range writers {
+		if !WritesReg(o) {
+			t.Errorf("WritesReg(%v) = false, want true", o)
+		}
+	}
+	for _, o := range nonWriters {
+		if WritesReg(o) {
+			t.Errorf("WritesReg(%v) = true, want false", o)
+		}
+	}
+}
+
+func TestControlPredicates(t *testing.T) {
+	if !IsControl(BEQ) || !IsControl(JMP) || !IsControl(JR) || IsControl(ADD) {
+		t.Error("IsControl misclassifies")
+	}
+	if !IsCondBranch(BLT) || IsCondBranch(JMP) {
+		t.Error("IsCondBranch misclassifies")
+	}
+	if !IsIndirect(JR) || IsIndirect(JMP) {
+		t.Error("IsIndirect misclassifies")
+	}
+	if !IsMem(LD) || !IsMem(ST) || IsMem(ADD) {
+		t.Error("IsMem misclassifies")
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want int
+	}{
+		{Instruction{Op: NOP}, 0},
+		{Instruction{Op: HALT}, 0},
+		{Instruction{Op: JMP}, 0},
+		{Instruction{Op: JAL, Dst: 1}, 0},
+		{Instruction{Op: LDI, Dst: 1, Imm: 5}, 0},
+		{Instruction{Op: ADDI, Dst: 1, Src1: 2}, 1},
+		{Instruction{Op: LD, Dst: 1, Src1: 2}, 1},
+		{Instruction{Op: JR, Src1: 31}, 1},
+		{Instruction{Op: ADD, Dst: 1, Src1: 2, Src2: 3}, 2},
+		{Instruction{Op: ST, Src1: 2, Src2: 3}, 2},
+		{Instruction{Op: BEQ, Src1: 2, Src2: 3}, 2},
+	}
+	for _, c := range cases {
+		regs, n := c.in.SrcRegs()
+		if n != c.want {
+			t.Errorf("%v: NSrc = %d, want %d", c.in, n, c.want)
+		}
+		if n >= 1 && regs[0] != c.in.Src1 {
+			t.Errorf("%v: first source = %v, want %v", c.in, regs[0], c.in.Src1)
+		}
+	}
+}
+
+func TestEvalSemantics(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, i int64
+		want    int64
+	}{
+		{ADD, 2, 3, 0, 5},
+		{SUB, 2, 3, 0, -1},
+		{AND, 6, 3, 0, 2},
+		{OR, 6, 3, 0, 7},
+		{XOR, 6, 3, 0, 5},
+		{SHL, 1, 4, 0, 16},
+		{SHL, 1, 64, 0, 1}, // shift counts are mod 64
+		{SHR, -1, 60, 0, 15},
+		{SRA, -16, 2, 0, -4},
+		{SLT, 1, 2, 0, 1},
+		{SLT, 2, 1, 0, 0},
+		{ADDI, 2, 0, 3, 5},
+		{ANDI, 6, 0, 3, 2},
+		{ORI, 6, 0, 3, 7},
+		{XORI, 6, 0, 3, 5},
+		{SHLI, 1, 0, 4, 16},
+		{SHRI, -1, 0, 60, 15},
+		{SLTI, 1, 0, 2, 1},
+		{LDI, 99, 99, 42, 42},
+		{MUL, 7, 6, 0, 42},
+		{DIV, 42, 6, 0, 7},
+		{DIV, 42, 0, 0, 0}, // division by zero yields zero, not a fault
+		{REM, 43, 6, 0, 1},
+		{REM, 43, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Eval(c.op, c.a, c.b, c.i); got != c.want {
+			t.Errorf("Eval(%v, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.i, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnNonALU(t *testing.T) {
+	for _, op := range []Op{LD, ST, BEQ, JMP, JAL, JR, NOP, HALT} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval(%v) did not panic", op)
+				}
+			}()
+			Eval(op, 0, 0, 0)
+		}()
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{BEQ, 1, 1, true}, {BEQ, 1, 2, false},
+		{BNE, 1, 2, true}, {BNE, 1, 1, false},
+		{BLT, 1, 2, true}, {BLT, 2, 1, false}, {BLT, 1, 1, false},
+		{BGE, 2, 1, true}, {BGE, 1, 1, true}, {BGE, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %t, want %t", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTaken(ADD) did not panic")
+		}
+	}()
+	BranchTaken(ADD, 0, 0)
+}
+
+// TestEvalMatchesGoSemantics property-checks the commutative and inverse
+// laws that the ALU must satisfy for arbitrary 64-bit inputs.
+func TestEvalMatchesGoSemantics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(func(a, b int64) bool {
+		return Eval(ADD, a, b, 0) == a+b &&
+			Eval(ADD, a, b, 0) == Eval(ADD, b, a, 0) &&
+			Eval(SUB, Eval(ADD, a, b, 0), b, 0) == a &&
+			Eval(XOR, Eval(XOR, a, b, 0), b, 0) == a &&
+			Eval(AND, a, b, 0) == Eval(AND, b, a, 0) &&
+			Eval(OR, a, b, 0) == Eval(OR, b, a, 0) &&
+			Eval(MUL, a, b, 0) == a*b
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftMasking property-checks that shift amounts use only the low six
+// bits, so huge or negative counts cannot fault.
+func TestShiftMasking(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(func(a, b int64) bool {
+		s := uint64(b) & 63
+		return Eval(SHL, a, b, 0) == a<<s &&
+			Eval(SHR, a, b, 0) == int64(uint64(a)>>s) &&
+			Eval(SRA, a, b, 0) == a>>s
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: LDI, Dst: 1, Imm: -5}, "ldi r1, -5"},
+		{Instruction{Op: ADD, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Instruction{Op: ADDI, Dst: 1, Src1: 2, Imm: 7}, "addi r1, r2, 7"},
+		{Instruction{Op: LD, Dst: 4, Src1: 5, Imm: 8}, "ld r4, 8(r5)"},
+		{Instruction{Op: ST, Src1: 5, Src2: 4, Imm: 8}, "st r4, 8(r5)"},
+		{Instruction{Op: BEQ, Src1: 1, Src2: 2, Target: 9}, "beq r1, r2, @9"},
+		{Instruction{Op: JMP, Target: 3}, "jmp @3"},
+		{Instruction{Op: JAL, Dst: 31, Target: 3}, "jal r31, @3"},
+		{Instruction{Op: JR, Src1: 31}, "jr r31"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

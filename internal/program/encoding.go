@@ -1,0 +1,181 @@
+package program
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"valuespec/internal/isa"
+)
+
+// Binary program format ("VSPC"): a fixed-width serialization of a Program,
+// the valuespec equivalent of an object file. The format favors simplicity
+// over compactness — each instruction occupies 16 bytes:
+//
+//	magic   "VSPC" (4 bytes)
+//	version u32 (currently 1)
+//	nameLen u32, name bytes
+//	entry   u32
+//	ncode   u32
+//	  per instruction: op u8, dst u8, src1 u8, src2 u8, target i32, imm i64
+//	ndata   u32
+//	  per word: addr i64, value i64
+//
+// All integers are little-endian.
+const (
+	binaryMagic   = "VSPC"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes p into w.
+func (p *Program) WriteBinary(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeI64 := func(v int64) {
+		var b [8]byte
+		le.PutUint64(b[:], uint64(v))
+		buf.Write(b[:])
+	}
+	writeU32(binaryVersion)
+	writeU32(uint32(len(p.Name)))
+	buf.WriteString(p.Name)
+	writeU32(uint32(p.Entry))
+	writeU32(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		buf.WriteByte(byte(in.Op))
+		buf.WriteByte(byte(in.Dst))
+		buf.WriteByte(byte(in.Src1))
+		buf.WriteByte(byte(in.Src2))
+		var t [4]byte
+		le.PutUint32(t[:], uint32(int32(in.Target)))
+		buf.Write(t[:])
+		writeI64(in.Imm)
+	}
+	addrs, vals := p.SortedData()
+	writeU32(uint32(len(addrs)))
+	for i := range addrs {
+		writeI64(addrs[i])
+		writeI64(vals[i])
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBinary deserializes a Program written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Program, error) {
+	le := binary.LittleEndian
+	readN := func(n int) ([]byte, error) {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("program: truncated binary: %w", err)
+		}
+		return b, nil
+	}
+	readU32 := func() (uint32, error) {
+		b, err := readN(4)
+		if err != nil {
+			return 0, err
+		}
+		return le.Uint32(b), nil
+	}
+	readI64 := func() (int64, error) {
+		b, err := readN(8)
+		if err != nil {
+			return 0, err
+		}
+		return int64(le.Uint64(b)), nil
+	}
+
+	magic, err := readN(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("program: bad magic %q", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("program: unsupported version %d", version)
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("program: implausible name length %d", nameLen)
+	}
+	name, err := readN(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	entry, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ncode, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ncode > 1<<24 {
+		return nil, fmt.Errorf("program: implausible code length %d", ncode)
+	}
+	p := &Program{
+		Name:  string(name),
+		Entry: int(entry),
+		Code:  make([]isa.Instruction, ncode),
+		Data:  make(map[int64]int64),
+	}
+	for i := range p.Code {
+		head, err := readN(8)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := readI64()
+		if err != nil {
+			return nil, err
+		}
+		p.Code[i] = isa.Instruction{
+			Op:     isa.Op(head[0]),
+			Dst:    isa.Reg(head[1]),
+			Src1:   isa.Reg(head[2]),
+			Src2:   isa.Reg(head[3]),
+			Target: int(int32(le.Uint32(head[4:]))),
+			Imm:    imm,
+		}
+	}
+	ndata, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ndata > 1<<24 {
+		return nil, fmt.Errorf("program: implausible data length %d", ndata)
+	}
+	for i := uint32(0); i < ndata; i++ {
+		addr, err := readI64()
+		if err != nil {
+			return nil, err
+		}
+		val, err := readI64()
+		if err != nil {
+			return nil, err
+		}
+		p.Data[addr] = val
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

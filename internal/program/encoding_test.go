@@ -1,0 +1,135 @@
+package program
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"valuespec/internal/isa"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	b := NewBuilder("roundtrip")
+	b.InitWord(-5, 123)
+	b.InitWords(1000, 1, -2, 3)
+	b.Ldi(1, -6364136223846793005) // a negative 64-bit immediate
+	b.Label("top")
+	b.Addi(2, 1, 7)
+	b.Beq(1, 2, "top")
+	b.Jal(31, "fn")
+	b.Halt()
+	b.Label("fn")
+	b.Jr(31)
+	p := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Entry != p.Entry {
+		t.Errorf("header mismatch: %q/%d", got.Name, got.Entry)
+	}
+	if !reflect.DeepEqual(got.Code, p.Code) {
+		t.Errorf("code mismatch:\n got %v\nwant %v", got.Code, p.Code)
+	}
+	if !reflect.DeepEqual(got.Data, p.Data) {
+		t.Errorf("data mismatch: %v vs %v", got.Data, p.Data)
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		b := NewBuilder("rand")
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			b.Emit(isa.Instruction{
+				Op:   isa.Op(r.Intn(int(isa.HALT))), // any valid non-control-heavy op
+				Dst:  isa.Reg(r.Intn(isa.NumRegs)),
+				Src1: isa.Reg(r.Intn(isa.NumRegs)),
+				Src2: isa.Reg(r.Intn(isa.NumRegs)),
+				Imm:  r.Int63() - r.Int63(),
+			})
+		}
+		b.Halt()
+		for i := 0; i < r.Intn(5); i++ {
+			b.InitWord(int64(r.Intn(1000)), r.Int63())
+		}
+		p, err := b.Build()
+		if err != nil {
+			// Random control ops may have out-of-range targets; skip those.
+			continue
+		}
+		var buf bytes.Buffer
+		if err := p.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Code, p.Code) || !reflect.DeepEqual(got.Data, p.Data) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestReadBinaryRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "XXXX\x01\x00\x00\x00",
+		"truncated": "VSPC\x01\x00\x00\x00\x03\x00\x00\x00ab",
+	}
+	for name, in := range cases {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadBinaryRejectsBadVersion(t *testing.T) {
+	p := NewBuilder("v").Halt().MustBuild()
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // corrupt the version
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestWriteBinaryValidates(t *testing.T) {
+	bad := &Program{Name: "bad"} // empty code
+	if err := bad.WriteBinary(&bytes.Buffer{}); err == nil {
+		t.Error("invalid program serialized")
+	}
+}
+
+func TestReadBinaryValidates(t *testing.T) {
+	// Serialize a valid program, then corrupt a jump target out of range.
+	b := NewBuilder("v")
+	b.Label("l")
+	b.Jmp("l")
+	b.Halt()
+	p := b.MustBuild()
+	var buf bytes.Buffer
+	if err := p.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Instruction 0's target field lives 4 bytes into its record; the code
+	// section starts after magic(4)+version(4)+nameLen(4)+name(1)+entry(4)+ncode(4).
+	off := 4 + 4 + 4 + len(p.Name) + 4 + 4 + 4
+	raw[off] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted target accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package program provides the representation of executable programs for the
+// simulated machine along with two ways to construct them: a fluent Builder
+// with symbolic labels (used by the synthetic workloads in internal/bench)
+// and a small text assembler (see Assemble).
+//
+// The paper compiles SPECint95 with SimpleScalar gcc; this package is the
+// corresponding toolchain substitute.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"valuespec/internal/isa"
+)
+
+// Program is a fully linked executable: a code image, an initial data-memory
+// image and an entry point.
+type Program struct {
+	Name  string
+	Code  []isa.Instruction
+	Data  map[int64]int64 // initial memory image, word address -> value
+	Entry int             // index of the first instruction to execute
+}
+
+// Disassemble renders the whole code image, one instruction per line,
+// prefixed with its static index.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Code {
+		out += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: all control-transfer targets
+// are within the code image, all registers are architected, and the entry
+// point is valid. The emulator refuses to run programs that fail validation.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q: empty code image", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("program %q: entry %d out of range [0,%d)", p.Name, p.Entry, len(p.Code))
+	}
+	for i, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("program %q: instruction %d: invalid opcode %d", p.Name, i, uint8(in.Op))
+		}
+		if in.Dst >= isa.NumRegs || in.Src1 >= isa.NumRegs || in.Src2 >= isa.NumRegs {
+			return fmt.Errorf("program %q: instruction %d: register out of range", p.Name, i)
+		}
+		if isa.IsControl(in.Op) && !isa.IsIndirect(in.Op) {
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("program %q: instruction %d (%s): target %d out of range", p.Name, i, in, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedData returns the initial data image as (address, value) pairs in
+// ascending address order; useful for deterministic dumps and tests.
+func (p *Program) SortedData() (addrs []int64, vals []int64) {
+	addrs = make([]int64, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	vals = make([]int64, len(addrs))
+	for i, a := range addrs {
+		vals[i] = p.Data[a]
+	}
+	return addrs, vals
+}
+
+// fixup records a forward reference to a label from the Target field of the
+// instruction at index pos.
+type fixup struct {
+	pos   int
+	label string
+}
+
+// Builder assembles a Program incrementally. Emit instructions with the
+// typed convenience methods, mark positions with Label, and reference labels
+// (including forward references) from branches and jumps. Call Build to
+// resolve labels and validate.
+type Builder struct {
+	name   string
+	code   []isa.Instruction
+	data   map[int64]int64
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		data:   make(map[int64]int64),
+		labels: make(map[string]int),
+	}
+}
+
+// Len returns the number of instructions emitted so far; the next emitted
+// instruction will have this static index.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label defines name at the current position. Redefinition is an error
+// reported by Build.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("label %q redefined", name))
+		return b
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// InitWord sets the initial value of data-memory word addr.
+func (b *Builder) InitWord(addr, val int64) *Builder {
+	b.data[addr] = val
+	return b
+}
+
+// InitWords stores vals at consecutive word addresses starting at base.
+func (b *Builder) InitWords(base int64, vals ...int64) *Builder {
+	for i, v := range vals {
+		b.data[base+int64(i)] = v
+	}
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instruction) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// emitBranch appends a control transfer whose Target will be patched to the
+// position of label.
+func (b *Builder) emitBranch(in isa.Instruction, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pos: len(b.code), label: label})
+	return b.Emit(in)
+}
+
+// Register-register ALU forms.
+
+func (b *Builder) Add(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.ADD, d, s1, s2) }
+func (b *Builder) Sub(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.SUB, d, s1, s2) }
+func (b *Builder) And(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.AND, d, s1, s2) }
+func (b *Builder) Or(d, s1, s2 isa.Reg) *Builder  { return b.rrr(isa.OR, d, s1, s2) }
+func (b *Builder) Xor(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.XOR, d, s1, s2) }
+func (b *Builder) Shl(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.SHL, d, s1, s2) }
+func (b *Builder) Shr(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.SHR, d, s1, s2) }
+func (b *Builder) Sra(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.SRA, d, s1, s2) }
+func (b *Builder) Slt(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.SLT, d, s1, s2) }
+func (b *Builder) Mul(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.MUL, d, s1, s2) }
+func (b *Builder) Div(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.DIV, d, s1, s2) }
+func (b *Builder) Rem(d, s1, s2 isa.Reg) *Builder { return b.rrr(isa.REM, d, s1, s2) }
+
+func (b *Builder) rrr(op isa.Op, d, s1, s2 isa.Reg) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Dst: d, Src1: s1, Src2: s2})
+}
+
+// Immediate ALU forms.
+
+func (b *Builder) Addi(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.ADDI, d, s, imm) }
+func (b *Builder) Andi(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.ANDI, d, s, imm) }
+func (b *Builder) Ori(d, s isa.Reg, imm int64) *Builder  { return b.rri(isa.ORI, d, s, imm) }
+func (b *Builder) Xori(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.XORI, d, s, imm) }
+func (b *Builder) Shli(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.SHLI, d, s, imm) }
+func (b *Builder) Shri(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.SHRI, d, s, imm) }
+func (b *Builder) Slti(d, s isa.Reg, imm int64) *Builder { return b.rri(isa.SLTI, d, s, imm) }
+
+func (b *Builder) rri(op isa.Op, d, s isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: op, Dst: d, Src1: s, Imm: imm})
+}
+
+// Ldi loads a 64-bit immediate.
+func (b *Builder) Ldi(d isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.LDI, Dst: d, Imm: imm})
+}
+
+// Mov copies s into d (encoded as ADDI d, s, 0).
+func (b *Builder) Mov(d, s isa.Reg) *Builder { return b.Addi(d, s, 0) }
+
+// Nop emits a NOP.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Instruction{Op: isa.NOP}) }
+
+// Memory forms: Ld d, imm(s) and St s2, imm(s1).
+
+func (b *Builder) Ld(d, base isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.LD, Dst: d, Src1: base, Imm: imm})
+}
+
+func (b *Builder) St(val, base isa.Reg, imm int64) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.ST, Src1: base, Src2: val, Imm: imm})
+}
+
+// Control transfers referencing labels.
+
+func (b *Builder) Beq(s1, s2 isa.Reg, label string) *Builder { return b.br(isa.BEQ, s1, s2, label) }
+func (b *Builder) Bne(s1, s2 isa.Reg, label string) *Builder { return b.br(isa.BNE, s1, s2, label) }
+func (b *Builder) Blt(s1, s2 isa.Reg, label string) *Builder { return b.br(isa.BLT, s1, s2, label) }
+func (b *Builder) Bge(s1, s2 isa.Reg, label string) *Builder { return b.br(isa.BGE, s1, s2, label) }
+
+func (b *Builder) br(op isa.Op, s1, s2 isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Instruction{Op: op, Src1: s1, Src2: s2}, label)
+}
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(isa.Instruction{Op: isa.JMP}, label)
+}
+
+// Jal jumps to label and stores the return address (PC+1) in d.
+func (b *Builder) Jal(d isa.Reg, label string) *Builder {
+	return b.emitBranch(isa.Instruction{Op: isa.JAL, Dst: d}, label)
+}
+
+// Jr jumps to the instruction index held in s.
+func (b *Builder) Jr(s isa.Reg) *Builder {
+	return b.Emit(isa.Instruction{Op: isa.JR, Src1: s})
+}
+
+// Halt stops the machine.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Instruction{Op: isa.HALT}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	code := make([]isa.Instruction, len(b.code))
+	copy(code, b.code)
+	for _, f := range b.fixups {
+		pos, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %q: undefined label %q", b.name, f.label)
+		}
+		code[f.pos].Target = pos
+	}
+	data := make(map[int64]int64, len(b.data))
+	for a, v := range b.data {
+		data[a] = v
+	}
+	p := &Program{Name: b.name, Code: code, Data: data}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; intended for statically known
+// programs such as the built-in workloads, where a failure is a programming
+// bug rather than a runtime condition.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"valuespec/internal/cpu"
+	"valuespec/internal/harness"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name:   "sample",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"x", "1"}, {"y", "2"}},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("sample", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][1] != "2" || got.Header[0] != "a" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestCSVRejectsRaggedRows(t *testing.T) {
+	bad := &Table{Header: []string{"a", "b"}, Rows: [][]string{{"only-one"}}}
+	if err := bad.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" || len(got.Rows) != 2 {
+		t.Errorf("JSON round trip lost data: %+v", got)
+	}
+}
+
+func TestTable1Conversion(t *testing.T) {
+	tbl := Table1([]harness.Table1Row{
+		{Benchmark: "compress", DynamicInstr: 1000, PredictedFrac: 0.7},
+	})
+	if tbl.Rows[0][0] != "compress" || tbl.Rows[0][1] != "1000" || tbl.Rows[0][2] != "0.7000" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestFig3ConversionStableColumns(t *testing.T) {
+	cells := []harness.Fig3Cell{
+		{Config: "8/48", Setting: "I/R", Model: "great", Speedup: 1.1,
+			PerWkld: map[string]float64{"gcc": 1.2, "compress": 1.05}},
+	}
+	tbl := Fig3(cells)
+	// Workload columns are sorted for determinism.
+	if tbl.Header[4] != "compress" || tbl.Header[5] != "gcc" {
+		t.Errorf("header = %v", tbl.Header)
+	}
+	if tbl.Rows[0][4] != "1.0500" || tbl.Rows[0][5] != "1.2000" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestFig4Conversion(t *testing.T) {
+	tbl := Fig4([]harness.Fig4Cell{
+		{Config: "4/24", Update: cpu.UpdateDelayed, CH: 0.2, CL: 0.3, IH: 0.01, IL: 0.49},
+	})
+	if tbl.Rows[0][1] != "D" || tbl.Rows[0][2] != "0.2000" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestOtherConversions(t *testing.T) {
+	lat := Latency([]harness.LatencyPoint{{Variable: "VerifyBranch", Value: 2, Speedup: 1.01}})
+	if lat.Rows[0][0] != "VerifyBranch" || lat.Rows[0][1] != "2" {
+		t.Errorf("latency rows = %v", lat.Rows)
+	}
+	sch := Schemes("verification", []harness.SchemeResult{{Scheme: "parallel", Speedup: 1.12}})
+	if sch.Name != "verification" || sch.Rows[0][0] != "parallel" {
+		t.Errorf("scheme table = %+v", sch)
+	}
+	conf := Confidence([]harness.ConfidencePoint{{CounterBits: 3, Speedup: 1.1, CH: 0.4}})
+	if conf.Rows[0][0] != "3" || conf.Rows[0][2] != "0.4000" {
+		t.Errorf("confidence rows = %v", conf.Rows)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "| a | b |\n| --- | --- |\n| x | 1 |\n| y | 2 |\n"
+	if out != want {
+		t.Errorf("markdown = %q, want %q", out, want)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tbl := &Table{Header: []string{"h"}, Rows: [][]string{{"a|b"}}}
+	var buf bytes.Buffer
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `a\|b`) {
+		t.Errorf("pipe not escaped: %q", buf.String())
+	}
+}
+
+func TestMarkdownRaggedRow(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}, Rows: [][]string{{"only"}}}
+	if err := tbl.WriteMarkdown(&bytes.Buffer{}); err == nil {
+		t.Error("ragged markdown row accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Package stats provides the aggregate statistics used by the paper's
+// evaluation: harmonic-mean speedups (Section 5.1: "For average speedup
+// calculation harmonic mean was used") and arithmetic-mean prediction rates
+// ("Arithmetic mean was used for reporting average prediction rates so each
+// benchmark effectively contributes the same number of predictions").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HarmonicMean returns the harmonic mean of xs. It returns an error if xs is
+// empty or contains a non-positive value (the harmonic mean is defined for
+// positive data only).
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: harmonic mean of empty data")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: harmonic mean requires positive values, got %g", x)
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum, nil
+}
+
+// ArithmeticMean returns the mean of xs, or an error if xs is empty.
+func ArithmeticMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty data")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// GeometricMean returns the geometric mean of positive xs.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty data")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Min and Max return the extrema of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Speedup returns after/before, the paper's speedup metric (ratio of the
+// performance of a configuration with value prediction to one without).
+func Speedup(baseIPC, specIPC float64) (float64, error) {
+	if baseIPC <= 0 {
+		return 0, fmt.Errorf("stats: base IPC must be positive, got %g", baseIPC)
+	}
+	return specIPC / baseIPC, nil
+}

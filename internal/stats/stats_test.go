@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 3/(1+0.5+0.25)) {
+		t.Errorf("harmonic mean = %g", got)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive input accepted")
+	}
+}
+
+func TestArithmeticMean(t *testing.T) {
+	got, err := ArithmeticMean([]float64{1, 2, 3})
+	if err != nil || !almost(got, 2) {
+		t.Errorf("mean = %g, %v", got, err)
+	}
+	if _, err := ArithmeticMean(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got, err := GeometricMean([]float64{2, 8})
+	if err != nil || !almost(got, 4) {
+		t.Errorf("geometric mean = %g, %v", got, err)
+	}
+	if _, err := GeometricMean([]float64{-1}); err == nil {
+		t.Error("negative input accepted")
+	}
+	if _, err := GeometricMean(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("min/max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("median = %g, want 3", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even-length median wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty extrema not zero")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	got, err := Speedup(2, 3)
+	if err != nil || !almost(got, 1.5) {
+		t.Errorf("speedup = %g, %v", got, err)
+	}
+	if _, err := Speedup(0, 1); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+// TestMeanInequality property-checks the HM <= GM <= AM chain on positive
+// data — the invariant that makes harmonic-mean speedups conservative.
+func TestMeanInequality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-6 && x < 1e6 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, err1 := HarmonicMean(xs)
+		gm, err2 := GeometricMean(xs)
+		am, err3 := ArithmeticMean(xs)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		const eps = 1e-9
+		return hm <= gm*(1+eps) && gm <= am*(1+eps) &&
+			hm >= Min(xs)*(1-eps) && am <= Max(xs)*(1+eps)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

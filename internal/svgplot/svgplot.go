@@ -1,0 +1,288 @@
+// Package svgplot renders the experiment results as standalone SVG files —
+// the publication-quality counterpart of textplot. Only the chart forms the
+// paper uses are provided: grouped bar charts (Fig. 3), 100%-stacked bars
+// (Fig. 4) and line charts (latency sweeps). The output is self-contained
+// SVG 1.1 with no external resources.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette holds the fill colors cycled by series index.
+var palette = []string{
+	"#4878a8", "#ee854a", "#6acc64", "#d65f5f",
+	"#956cb4", "#8c613c", "#dc7ec0", "#797979",
+}
+
+// Color returns the palette color for series i.
+func Color(i int) string { return palette[i%len(palette)] }
+
+const (
+	fontFamily = "Helvetica, Arial, sans-serif"
+	marginL    = 70
+	marginR    = 20
+	marginT    = 40
+	marginB    = 70
+)
+
+type buffer struct{ strings.Builder }
+
+func (b *buffer) open(w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+}
+
+func (b *buffer) text(x, y float64, size int, anchor, s string, rotate float64) {
+	tr := ""
+	if rotate != 0 {
+		tr = fmt.Sprintf(` transform="rotate(%g %g %g)"`, rotate, x, y)
+	}
+	fmt.Fprintf(b, `<text x="%g" y="%g" font-family="%s" font-size="%d" text-anchor="%s"%s>%s</text>`+"\n",
+		x, y, fontFamily, size, anchor, tr, escape(s))
+}
+
+func (b *buffer) line(x1, y1, x2, y2 float64, stroke string, width float64, dash string) {
+	d := ""
+	if dash != "" {
+		d = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+	}
+	fmt.Fprintf(b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="%g"%s/>`+"\n",
+		x1, y1, x2, y2, stroke, width, d)
+}
+
+func (b *buffer) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// niceCeil rounds v up to a pleasant axis maximum.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 7.5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// Bar is one bar of a grouped bar chart.
+type Bar struct {
+	Group string // x-axis group (e.g. configuration)
+	Label string // series within the group (e.g. model)
+	Value float64
+}
+
+// BarChart renders grouped vertical bars with an optional horizontal
+// reference line (e.g. speedup 1.0; pass ref <= 0 to omit). Groups appear in
+// first-seen order; series are colored consistently across groups.
+func BarChart(title string, bars []Bar, width, height int, ref float64) string {
+	var groups, series []string
+	gi := map[string]int{}
+	si := map[string]int{}
+	for _, b := range bars {
+		if _, ok := gi[b.Group]; !ok {
+			gi[b.Group] = len(groups)
+			groups = append(groups, b.Group)
+		}
+		if _, ok := si[b.Label]; !ok {
+			si[b.Label] = len(series)
+			series = append(series, b.Label)
+		}
+	}
+	maxV := ref
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+	}
+	maxV = niceCeil(maxV * 1.05)
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	x0, y0 := float64(marginL), float64(marginT)
+	y := func(v float64) float64 { return y0 + plotH*(1-v/maxV) }
+
+	var b buffer
+	b.open(width, height)
+	b.text(float64(width)/2, 22, 15, "middle", title, 0)
+
+	// Axes and ticks.
+	b.line(x0, y0, x0, y0+plotH, "#333", 1, "")
+	b.line(x0, y0+plotH, x0+plotW, y0+plotH, "#333", 1, "")
+	for t := 0; t <= 5; t++ {
+		v := maxV * float64(t) / 5
+		b.line(x0-4, y(v), x0, y(v), "#333", 1, "")
+		b.line(x0, y(v), x0+plotW, y(v), "#ddd", 0.5, "")
+		b.text(x0-8, y(v)+4, 11, "end", trimFloat(v), 0)
+	}
+	if ref > 0 {
+		b.line(x0, y(ref), x0+plotW, y(ref), "#d65f5f", 1, "4,3")
+	}
+
+	// Bars.
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(series))
+	for _, bar := range bars {
+		gx := x0 + groupW*float64(gi[bar.Group]) + groupW*0.1
+		bx := gx + barW*float64(si[bar.Label])
+		b.rect(bx, y(bar.Value), barW*0.92, y0+plotH-y(bar.Value), Color(si[bar.Label]))
+	}
+	for _, g := range groups {
+		gx := x0 + groupW*(float64(gi[g])+0.5)
+		b.text(gx, y0+plotH+16, 11, "middle", g, 0)
+	}
+	legend(&b, series, x0, y0+plotH+34)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// StackedSegment is one slice of a stacked bar.
+type StackedSegment struct {
+	Label string
+	Frac  float64
+}
+
+// StackedBars renders 100%-stacked horizontal bars, one per entry, in the
+// style of the paper's Fig. 4.
+func StackedBars(title string, labels []string, rows [][]StackedSegment, width, height int) string {
+	var series []string
+	si := map[string]int{}
+	for _, row := range rows {
+		for _, s := range row {
+			if _, ok := si[s.Label]; !ok {
+				si[s.Label] = len(series)
+				series = append(series, s.Label)
+			}
+		}
+	}
+	plotW := float64(width - marginL - marginR)
+	x0 := float64(marginL)
+	rowH := (float64(height-marginT-marginB) / float64(len(rows))) * 0.9
+
+	var b buffer
+	b.open(width, height)
+	b.text(float64(width)/2, 22, 15, "middle", title, 0)
+	for i, row := range rows {
+		ry := float64(marginT) + float64(height-marginT-marginB)*float64(i)/float64(len(rows))
+		b.text(x0-8, ry+rowH/2+4, 11, "end", labels[i], 0)
+		total := 0.0
+		for _, s := range row {
+			total += s.Frac
+		}
+		x := x0
+		for _, s := range row {
+			w := plotW * s.Frac
+			if total > 0 {
+				w = plotW * s.Frac / total
+			}
+			b.rect(x, ry, w, rowH, Color(si[s.Label]))
+			if s.Frac >= 0.06 {
+				b.text(x+w/2, ry+rowH/2+4, 10, "middle", fmt.Sprintf("%.0f%%", 100*s.Frac), 0)
+			}
+			x += w
+		}
+	}
+	legend(&b, series, x0, float64(height-marginB)+28)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Series is one line of a line chart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// LineChart renders one or more series with shared axes and an optional
+// horizontal reference line.
+func LineChart(title, xlabel string, series []Series, width, height int, ref float64) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := ref
+	minY := math.Inf(1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+			minY = math.Min(minY, s.Y[i])
+		}
+	}
+	if minY > ref && ref > 0 {
+		minY = ref
+	}
+	minY = math.Floor(minY*10) / 10 * 0.98
+	maxY = niceCeil(maxY * 1.02)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	x0, y0 := float64(marginL), float64(marginT)
+	fx := func(v float64) float64 { return x0 + plotW*(v-minX)/(maxX-minX) }
+	fy := func(v float64) float64 { return y0 + plotH*(1-(v-minY)/(maxY-minY)) }
+
+	var b buffer
+	b.open(width, height)
+	b.text(float64(width)/2, 22, 15, "middle", title, 0)
+	b.line(x0, y0, x0, y0+plotH, "#333", 1, "")
+	b.line(x0, y0+plotH, x0+plotW, y0+plotH, "#333", 1, "")
+	for t := 0; t <= 5; t++ {
+		v := minY + (maxY-minY)*float64(t)/5
+		b.line(x0-4, fy(v), x0, fy(v), "#333", 1, "")
+		b.line(x0, fy(v), x0+plotW, fy(v), "#ddd", 0.5, "")
+		b.text(x0-8, fy(v)+4, 11, "end", trimFloat(v), 0)
+	}
+	if ref > 0 && ref >= minY && ref <= maxY {
+		b.line(x0, fy(ref), x0+plotW, fy(ref), "#d65f5f", 1, "4,3")
+	}
+	b.text(x0+plotW/2, y0+plotH+32, 12, "middle", xlabel, 0)
+
+	var names []string
+	for i, s := range series {
+		names = append(names, s.Label)
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%g,%g", fx(s.X[j]), fy(s.Y[j])))
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="2.5" fill="%s"/>`+"\n", fx(s.X[j]), fy(s.Y[j]), Color(i))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), Color(i))
+		// X-axis ticks from the first series.
+		if i == 0 {
+			for j := range s.X {
+				b.line(fx(s.X[j]), y0+plotH, fx(s.X[j]), y0+plotH+4, "#333", 1, "")
+				b.text(fx(s.X[j]), y0+plotH+16, 11, "middle", trimFloat(s.X[j]), 0)
+			}
+		}
+	}
+	legend(&b, names, x0, float64(height-marginB)+46)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func legend(b *buffer, series []string, x, y float64) {
+	for i, s := range series {
+		b.rect(x, y-9, 10, 10, Color(i))
+		b.text(x+14, y, 11, "start", s, 0)
+		x += 14 + float64(len(s))*7 + 18
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,105 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the output parses as XML (SVG is XML).
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg := BarChart("Fig 3", []Bar{
+		{Group: "4/24", Label: "super", Value: 1.2},
+		{Group: "4/24", Label: "great", Value: 1.1},
+		{Group: "8/48", Label: "super", Value: 1.3},
+		{Group: "8/48", Label: "great", Value: 1.2},
+	}, 600, 400, 1.0)
+	wellFormed(t, svg)
+	for _, want := range []string{"Fig 3", "4/24", "8/48", "super", "great", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Two series, four bars -> four colored rects (plus background).
+	if got := strings.Count(svg, Color(0)); got < 2 {
+		t.Errorf("series 0 drawn %d times", got)
+	}
+}
+
+func TestBarChartEscapes(t *testing.T) {
+	svg := BarChart("a < b & c", []Bar{{Group: "g", Label: "s", Value: 1}}, 300, 200, 0)
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	svg := StackedBars("Fig 4", []string{"D 4/24", "I 4/24"}, [][]StackedSegment{
+		{{Label: "CH", Frac: 0.25}, {Label: "CL", Frac: 0.31}, {Label: "IH", Frac: 0.02}, {Label: "IL", Frac: 0.42}},
+		{{Label: "CH", Frac: 0.40}, {Label: "CL", Frac: 0.24}, {Label: "IH", Frac: 0.02}, {Label: "IL", Frac: 0.34}},
+	}, 700, 300)
+	wellFormed(t, svg)
+	for _, want := range []string{"Fig 4", "D 4/24", "CH", "IL", "40%"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg := LineChart("latency", "cycles", []Series{
+		{Label: "ExecEqVerify", X: []float64{0, 1, 2}, Y: []float64{1.12, 1.07, 1.01}},
+		{Label: "InvalidateReissue", X: []float64{0, 1, 2}, Y: []float64{1.13, 1.12, 1.11}},
+	}, 600, 400, 1.0)
+	wellFormed(t, svg)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Error("want two polylines")
+	}
+	if strings.Count(svg, "<circle") != 6 {
+		t.Errorf("want six markers, got %d", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	// A single point must not divide by zero.
+	svg := LineChart("one", "x", []Series{{Label: "s", X: []float64{1}, Y: []float64{2}}}, 300, 200, 0)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate chart produced NaN/Inf coordinates")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.9, 1}, {1.0, 1}, {1.1, 1.2}, {1.3, 1.5}, {1.7, 2}, {9, 10}, {11, 12},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPaletteCycles(t *testing.T) {
+	if Color(0) == Color(1) {
+		t.Error("adjacent colors identical")
+	}
+	if Color(0) != Color(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}

@@ -1,0 +1,135 @@
+// Package textplot renders the experiment results as plain-text tables and
+// bar charts, the terminal equivalent of the paper's figures.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders headers and rows with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled so the largest value spans width
+// characters. A reference line can be drawn at ref (e.g. 1.0 for speedups);
+// pass ref <= 0 to omit it.
+func BarChart(title string, bars []Bar, width int, ref float64) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if ref > maxVal {
+		maxVal = ref
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.Value / maxVal * float64(width))
+		}
+		line := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		if ref > 0 && maxVal > 0 {
+			rp := int(ref / maxVal * float64(width))
+			if rp >= width {
+				rp = width - 1
+			}
+			bytes := []byte(line)
+			if bytes[rp] == ' ' {
+				bytes[rp] = '|'
+			}
+			line = string(bytes)
+		}
+		fmt.Fprintf(&sb, "%-*s %s %.3f\n", maxLabel, b.Label, line, b.Value)
+	}
+	return sb.String()
+}
+
+// StackedBar renders one 100%-stacked bar (for the paper's Fig. 4 accuracy
+// breakdown) using one rune per segment.
+func StackedBar(label string, segments []Segment, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	total := 0.0
+	for _, s := range segments {
+		total += s.Frac
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s ", label)
+	used := 0
+	for i, s := range segments {
+		n := 0
+		if total > 0 {
+			n = int(s.Frac / total * float64(width))
+		}
+		if i == len(segments)-1 {
+			n = width - used
+		}
+		if n < 0 {
+			n = 0
+		}
+		used += n
+		sb.WriteString(strings.Repeat(string(s.Rune), n))
+	}
+	for _, s := range segments {
+		fmt.Fprintf(&sb, "  %c=%.1f%%", s.Rune, 100*s.Frac)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Segment is one slice of a stacked bar.
+type Segment struct {
+	Rune rune
+	Frac float64
+}

@@ -1,0 +1,95 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"Name", "Value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Column starts must align between header and rows.
+	col := strings.Index(lines[0], "Value")
+	if !strings.HasPrefix(lines[2][col:], "1") || !strings.HasPrefix(lines[3][col:], "22222") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "big", Value: 2},
+		{Label: "half", Value: 1},
+	}, 20, 0)
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	big := strings.Count(strings.SplitN(out, "\n", 3)[1], "#")
+	half := strings.Count(strings.Split(out, "\n")[2], "#")
+	if big != 20 || half != 10 {
+		t.Errorf("bars = %d and %d hashes, want 20 and 10", big, half)
+	}
+}
+
+func TestBarChartReferenceLine(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "x", Value: 0.5}, {Label: "y", Value: 2}}, 20, 1)
+	if !strings.Contains(out, "|") {
+		t.Errorf("missing reference line:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := BarChart("t", nil, 10, 0); !strings.Contains(out, "t") {
+		t.Error("empty chart lost its title")
+	}
+	out := BarChart("", []Bar{{Label: "z", Value: 0}}, 10, 0)
+	if strings.Count(out, "#") != 0 {
+		t.Error("zero-value bar drew hashes")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar("lbl", []Segment{
+		{Rune: 'A', Frac: 0.75},
+		{Rune: 'B', Frac: 0.25},
+	}, 40)
+	if strings.Count(out, "A") < 30 || strings.Count(out, "B") < 10 {
+		t.Errorf("segment proportions wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "A=75.0%") || !strings.Contains(out, "B=25.0%") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Total glyph count equals the width (last segment absorbs rounding).
+	body := strings.TrimPrefix(out, "lbl        ")
+	glyphs := 0
+	for _, r := range body {
+		if r == 'A' || r == 'B' {
+			glyphs++
+		} else {
+			break
+		}
+	}
+	if glyphs != 40 {
+		t.Errorf("stacked bar width = %d, want 40", glyphs)
+	}
+}
+
+func TestDefaultWidths(t *testing.T) {
+	if out := BarChart("", []Bar{{Label: "a", Value: 1}}, 0, 0); strings.Count(out, "#") != 50 {
+		t.Error("default bar width not applied")
+	}
+	if out := StackedBar("x", []Segment{{Rune: 'Z', Frac: 1}}, 0); strings.Count(out, "Z") < 60 {
+		t.Error("default stacked width not applied")
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"valuespec/internal/isa"
+)
+
+// Binary trace format ("VSTR"): a fixed-width serialization of a dynamic
+// instruction stream, enabling trace-driven simulation without re-running
+// the functional emulator:
+//
+//	magic "VSTR" (4 bytes), version u32
+//	per record (fixed 64 bytes):
+//	  seq i64, pc i32, nextPC i32,
+//	  op u8, dst u8, src1 u8, src2 u8, nsrc u8, taken u8, pad u16,
+//	  target i32, pad u32,
+//	  imm i64, srcVal0 i64, srcVal1 i64, dstVal i64, addr i64
+//
+// The stream has no length header; it ends at EOF, so traces can be piped.
+// All integers are little-endian.
+const (
+	traceMagic   = "VSTR"
+	traceVersion = 1
+	recordSize   = 64
+)
+
+// Writer serializes records; create with NewWriter, push with Write, and
+// Flush before closing the underlying writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter writes the stream header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], traceVersion)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r *Record) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var b [recordSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], uint64(r.Seq))
+	le.PutUint32(b[8:], uint32(int32(r.PC)))
+	le.PutUint32(b[12:], uint32(int32(r.NextPC)))
+	b[16] = byte(r.Instr.Op)
+	b[17] = byte(r.Instr.Dst)
+	b[18] = byte(r.Instr.Src1)
+	b[19] = byte(r.Instr.Src2)
+	b[20] = byte(r.NSrc)
+	if r.Taken {
+		b[21] = 1
+	}
+	le.PutUint32(b[24:], uint32(int32(r.Instr.Target)))
+	le.PutUint64(b[32:], uint64(r.Instr.Imm))
+	le.PutUint64(b[40:], uint64(r.SrcVals[0]))
+	le.PutUint64(b[48:], uint64(r.SrcVals[1]))
+	le.PutUint64(b[56:], uint64(r.DstVal))
+	if _, err := tw.w.Write(b[:]); err != nil {
+		tw.err = err
+		return err
+	}
+	// Memory operations carry their word address in an extra 8-byte field.
+	if isa.IsMem(r.Instr.Op) {
+		var a [8]byte
+		le.PutUint64(a[:], uint64(r.Addr))
+		if _, err := tw.w.Write(a[:]); err != nil {
+			tw.err = err
+			return err
+		}
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() int64 { return tw.n }
+
+// Flush flushes buffered records.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// WriteAll drains src into w and returns the record count.
+func WriteAll(w io.Writer, src Source) (int64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(&r); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader deserializes a stream written by Writer; it implements Source.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+var _ Source = (*Reader)(nil)
+
+// NewReader checks the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: truncated header: %w", err)
+	}
+	if string(head[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Err returns the first decoding error encountered, if any; Next reports
+// false both at clean EOF and on error.
+func (tr *Reader) Err() error { return tr.err }
+
+// Next implements Source.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil {
+		return Record{}, false
+	}
+	var b [recordSize]byte
+	if _, err := io.ReadFull(tr.r, b[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, false
+	}
+	le := binary.LittleEndian
+	var r Record
+	r.Seq = int64(le.Uint64(b[0:]))
+	r.PC = int(int32(le.Uint32(b[8:])))
+	r.NextPC = int(int32(le.Uint32(b[12:])))
+	r.Instr.Op = isa.Op(b[16])
+	r.Instr.Dst = isa.Reg(b[17])
+	r.Instr.Src1 = isa.Reg(b[18])
+	r.Instr.Src2 = isa.Reg(b[19])
+	r.NSrc = int(b[20])
+	r.Taken = b[21] == 1
+	r.Instr.Target = int(int32(le.Uint32(b[24:])))
+	r.Instr.Imm = int64(le.Uint64(b[32:]))
+	r.SrcVals[0] = int64(le.Uint64(b[40:]))
+	r.SrcVals[1] = int64(le.Uint64(b[48:]))
+	r.DstVal = int64(le.Uint64(b[56:]))
+	srcs, _ := r.Instr.SrcRegs()
+	r.SrcRegs = srcs
+	if isa.IsMem(r.Instr.Op) {
+		var a [8]byte
+		if _, err := io.ReadFull(tr.r, a[:]); err != nil {
+			tr.err = fmt.Errorf("trace: truncated address: %w", err)
+			return Record{}, false
+		}
+		r.Addr = int64(le.Uint64(a[:]))
+	}
+	return r, true
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"valuespec/internal/isa"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			Seq: 0, PC: 3, NextPC: 4,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 2, Src2: 3},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{2, 3},
+			SrcVals: [2]int64{10, -20},
+			DstVal:  -10,
+		},
+		{
+			Seq: 1, PC: 4, NextPC: 5,
+			Instr:   isa.Instruction{Op: isa.LD, Dst: 4, Src1: 1, Imm: 8},
+			NSrc:    1,
+			SrcRegs: [2]isa.Reg{1},
+			SrcVals: [2]int64{-10},
+			DstVal:  77,
+			Addr:    -2,
+		},
+		{
+			Seq: 2, PC: 5, NextPC: 5000,
+			Instr:   isa.Instruction{Op: isa.ST, Src1: 1, Src2: 4, Imm: -3},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{1, 4},
+			SrcVals: [2]int64{-10, 77},
+			Addr:    1 << 40,
+		},
+		{
+			Seq: 3, PC: 5000, NextPC: 2,
+			Instr:   isa.Instruction{Op: isa.BNE, Src1: 1, Src2: 4, Target: 2},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{1, 4},
+			SrcVals: [2]int64{-10, 77},
+			Taken:   true,
+		},
+		{
+			Seq: 4, PC: 2, NextPC: 3,
+			Instr:  isa.Instruction{Op: isa.LDI, Dst: 5, Imm: -6364136223846793005},
+			DstVal: -6364136223846793005,
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, &SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("wrote %d records, want %d", n, len(recs))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestTraceReaderIsSource(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, &SliceSource{Records: sampleRecords()}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src Source = r
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("source yielded %d records", n)
+	}
+}
+
+func TestTraceReaderRejects(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := NewReader(strings.NewReader("NOPE\x01\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("VSTR\x09\x00\x00\x00")); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestTraceReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, &SliceSource{Records: sampleRecords()}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(r, 0)
+	if r.Err() == nil {
+		t.Error("truncated stream read without error")
+	}
+}
+
+func TestTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, &SliceSource{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("empty stream yielded a record")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF reported error: %v", r.Err())
+	}
+}

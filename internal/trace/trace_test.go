@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"testing"
+
+	"valuespec/internal/isa"
+)
+
+func rec(seq int64, op isa.Op) Record {
+	return Record{Seq: seq, Instr: isa.Instruction{Op: op, Dst: 1}}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &SliceSource{Records: []Record{rec(0, isa.ADD), rec(1, isa.LD), rec(2, isa.HALT)}}
+	var got []int64
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r.Seq)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("drained %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next after drain returned a record")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Seq != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s := &SliceSource{Records: []Record{rec(0, isa.ADD), rec(1, isa.ADD), rec(2, isa.ADD)}}
+	if got := Collect(s, 2); len(got) != 2 {
+		t.Errorf("Collect(2) = %d records", len(got))
+	}
+	s.Reset()
+	if got := Collect(s, 0); len(got) != 3 {
+		t.Errorf("Collect(0) = %d records", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := &SliceSource{Records: []Record{rec(0, isa.ADD), rec(1, isa.ADD), rec(2, isa.ADD)}}
+	l := Limit(s, 2)
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("limited source yielded %d, want 2", n)
+	}
+}
+
+func TestMix(t *testing.T) {
+	var m Mix
+	records := []Record{
+		rec(0, isa.ADD), rec(1, isa.MUL), rec(2, isa.LD), rec(3, isa.ST),
+		rec(4, isa.BEQ), rec(5, isa.JMP), rec(6, isa.NOP), rec(7, isa.ADD),
+	}
+	for i := range records {
+		m.Observe(&records[i])
+	}
+	if m.Total != 8 {
+		t.Fatalf("total = %d", m.Total)
+	}
+	if got := m.Frac(isa.ClassALU); got != 0.25 {
+		t.Errorf("ALU frac = %g, want 0.25", got)
+	}
+	if got := m.Frac(isa.ClassLoad); got != 0.125 {
+		t.Errorf("load frac = %g, want 0.125", got)
+	}
+	// ADD, MUL, LD and ADD write registers: 4 of 8.
+	if got := m.RegWriteFrac(); got != 0.5 {
+		t.Errorf("reg-write frac = %g, want 0.5", got)
+	}
+}
+
+func TestMixEmpty(t *testing.T) {
+	var m Mix
+	if m.Frac(isa.ClassALU) != 0 || m.RegWriteFrac() != 0 {
+		t.Error("empty mix fractions must be zero")
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := rec(5, isa.ADD)
+	if !r.WritesReg() {
+		t.Error("ADD record should write a register")
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+	st := rec(6, isa.ST)
+	if st.WritesReg() {
+		t.Error("ST record should not write a register")
+	}
+}

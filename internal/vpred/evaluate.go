@@ -1,0 +1,101 @@
+package vpred
+
+import (
+	"fmt"
+	"sort"
+
+	"valuespec/internal/trace"
+)
+
+// Evaluation summarizes a predictor's accuracy over an instruction stream,
+// measured outside any pipeline (architectural order, immediate update) —
+// the way predictor papers report standalone accuracy.
+type Evaluation struct {
+	Predictions int64
+	Correct     int64
+	// PerPC maps static instructions to their individual accuracy; only
+	// PCs with at least MinSamples predictions are retained.
+	PerPC map[int]PCAccuracy
+}
+
+// PCAccuracy is the per-static-instruction breakdown.
+type PCAccuracy struct {
+	Predictions int64
+	Correct     int64
+}
+
+// Accuracy returns the overall fraction correct.
+func (e *Evaluation) Accuracy() float64 {
+	if e.Predictions == 0 {
+		return 0
+	}
+	return float64(e.Correct) / float64(e.Predictions)
+}
+
+// Accuracy returns the per-PC fraction correct.
+func (a PCAccuracy) Accuracy() float64 {
+	if a.Predictions == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Predictions)
+}
+
+// MinSamples is the retention threshold for Evaluation.PerPC.
+const MinSamples = 16
+
+// Evaluate drives p over every register-writing record of src with
+// immediate update and returns the accuracy summary.
+func Evaluate(p Predictor, src trace.Source) *Evaluation {
+	ev := &Evaluation{PerPC: make(map[int]PCAccuracy)}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !r.WritesReg() {
+			continue
+		}
+		pred, ck := p.Lookup(r.PC)
+		p.TrainImmediate(r.PC, ck, r.DstVal)
+		ev.Predictions++
+		acc := ev.PerPC[r.PC]
+		acc.Predictions++
+		if pred == r.DstVal {
+			ev.Correct++
+			acc.Correct++
+		}
+		ev.PerPC[r.PC] = acc
+	}
+	for pc, acc := range ev.PerPC {
+		if acc.Predictions < MinSamples {
+			delete(ev.PerPC, pc)
+		}
+	}
+	return ev
+}
+
+// WorstPCs returns up to n static instructions with the lowest accuracy,
+// hardest first — the profile a predictor designer would start from.
+func (e *Evaluation) WorstPCs(n int) []int {
+	pcs := make([]int, 0, len(e.PerPC))
+	for pc := range e.PerPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		ai, aj := e.PerPC[pcs[i]].Accuracy(), e.PerPC[pcs[j]].Accuracy()
+		if ai != aj {
+			return ai < aj
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	return pcs
+}
+
+// String summarizes the evaluation.
+func (e *Evaluation) String() string {
+	return fmt.Sprintf("%d predictions, %.1f%% correct, %d hot PCs",
+		e.Predictions, 100*e.Accuracy(), len(e.PerPC))
+}

@@ -1,0 +1,26 @@
+package vpred
+
+// Scripted returns fixed predictions per PC and ignores training; PCs
+// without an entry predict zero. It exists for controlled experiments such
+// as the paper's Fig. 1 scenarios, where the prediction outcomes are part
+// of the scenario rather than of a predictor's behavior.
+type Scripted struct {
+	Preds map[int]int64
+}
+
+var _ Predictor = (*Scripted)(nil)
+
+// Lookup implements Predictor.
+func (s *Scripted) Lookup(pc int) (int64, uint64) { return s.Preds[pc], 0 }
+
+// TrainImmediate implements Predictor.
+func (s *Scripted) TrainImmediate(pc int, cookie uint64, actual int64) {}
+
+// SpeculateHistory implements Predictor.
+func (s *Scripted) SpeculateHistory(pc int, pred int64) {}
+
+// TrainDelayed implements Predictor.
+func (s *Scripted) TrainDelayed(pc int, cookie uint64, pred, actual int64) {}
+
+// Reset implements Predictor.
+func (s *Scripted) Reset() {}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Reproduce every result in EXPERIMENTS.md from scratch.
+#
+# Usage: ./reproduce.sh [output-dir]
+#
+# Produces, under the output directory (default ./repro):
+#   experiments.txt   the full text report (Table 1, Fig. 3, Fig. 4, ablations)
+#   results/*.csv     machine-readable results
+#   results/*.json
+#   figs/*.svg        rendered figures
+#   fig1.txt          the Fig. 1 pipeline diagrams
+#   test.txt          the full test-suite run
+set -eu
+
+out=${1:-repro}
+mkdir -p "$out"
+
+echo "== building =="
+go build ./...
+
+echo "== tests =="
+go test ./... | tee "$out/test.txt"
+
+echo "== Fig. 1 diagrams =="
+go run ./cmd/vpipe | tee "$out/fig1.txt"
+
+echo "== full evaluation (several minutes) =="
+go run ./cmd/vsweep -all -out "$out/results" -svg "$out/figs" | tee "$out/experiments.txt"
+
+echo "done: see $out/"

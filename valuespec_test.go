@@ -1,0 +1,160 @@
+package valuespec_test
+
+import (
+	"strings"
+	"testing"
+
+	"valuespec"
+)
+
+func TestModelsFacade(t *testing.T) {
+	models := valuespec.Models()
+	if len(models) != 3 {
+		t.Fatalf("Models() = %d entries", len(models))
+	}
+	if valuespec.Super().Lat.InvalidateReissue != 0 || valuespec.Great().Lat.InvalidateReissue != 1 {
+		t.Error("preset latencies wrong through facade")
+	}
+	if valuespec.Good().Lat.ExecEqVerify != 1 {
+		t.Error("Good verify latency wrong")
+	}
+	if _, err := valuespec.ModelByName("great"); err != nil {
+		t.Error(err)
+	}
+	tbl := valuespec.ModelTable(valuespec.Models()...)
+	if !strings.Contains(tbl, "Invalidation-Reissue") {
+		t.Error("ModelTable missing rows")
+	}
+}
+
+func TestWorkloadsFacade(t *testing.T) {
+	if len(valuespec.Workloads()) != 8 {
+		t.Error("suite should have 8 workloads")
+	}
+	if _, err := valuespec.WorkloadByName("xlisp"); err != nil {
+		t.Error(err)
+	}
+	if _, err := valuespec.WorkloadByName("bogus"); err == nil {
+		t.Error("unknown workload resolved")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	w, err := valuespec.WorkloadByName("m88ksim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := valuespec.Great()
+	res, err := valuespec.Simulate(valuespec.Spec{
+		Workload: w,
+		Scale:    3,
+		Config:   valuespec.Config4x24(),
+		Model:    &model,
+		Setting:  valuespec.Setting{Update: valuespec.UpdateImmediate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 || res.Stats.Predictions == 0 {
+		t.Errorf("IPC %.2f, predictions %d", res.IPC(), res.Stats.Predictions)
+	}
+}
+
+func TestAssembleAndPipelineFacade(t *testing.T) {
+	prog, err := valuespec.Assemble(`
+		ldi r1, 21
+		add r2, r1, r1
+		st r2, 0(r0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := valuespec.NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := valuespec.NewPipeline(valuespec.Config4x24(), nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retired != 4 {
+		t.Errorf("retired %d, want 4", st.Retired)
+	}
+	if m.Mem(0) != 42 {
+		t.Errorf("mem[0] = %d, want 42", m.Mem(0))
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := valuespec.NewProgramBuilder("demo")
+	b.Ldi(1, 7)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Code) != 2 {
+		t.Errorf("program has %d instructions", len(prog.Code))
+	}
+}
+
+func TestPredictorFacade(t *testing.T) {
+	for _, p := range []valuespec.Predictor{
+		valuespec.NewFCM(valuespec.DefaultFCMConfig()),
+		valuespec.NewLastValuePredictor(8),
+		valuespec.NewStridePredictor(8),
+	} {
+		_, ck := p.Lookup(1)
+		p.TrainImmediate(1, ck, 5)
+		pred, _ := p.Lookup(1)
+		_ = pred
+	}
+	if !valuespec.OracleConfidence().Confident(1, true) {
+		t.Error("oracle facade broken")
+	}
+	if valuespec.NeverConfidence().Confident(1, true) {
+		t.Error("never facade broken")
+	}
+	if !valuespec.AlwaysConfidence().Confident(1, false) {
+		t.Error("always facade broken")
+	}
+	c := valuespec.NewResettingConfidence(8, 3)
+	for i := 0; i < 7; i++ {
+		c.Update(2, true)
+	}
+	if !c.Confident(2, false) {
+		t.Error("resetting facade broken")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	rows, err := valuespec.Table1(1)
+	if err != nil || len(rows) != 8 {
+		t.Fatalf("Table1: %v (%d rows)", err, len(rows))
+	}
+	if len(valuespec.PaperSettings()) != 4 {
+		t.Error("PaperSettings should have 4 entries")
+	}
+	if len(valuespec.PaperConfigs()) != 3 {
+		t.Error("PaperConfigs should have 3 entries")
+	}
+	w, _ := valuespec.WorkloadByName("compress")
+	cells, err := valuespec.Fig3(
+		[]valuespec.Config{valuespec.Config4x24()},
+		[]valuespec.Model{valuespec.Great()},
+		[]valuespec.Setting{{Update: valuespec.UpdateImmediate}},
+		[]valuespec.Workload{w}, 2)
+	if err != nil || len(cells) != 1 {
+		t.Fatalf("Fig3: %v (%d cells)", err, len(cells))
+	}
+	f4, err := valuespec.Fig4([]valuespec.Config{valuespec.Config4x24()},
+		[]valuespec.Workload{w}, 2)
+	if err != nil || len(f4) != 2 {
+		t.Fatalf("Fig4: %v (%d cells)", err, len(f4))
+	}
+}
