@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt reproduce experiments clean
+.PHONY: all build test bench vet fmt check reproduce experiments clean
 
 all: build test
 
@@ -21,6 +21,15 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# The pre-merge gate: formatting, vet, and the race-enabled test suite.
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

@@ -6,21 +6,29 @@
 //	vsim -bench compress                         # base processor
 //	vsim -bench compress -model great            # Great model, I/R
 //	vsim -bench gcc -model super -width 16 -window 96 -update D -oracle
+//	vsim -bench compress -model great -metrics-out m.json -trace-out t.json
+//	vsim -bench compress -phase-stats -cpuprofile cpu.pprof
 //	vsim -list                                   # list benchmarks
+//
+// See docs/OBSERVABILITY.md for the metrics catalog, the trace-viewer
+// workflow and the profiling flags.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
 
 	"valuespec/internal/bench"
-	"valuespec/internal/confidence"
 	"valuespec/internal/core"
 	"valuespec/internal/cpu"
-	"valuespec/internal/emu"
 	"valuespec/internal/harness"
-	"valuespec/internal/vpred"
+	"valuespec/internal/report"
 )
 
 func main() {
@@ -36,6 +44,14 @@ func main() {
 		oracle    = flag.Bool("oracle", false, "use oracle confidence instead of resetting counters")
 		traceN    = flag.Int("trace", 0, "print a pipeline timeline of the first N instructions")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+
+		metricsOut      = flag.String("metrics-out", "", "write the interval metrics time series to this file (.csv or .json)")
+		metricsInterval = flag.Int64("metrics-interval", 1000, "cycles per metrics sample")
+		metricsCap      = flag.Int("metrics-cap", 0, "max retained samples, overwriting the oldest (0 = unbounded)")
+		traceOut        = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file")
+		phaseStats      = flag.Bool("phase-stats", false, "print the wall-time breakdown of the simulator's pipeline stages")
+		cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile      = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -72,10 +88,40 @@ func main() {
 		spec.Model = &m
 	}
 
+	// Observability instrumentation. A nil *EventLog inside a non-nil
+	// Observer interface would dodge Tee's nil filter, so only live
+	// observers go in.
+	var observers []cpu.Observer
+	var evlog *cpu.EventLog
 	if *traceN > 0 {
-		runTraced(spec, *traceN)
-		return
+		evlog = &cpu.EventLog{}
+		observers = append(observers, evlog)
 	}
+	var tracer *cpu.TraceRecorder
+	if *traceOut != "" {
+		tracer = cpu.NewTraceRecorder()
+		observers = append(observers, tracer)
+	}
+	if len(observers) > 0 {
+		spec.Observer = cpu.Tee(observers...)
+	}
+	if *metricsOut != "" {
+		spec.Metrics = cpu.NewMetrics(*metricsInterval, *metricsCap)
+	}
+	spec.Phases = *phaseStats
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := harness.Simulate(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -85,42 +131,69 @@ func main() {
 		label = fmt.Sprintf("%s %s", spec.Model.Name, spec.Setting)
 	}
 	fmt.Printf("%s on %s (%s):\n%s", w.Name, harness.ConfigName(spec.Config), label, res.Stats)
+
+	if evlog != nil {
+		fmt.Printf("pipeline timeline, first %d instructions (D dispatch, I issue, W write, M memory, V verify, X invalidate, B resolve, R retire):\n", *traceN)
+		fmt.Print(harness.Timeline(evlog, *traceN))
+	}
+	if spec.Phases {
+		fmt.Println("simulator wall time by stage:")
+		for _, ps := range res.Phases {
+			bar := strings.Repeat("#", int(ps.Frac*40+0.5))
+			fmt.Printf("  %-10s %12v %5.1f%% %s\n", ps.Name, ps.Total.Round(time.Microsecond), 100*ps.Frac, bar)
+		}
+	}
+	if spec.Metrics != nil {
+		writeMetrics(*metricsOut, spec.Metrics)
+		fmt.Printf("metrics: %d samples every %d cycles -> %s\n",
+			spec.Metrics.Sampler.Len(), spec.Metrics.Sampler.Interval(), *metricsOut)
+		if d := spec.Metrics.Sampler.Dropped(); d > 0 {
+			fmt.Printf("metrics: ring overwrote %d older samples (raise -metrics-cap or -metrics-interval for full coverage)\n", d)
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s (open in https://ui.perfetto.dev or chrome://tracing)\n",
+			tracer.Len(), *traceOut)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-// runTraced repeats the simulation with an event observer attached and
-// prints a pipeline timeline of the first n dynamic instructions.
-func runTraced(spec harness.Spec, n int) {
-	scale := spec.Scale
-	if scale <= 0 {
-		scale = spec.Workload.DefaultScale
-	}
-	m, err := emu.New(spec.Workload.Build(scale))
+// writeMetrics serializes the sampler series as CSV or JSON by extension.
+func writeMetrics(path string, m *cpu.Metrics) {
+	t := report.Metrics(m.Sampler)
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var opts *cpu.SpecOptions
-	if spec.Model != nil {
-		var conf confidence.Estimator = confidence.Default()
-		if spec.Setting.Oracle {
-			conf = confidence.Oracle{}
-		}
-		opts = &cpu.SpecOptions{
-			Enabled:    true,
-			Model:      *spec.Model,
-			Predictor:  vpred.NewFCM(vpred.DefaultFCMConfig()),
-			Confidence: conf,
-			Update:     spec.Setting.Update,
-		}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = t.WriteCSV(f)
+	} else {
+		err = t.WriteJSON(f)
 	}
-	p, err := cpu.New(spec.Config, opts, m)
 	if err != nil {
 		log.Fatal(err)
 	}
-	evlog := &cpu.EventLog{}
-	p.SetObserver(evlog)
-	if _, err := p.Run(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("pipeline timeline, first %d instructions (D dispatch, I issue, W write, M memory, V verify, X invalidate, B resolve, R retire):\n", n)
-	fmt.Print(harness.Timeline(evlog, n))
 }

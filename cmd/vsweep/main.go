@@ -22,6 +22,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"valuespec/internal/bench"
@@ -59,8 +61,36 @@ func main() {
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
 		outDir       = flag.String("out", "", "also write results as CSV and JSON into this directory")
 		svgDir       = flag.String("svg", "", "also render figures as SVG into this directory")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) of the sweep to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	if *all {
 		*table1, *fig3, *fig4 = true, true, true
 		*latency, *verification, *invalidation, *resolution = true, true, true, true

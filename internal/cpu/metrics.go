@@ -1,0 +1,107 @@
+package cpu
+
+import "valuespec/internal/obs"
+
+// Metric names published by the pipeline, beyond the counters mirrored from
+// Stats.Counters (see docs/OBSERVABILITY.md for the catalog with units).
+const (
+	MetricOccupancy     = "window.occupancy"        // histogram: occupied entries, sampled per cycle
+	MetricIssueSlots    = "issue.slots_used"        // histogram: issue grants per cycle
+	MetricReissueDepth  = "reissue.depth"           // histogram: extra executions per retired instruction
+	MetricVerifyLatency = "verify.latency"          // histogram: cycles from completion to equality verification
+	MetricRetireLatency = "retire.latency"          // histogram: cycles from dispatch to retirement
+	MetricStoreFwdRate  = "mem.store_forward_rate"  // gauge: store forwards per load over the last interval
+	MetricWaveSize      = "invalidation.wave_nulls" // histogram: entries nullified per invalidation wave step
+)
+
+// Metrics collects sampled distributions and an interval time series from
+// one pipeline. Install with Pipeline.SetMetrics before Run; a nil Metrics
+// costs nothing (a single pointer test per hook site).
+//
+// The registry mirrors every Stats counter under the Stats.Counters names,
+// synced at each sampling boundary, so summed interval deltas reconcile
+// exactly with the end-of-run totals.
+type Metrics struct {
+	Registry *obs.Registry
+	Sampler  *obs.IntervalSampler
+
+	occupancy    *obs.Histogram
+	issueSlots   *obs.Histogram
+	reissueDepth *obs.Histogram
+	verifyLat    *obs.Histogram
+	retireLat    *obs.Histogram
+	waveSize     *obs.Histogram
+	fwdRate      *obs.Gauge
+
+	prevIssues int64
+	prevLoads  int64
+	prevFwds   int64
+}
+
+// NewMetrics creates a collector sampling every interval cycles into a ring
+// of up to capacity snapshots (capacity <= 0 retains every snapshot;
+// interval < 1 samples every cycle).
+func NewMetrics(interval int64, capacity int) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		Registry:     reg,
+		occupancy:    reg.Histogram(MetricOccupancy),
+		issueSlots:   reg.Histogram(MetricIssueSlots),
+		reissueDepth: reg.Histogram(MetricReissueDepth),
+		verifyLat:    reg.Histogram(MetricVerifyLatency),
+		retireLat:    reg.Histogram(MetricRetireLatency),
+		waveSize:     reg.Histogram(MetricWaveSize),
+		fwdRate:      reg.Gauge(MetricStoreFwdRate),
+	}
+	// Register the counter mirrors up front so the sampler's column set is
+	// complete from the first snapshot.
+	for _, c := range (&Stats{}).Counters() {
+		reg.Counter(c.Name)
+	}
+	m.Sampler = obs.NewIntervalSampler(reg, interval, capacity)
+	return m
+}
+
+// SetMetrics installs a metrics collector; pass nil to remove. Must be
+// called before Run.
+func (p *Pipeline) SetMetrics(m *Metrics) { p.metrics = m }
+
+// Metrics returns the installed collector, if any.
+func (p *Pipeline) Metrics() *Metrics { return p.metrics }
+
+// cycleStart records the per-cycle gauges sampled at the top of step.
+func (m *Metrics) cycleStart(occupancy int) {
+	m.occupancy.Observe(int64(occupancy))
+}
+
+// cycleEnd records end-of-cycle distributions and takes an interval sample
+// when one is due. cycle is the number of completed cycles.
+func (m *Metrics) cycleEnd(cycle int64, st *Stats) {
+	m.issueSlots.Observe(st.Issues - m.prevIssues)
+	m.prevIssues = st.Issues
+	if m.Sampler.Due(cycle) {
+		m.sample(cycle, st)
+	}
+}
+
+// sample syncs the counter mirrors from st and snapshots the registry.
+func (m *Metrics) sample(cycle int64, st *Stats) {
+	for _, c := range st.Counters() {
+		m.Registry.Counter(c.Name).Set(c.Value)
+	}
+	if dl := st.Loads - m.prevLoads; dl > 0 {
+		m.fwdRate.Set(float64(st.StoreForwards-m.prevFwds) / float64(dl))
+	} else {
+		m.fwdRate.Set(0)
+	}
+	m.prevLoads, m.prevFwds = st.Loads, st.StoreForwards
+	m.Sampler.Sample(cycle)
+}
+
+// finish takes the final snapshot covering the last partial interval, so
+// the series' counter deltas span the whole run.
+func (m *Metrics) finish(cycle int64, st *Stats) {
+	if m.Sampler.Pending(cycle) {
+		m.sample(cycle, st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"valuespec/internal/core"
 	"valuespec/internal/isa"
 	"valuespec/internal/mem"
+	"valuespec/internal/obs"
 	"valuespec/internal/trace"
 )
 
@@ -55,8 +56,10 @@ type Pipeline struct {
 
 	portsUsed int // D-cache ports consumed this cycle
 
-	obs   Observer
-	stats Stats
+	obs     Observer
+	metrics *Metrics
+	phases  *obs.PhaseTimer
+	stats   Stats
 }
 
 // New builds a pipeline for cfg running the instruction stream src under the
@@ -117,6 +120,19 @@ func (p *Pipeline) slot(i int) int { return (p.head + i) % len(p.entries) }
 // empty, returning the statistics. It returns an error if the simulation
 // exceeds the cycle budget or stops making progress (a modeling bug).
 func (p *Pipeline) Run() (*Stats, error) {
+	st, err := p.run()
+	if p.metrics != nil {
+		// Flush the last partial metrics interval (also on error, so a
+		// truncated run still serializes what it measured).
+		p.metrics.finish(p.cycle, &p.stats)
+	}
+	if p.phases != nil {
+		p.phases.End()
+	}
+	return st, err
+}
+
+func (p *Pipeline) run() (*Stats, error) {
 	lastRetired, lastProgress := int64(0), int64(0)
 	for {
 		if p.count == 0 && p.srcDone && len(p.pending) == 0 {
@@ -135,22 +151,73 @@ func (p *Pipeline) Run() (*Stats, error) {
 	}
 }
 
+// Pipeline phase indices for the wall-time profiler; order matches step.
+const (
+	phWriteback = iota
+	phEvents
+	phSweep
+	phRetire
+	phIssue
+	phMem
+	phFetch
+)
+
+// EnablePhaseStats installs (and returns) a wall-time phase timer over the
+// simulation stages. Must be called before Run; the instrumented loop pays
+// two timestamp reads per stage per cycle, so leave it off except when
+// profiling.
+func (p *Pipeline) EnablePhaseStats() *obs.PhaseTimer {
+	p.phases = obs.NewPhaseTimer("writeback", "events", "sweep", "retire", "issue", "mem", "fetch")
+	return p.phases
+}
+
 // step advances the machine one cycle.
 func (p *Pipeline) step() {
 	c := p.cycle
 	p.portsUsed = 0
 	p.stats.OccupancySum += int64(p.count)
+	if p.metrics != nil {
+		p.metrics.cycleStart(p.count)
+	}
 
-	p.writeback(c)     // finish executions and memory accesses
-	p.runEvents(c)     // equality outcomes: verification flags, invalidation waves
-	p.sweep(c)         // sync operand views, settle validity (verification network)
-	p.retire(c)        // release the oldest completed entries
-	p.issue(c)         // wakeup + selection
-	p.startAccesses(c) // memory access phase of loads
-	p.fetch(c)         // fetch + dispatch
+	if p.phases == nil {
+		p.writeback(c)     // finish executions and memory accesses
+		p.runEvents(c)     // equality outcomes: verification flags, invalidation waves
+		p.sweep(c)         // sync operand views, settle validity (verification network)
+		p.retire(c)        // release the oldest completed entries
+		p.issue(c)         // wakeup + selection
+		p.startAccesses(c) // memory access phase of loads
+		p.fetch(c)         // fetch + dispatch
+	} else {
+		p.stepTimed(c)
+	}
 
 	p.cycle++
 	p.stats.Cycles = p.cycle
+	if p.metrics != nil {
+		p.metrics.cycleEnd(p.cycle, &p.stats)
+	}
+}
+
+// stepTimed is step's stage sequence with a phase-timer transition around
+// each stage.
+func (p *Pipeline) stepTimed(c int64) {
+	t := p.phases
+	t.Begin(phWriteback)
+	p.writeback(c)
+	t.Begin(phEvents)
+	p.runEvents(c)
+	t.Begin(phSweep)
+	p.sweep(c)
+	t.Begin(phRetire)
+	p.retire(c)
+	t.Begin(phIssue)
+	p.issue(c)
+	t.Begin(phMem)
+	p.startAccesses(c)
+	t.Begin(phFetch)
+	p.fetch(c)
+	t.End()
 }
 
 // dumpHead describes the oldest entry for deadlock diagnostics.
@@ -311,6 +378,9 @@ func (p *Pipeline) runEvents(c int64) {
 		}
 		if ev.match {
 			p.emit(c, EvVerify, e)
+			if p.metrics != nil {
+				p.metrics.verifyLat.Observe(c - e.doneCycle)
+			}
 			e.eqDone = true
 			// Expose the computed value (same value, upgradeable state).
 			e.outCorrect = e.execClean
@@ -347,6 +417,7 @@ func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
 	hier := p.model.Invalidation == core.InvalidateHierarchical
 	next := map[int64]bool{}
 	reissue := int64(p.model.Lat.InvalidateReissue)
+	nulled := int64(0)
 	for i := 0; i < p.count; i++ {
 		e := &p.entries[p.slot(i)]
 		if !e.used {
@@ -371,12 +442,16 @@ func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
 		}
 		p.emit(c, EvInvalidate, e)
 		p.stats.Nullified++
+		nulled++
 		e.nullify(c, reissue)
 		if hier {
 			next[e.age] = true
 		} else {
 			ages[e.age] = true
 		}
+	}
+	if p.metrics != nil {
+		p.metrics.waveSize.Observe(nulled)
 	}
 	if hier && len(next) > 0 {
 		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next})
@@ -438,6 +513,13 @@ func min64(a, b int64) int64 {
 }
 
 func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
 	if a > b {
 		return a
 	}

@@ -48,6 +48,42 @@ type Stats struct {
 	OccupancySum int64
 }
 
+// CounterValue is one named counter of a Stats, in the stable snake_case
+// naming the observability layer and serialized metrics use.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Counters returns every cumulative counter of the run in a stable order.
+// This is the single list the metrics registry mirrors, so interval samples
+// and end-of-run totals can never disagree on what exists.
+func (s *Stats) Counters() []CounterValue {
+	return []CounterValue{
+		{"cycles", s.Cycles},
+		{"retired", s.Retired},
+		{"dispatched", s.Dispatched},
+		{"fetch_stall_cycles", s.FetchStallCycles},
+		{"window_full_stalls", s.WindowFullStalls},
+		{"cond_branches", s.CondBranches},
+		{"branch_mispredicts", s.BranchMispredicts},
+		{"loads", s.Loads},
+		{"stores", s.Stores},
+		{"store_forwards", s.StoreForwards},
+		{"predictions", s.Predictions},
+		{"speculated", s.Speculated},
+		{"pred_correct_high", s.CH},
+		{"pred_correct_low", s.CL},
+		{"pred_incorrect_high", s.IH},
+		{"pred_incorrect_low", s.IL},
+		{"invalidation_waves", s.InvalidationWaves},
+		{"nullified", s.Nullified},
+		{"reissues", s.Reissues},
+		{"complete_squashes", s.CompleteSquashes},
+		{"issues", s.Issues},
+	}
+}
+
 // AvgOccupancy returns the mean number of occupied window entries per cycle.
 func (s *Stats) AvgOccupancy() float64 {
 	if s.Cycles == 0 {

@@ -1,0 +1,84 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"valuespec/internal/obs"
+)
+
+// TraceRecorder is an Observer that converts the pipeline event stream into
+// a Chrome trace (chrome://tracing / Perfetto): one track per window slot,
+// one slice per dispatch-to-retire instruction lifetime, and instant events
+// for invalidations, verifications and branch resolves. One simulated cycle
+// maps to one trace microsecond, so the viewer's time axis reads as cycles.
+type TraceRecorder struct {
+	trace obs.Trace
+	open  map[int64]openSlice // seq -> pending dispatch
+	named map[int]bool        // slots with an emitted track name
+}
+
+type openSlice struct {
+	cycle  int64
+	slot   int
+	pc     int
+	issues int
+}
+
+// tracePID groups every window-slot track under one process.
+const tracePID = 0
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	r := &TraceRecorder{
+		open:  make(map[int64]openSlice),
+		named: make(map[int]bool),
+	}
+	r.trace.ProcessName(tracePID, "instruction window")
+	return r
+}
+
+// Observe implements Observer.
+func (r *TraceRecorder) Observe(ev Event) {
+	if !r.named[ev.Slot] {
+		r.named[ev.Slot] = true
+		r.trace.ThreadName(tracePID, ev.Slot, fmt.Sprintf("slot %d", ev.Slot))
+	}
+	switch ev.Kind {
+	case EvDispatch:
+		// A squashed instruction re-dispatches under the same seq; the new
+		// lifetime simply replaces the abandoned one.
+		r.open[ev.Seq] = openSlice{cycle: ev.Cycle, slot: ev.Slot, pc: ev.PC}
+	case EvIssue:
+		if o, ok := r.open[ev.Seq]; ok {
+			o.issues++
+			r.open[ev.Seq] = o
+		}
+	case EvRetire:
+		o, ok := r.open[ev.Seq]
+		if !ok {
+			return
+		}
+		delete(r.open, ev.Seq)
+		r.trace.Complete(tracePID, o.slot, fmt.Sprintf("i%d @pc %d", ev.Seq, o.pc),
+			o.cycle, ev.Cycle-o.cycle+1,
+			map[string]any{"seq": ev.Seq, "pc": o.pc, "issues": o.issues})
+	case EvInvalidate:
+		r.trace.Instant(tracePID, ev.Slot, "invalidate", ev.Cycle,
+			map[string]any{"seq": ev.Seq})
+	case EvResolve:
+		r.trace.Instant(tracePID, ev.Slot, "resolve", ev.Cycle,
+			map[string]any{"seq": ev.Seq})
+	case EvVerify:
+		r.trace.Instant(tracePID, ev.Slot, "verify", ev.Cycle,
+			map[string]any{"seq": ev.Seq})
+	}
+}
+
+// Len returns the number of accumulated trace events.
+func (r *TraceRecorder) Len() int { return r.trace.Len() }
+
+// WriteJSON writes the accumulated trace in Chrome trace-event JSON form.
+// Instructions still in flight (squashed, or alive when the simulation was
+// cut short) are omitted: they have no retire edge to close their slice.
+func (r *TraceRecorder) WriteJSON(w io.Writer) error { return r.trace.WriteJSON(w) }

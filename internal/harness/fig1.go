@@ -80,11 +80,21 @@ func Fig1Scenario(model *core.Model, mispredict bool) (*cpu.EventLog, *cpu.Stats
 // diagram; see Timeline for the format.
 func Fig1Diagram(log *cpu.EventLog) string { return Timeline(log, 0) }
 
+// EventSource is any observer whose retained events can be rendered; both
+// cpu.EventLog and cpu.RingLog satisfy it.
+type EventSource interface {
+	EventSlice() []cpu.Event
+}
+
 // Timeline renders an event log as a pipeline diagram: one row per dynamic
 // instruction (at most maxInstr rows when maxInstr > 0), one column per
 // cycle, with event codes D=dispatch I=issue W=writeback M=memory V=verify
 // X=invalidate B=branch-resolve R=retire.
-func Timeline(log *cpu.EventLog, maxInstr int) string {
+//
+// A bounded observer (cpu.RingLog) may have dropped events; the diagram
+// then leads with an explicit truncation notice instead of silently
+// rendering an incomplete picture.
+func Timeline(log EventSource, maxInstr int) string {
 	codes := map[cpu.EventKind]string{
 		cpu.EvDispatch: "D", cpu.EvIssue: "I", cpu.EvExecDone: "W",
 		cpu.EvMemAccess: "M", cpu.EvVerify: "V", cpu.EvInvalidate: "X",
@@ -92,7 +102,7 @@ func Timeline(log *cpu.EventLog, maxInstr int) string {
 	}
 	cells := map[int64]map[int64]string{} // seq -> cycle -> codes
 	var maxCycle int64
-	for _, ev := range log.Events {
+	for _, ev := range log.EventSlice() {
 		if maxInstr > 0 && ev.Seq >= int64(maxInstr) {
 			continue
 		}
@@ -113,6 +123,10 @@ func Timeline(log *cpu.EventLog, maxInstr int) string {
 		}
 	}
 	var b strings.Builder
+	if d, ok := log.(interface{ Dropped() int64 }); ok && d.Dropped() > 0 {
+		fmt.Fprintf(&b, "(truncated: observer dropped %d older events; earliest retained cycles may render incomplete)\n",
+			d.Dropped())
+	}
 	fmt.Fprintf(&b, "%-8s", "cycle")
 	for c := int64(0); c <= maxCycle; c++ {
 		fmt.Fprintf(&b, " %*d", width, c)

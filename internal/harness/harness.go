@@ -21,6 +21,7 @@ import (
 	"valuespec/internal/cpu"
 	"valuespec/internal/emu"
 	"valuespec/internal/isa"
+	"valuespec/internal/obs"
 	"valuespec/internal/stats"
 	"valuespec/internal/vpred"
 )
@@ -73,12 +74,25 @@ type Spec struct {
 	// Predictable restricts which operations are value-predicted; nil
 	// predicts every register writer.
 	Predictable func(op isa.Op) bool
+
+	// Observer, when non-nil, receives the pipeline event stream (e.g. a
+	// cpu.EventLog, cpu.RingLog or cpu.TraceRecorder; combine with cpu.Tee).
+	Observer cpu.Observer
+	// Metrics, when non-nil, collects sampled distributions and the
+	// interval time series during the run.
+	Metrics *cpu.Metrics
+	// Phases enables the wall-time per-stage profile; the breakdown is
+	// returned in Result.Phases.
+	Phases bool
 }
 
 // Result is the outcome of one simulation.
 type Result struct {
 	Spec  Spec
 	Stats *cpu.Stats
+	// Phases holds the per-stage wall-time breakdown when Spec.Phases was
+	// set, nil otherwise.
+	Phases []obs.PhaseStat
 }
 
 // IPC returns the measured instructions per cycle.
@@ -120,11 +134,25 @@ func Simulate(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
 	}
+	if spec.Observer != nil {
+		p.SetObserver(spec.Observer)
+	}
+	if spec.Metrics != nil {
+		p.SetMetrics(spec.Metrics)
+	}
+	var phases *obs.PhaseTimer
+	if spec.Phases {
+		phases = p.EnablePhaseStats()
+	}
 	st, err := p.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s on %s: %w", spec.Workload.Name, ConfigName(spec.Config), err)
 	}
-	return Result{Spec: spec, Stats: st}, nil
+	res := Result{Spec: spec, Stats: st}
+	if phases != nil {
+		res.Phases = phases.Breakdown()
+	}
+	return res, nil
 }
 
 // SimulateAll runs the given specs concurrently (bounded by GOMAXPROCS) and

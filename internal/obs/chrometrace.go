@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one event of the Chrome trace-event format (the JSON
+// consumed by chrome://tracing and https://ui.perfetto.dev). Only the
+// fields the simulator emits are modeled: complete slices ("X"), instant
+// events ("i") and metadata ("M").
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace accumulates trace events and serializes them as a Chrome trace JSON
+// object. Timestamps are in trace "microseconds"; the simulator maps one
+// cycle to one microsecond so the viewer's time axis reads as cycles.
+type Trace struct {
+	events []TraceEvent
+}
+
+// ProcessName emits metadata naming a process track group.
+func (t *Trace) ProcessName(pid int, name string) {
+	t.events = append(t.events, TraceEvent{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// ThreadName emits metadata naming one track within a process.
+func (t *Trace) ThreadName(pid, tid int, name string) {
+	t.events = append(t.events, TraceEvent{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete emits a complete slice: a named span [ts, ts+dur) on one track.
+func (t *Trace) Complete(pid, tid int, name string, ts, dur int64, args map[string]any) {
+	if dur < 1 {
+		dur = 1 // zero-width slices are invisible in the viewer
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Instant emits a thread-scoped instant event at ts on one track.
+func (t *Trace) Instant(pid, tid int, name string, ts int64, args map[string]any) {
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "i", TS: ts, PID: pid, TID: tid, Scope: "t", Args: args,
+	})
+}
+
+// Len returns the number of accumulated events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// WriteJSON writes the trace in the JSON object format, one event per line.
+// The output is deterministic: events appear in emission order and JSON maps
+// marshal with sorted keys.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	for i, ev := range t.events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("obs: marshal trace event: %w", err)
+		}
+		sep := ",\n"
+		if i == len(t.events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return fmt.Errorf("obs: write trace: %w", err)
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	if err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PhaseTimer attributes wall time to named phases of a loop. Begin(i) closes
+// the phase in progress and starts phase i; End closes the phase in progress
+// without starting another. The overhead is one time.Now per transition, so
+// the timer is meant to be installed only when profiling.
+type PhaseTimer struct {
+	names  []string
+	totals []time.Duration
+	cur    int
+	start  time.Time
+}
+
+// NewPhaseTimer creates a timer over the given phase names.
+func NewPhaseTimer(names ...string) *PhaseTimer {
+	return &PhaseTimer{names: names, totals: make([]time.Duration, len(names)), cur: -1}
+}
+
+// Begin starts phase i, closing any phase in progress.
+func (t *PhaseTimer) Begin(i int) {
+	now := time.Now()
+	if t.cur >= 0 {
+		t.totals[t.cur] += now.Sub(t.start)
+	}
+	t.cur = i
+	t.start = now
+}
+
+// End closes the phase in progress.
+func (t *PhaseTimer) End() {
+	if t.cur >= 0 {
+		t.totals[t.cur] += time.Since(t.start)
+		t.cur = -1
+	}
+}
+
+// PhaseStat is the accumulated wall time of one phase.
+type PhaseStat struct {
+	Name  string
+	Total time.Duration
+	Frac  float64 // share of the summed phase time
+}
+
+// Breakdown returns the per-phase totals in declaration order.
+func (t *PhaseTimer) Breakdown() []PhaseStat {
+	var sum time.Duration
+	for _, d := range t.totals {
+		sum += d
+	}
+	out := make([]PhaseStat, len(t.names))
+	for i, name := range t.names {
+		frac := 0.0
+		if sum > 0 {
+			frac = float64(t.totals[i]) / float64(sum)
+		}
+		out[i] = PhaseStat{Name: name, Total: t.totals[i], Frac: frac}
+	}
+	return out
+}
+
+// String renders the breakdown as an aligned table with percentage bars.
+func (t *PhaseTimer) String() string {
+	var b strings.Builder
+	for _, s := range t.Breakdown() {
+		bar := strings.Repeat("#", int(s.Frac*40+0.5))
+		fmt.Fprintf(&b, "%-10s %12v %5.1f%% %s\n", s.Name, s.Total.Round(time.Microsecond), 100*s.Frac, bar)
+	}
+	return b.String()
+}

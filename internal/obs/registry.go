@@ -1,0 +1,182 @@
+// Package obs is the simulator's observability layer: a zero-dependency
+// metrics registry (counters, gauges, log-bucketed histograms), an interval
+// sampler that turns the registry into a ring-buffered time series, a Chrome
+// trace-event builder for chrome://tracing / Perfetto, and a wall-time phase
+// timer for profiling the simulation loop itself.
+//
+// The package deliberately knows nothing about the pipeline: internal/cpu
+// publishes into it, internal/report serializes out of it. None of the types
+// are goroutine-safe; each simulation owns its own registry, matching the
+// one-pipeline-per-goroutine concurrency model of the harness.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v int64
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Set overwrites the counter value; used by publishers that mirror an
+// externally accumulated total (e.g. cpu.Stats) into the registry.
+func (c *Counter) Set(v int64) { c.v = v }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is an instantaneous floating-point measurement.
+type Gauge struct {
+	v float64
+}
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry is an ordered collection of named metrics. Names are unique
+// across all three kinds; lookups create on first use and iteration follows
+// registration order so serialized output is deterministic.
+type Registry struct {
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) checkNew(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// It panics if the name is registered as a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkNew(name)
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkNew(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkNew(name)
+	h := NewHistogram()
+	r.hists[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// Names returns the metric names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Columns returns the flattened scalar column names the registry expands to
+// when sampled: one column per counter and gauge, and count/mean/p50/p90/
+// p99/max columns per histogram.
+func (r *Registry) Columns() []string {
+	var cols []string
+	for _, name := range r.order {
+		if _, ok := r.hists[name]; ok {
+			for _, s := range histColumns {
+				cols = append(cols, name+"."+s)
+			}
+			continue
+		}
+		cols = append(cols, name)
+	}
+	return cols
+}
+
+var histColumns = []string{"count", "mean", "p50", "p90", "p99", "max"}
+
+// row appends the current scalar values in column order. Counters are
+// reported as deltas against prev (keyed by name), which the caller
+// accumulates so that summed interval rows reconcile with final totals.
+func (r *Registry) row(dst []float64, prev map[string]int64) []float64 {
+	for _, name := range r.order {
+		if c, ok := r.counters[name]; ok {
+			v := c.Value()
+			dst = append(dst, float64(v-prev[name]))
+			prev[name] = v
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			dst = append(dst, g.Value())
+			continue
+		}
+		h := r.hists[name]
+		dst = append(dst,
+			float64(h.Count()), h.Mean(),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99),
+			float64(h.Max()))
+	}
+	return dst
+}
+
+// String renders a sorted one-line-per-metric summary, for debugging.
+func (r *Registry) String() string {
+	names := r.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		switch {
+		case r.counters[name] != nil:
+			fmt.Fprintf(&b, "%s %d\n", name, r.counters[name].Value())
+		case r.gauges[name] != nil:
+			fmt.Fprintf(&b, "%s %g\n", name, r.gauges[name].Value())
+		default:
+			h := r.hists[name]
+			fmt.Fprintf(&b, "%s count=%d mean=%.2f p50=%.0f p99=%.0f max=%d\n",
+				name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		}
+	}
+	return b.String()
+}

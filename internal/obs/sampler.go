@@ -1,0 +1,113 @@
+package obs
+
+// Sample is one snapshot of the registry: the cycle it was taken at and the
+// scalar values in Registry.Columns order. Counter columns hold the delta
+// since the previous retained sample, so summing a counter column over a
+// complete series reconciles exactly with the counter's final value.
+type Sample struct {
+	Cycle  int64
+	Values []float64
+}
+
+// IntervalSampler snapshots a registry every Interval cycles into a
+// ring-buffered time series. With a positive capacity the ring keeps the
+// most recent samples and counts the overwritten ones in Dropped; capacity
+// <= 0 retains everything.
+type IntervalSampler struct {
+	reg      *Registry
+	interval int64
+	capacity int
+
+	cols    []string
+	samples []Sample
+	next    int // ring write position (capacity > 0)
+	n       int
+	dropped int64
+
+	lastCycle int64 // cycle of the most recent sample
+	prev      map[string]int64
+}
+
+// NewIntervalSampler creates a sampler over reg. interval < 1 is treated as
+// 1 (sample every cycle).
+func NewIntervalSampler(reg *Registry, interval int64, capacity int) *IntervalSampler {
+	if interval < 1 {
+		interval = 1
+	}
+	return &IntervalSampler{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		prev:     make(map[string]int64),
+	}
+}
+
+// Interval returns the sampling period in cycles.
+func (s *IntervalSampler) Interval() int64 { return s.interval }
+
+// Due reports whether a full interval has elapsed since the last sample.
+func (s *IntervalSampler) Due(cycle int64) bool {
+	return cycle-s.lastCycle >= s.interval
+}
+
+// Pending reports whether any cycles have elapsed since the last sample,
+// i.e. whether a final Sample is needed to cover the run's tail.
+func (s *IntervalSampler) Pending(cycle int64) bool { return cycle > s.lastCycle }
+
+// Sample takes a snapshot labeled with the given cycle.
+func (s *IntervalSampler) Sample(cycle int64) {
+	if s.cols == nil {
+		s.cols = s.reg.Columns()
+	}
+	sm := Sample{Cycle: cycle, Values: s.reg.row(make([]float64, 0, len(s.cols)), s.prev)}
+	s.lastCycle = cycle
+	if s.capacity <= 0 {
+		s.samples = append(s.samples, sm)
+		s.n++
+		return
+	}
+	if s.samples == nil {
+		s.samples = make([]Sample, s.capacity)
+	}
+	if s.n == s.capacity {
+		s.dropped++
+	} else {
+		s.n++
+	}
+	s.samples[s.next] = sm
+	s.next = (s.next + 1) % s.capacity
+}
+
+// Flush takes a final snapshot of the partial interval ending at cycle, if
+// any cycles have elapsed since the last sample.
+func (s *IntervalSampler) Flush(cycle int64) {
+	if cycle > s.lastCycle {
+		s.Sample(cycle)
+	}
+}
+
+// Columns returns the scalar column names of each sample, in order.
+func (s *IntervalSampler) Columns() []string {
+	if s.cols == nil {
+		s.cols = s.reg.Columns()
+	}
+	out := make([]string, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Samples returns the retained samples oldest-first.
+func (s *IntervalSampler) Samples() []Sample {
+	out := make([]Sample, 0, s.n)
+	if s.capacity <= 0 || s.n < s.capacity {
+		return append(out, s.samples[:s.n]...)
+	}
+	out = append(out, s.samples[s.next:]...)
+	return append(out, s.samples[:s.next]...)
+}
+
+// Len returns the number of retained samples.
+func (s *IntervalSampler) Len() int { return s.n }
+
+// Dropped returns how many samples were overwritten by ring wraparound.
+func (s *IntervalSampler) Dropped() int64 { return s.dropped }

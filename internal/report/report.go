@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"valuespec/internal/harness"
+	"valuespec/internal/obs"
 )
 
 // Table is a generic columnar result: a header and typed rows rendered as
@@ -151,6 +152,34 @@ func Confidence(points []harness.ConfidencePoint) *Table {
 			strconv.FormatUint(uint64(p.CounterBits), 10), f(p.Speedup),
 			f(p.CH), f(p.CL), f(p.IH), f(p.IL),
 		})
+	}
+	return t
+}
+
+// Metrics converts an interval-sampler time series into a table: one row
+// per retained sample with a leading cycle column, then one column per
+// registry scalar (counters as per-interval deltas, gauges as instantaneous
+// values, histograms expanded to count/mean/quantile/max columns).
+func Metrics(s *obs.IntervalSampler) *Table {
+	t := &Table{Name: "metrics", Header: append([]string{"cycle"}, s.Columns()...)}
+	for _, sm := range s.Samples() {
+		row := make([]string, 0, len(t.Header))
+		row = append(row, strconv.FormatInt(sm.Cycle, 10))
+		for _, v := range sm.Values {
+			// 'g' with -1 precision round-trips exactly and keeps integral
+			// counter deltas free of trailing decimals.
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Phases converts a wall-time phase breakdown.
+func Phases(stats []obs.PhaseStat) *Table {
+	t := &Table{Name: "phases", Header: []string{"phase", "seconds", "frac"}}
+	for _, p := range stats {
+		t.Rows = append(t.Rows, []string{p.Name, f(p.Total.Seconds()), f(p.Frac)})
 	}
 	return t
 }

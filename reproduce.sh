@@ -18,6 +18,16 @@ mkdir -p "$out"
 echo "== building =="
 go build ./...
 
+# Note: exit status of `cmd | tee` is tee's, so capture via file instead.
+echo "== checks (gofmt, vet, race-enabled tests) =="
+if make check >"$out/check.txt" 2>&1; then
+	cat "$out/check.txt"
+else
+	cat "$out/check.txt"
+	echo "reproduce.sh: 'make check' FAILED -- see $out/check.txt" >&2
+	exit 1
+fi
+
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
 

@@ -138,6 +138,37 @@ type (
 	UpdateTiming = cpu.UpdateTiming
 )
 
+// Observability (see docs/OBSERVABILITY.md).
+type (
+	// Observer receives the pipeline's microarchitectural event stream.
+	Observer = cpu.Observer
+	// Event is one pipeline event (dispatch, issue, verify, retire, ...).
+	Event = cpu.Event
+	// EventLog is an Observer retaining every event.
+	EventLog = cpu.EventLog
+	// RingLog is a bounded Observer overwriting its oldest events.
+	RingLog = cpu.RingLog
+	// Metrics samples pipeline distributions into an interval time series.
+	Metrics = cpu.Metrics
+	// TraceRecorder is an Observer producing a Chrome trace-event JSON.
+	TraceRecorder = cpu.TraceRecorder
+)
+
+// NewRingLog returns an Observer keeping only the newest capacity events.
+func NewRingLog(capacity int) *RingLog { return cpu.NewRingLog(capacity) }
+
+// NewMetrics returns a collector sampling every interval cycles into a ring
+// of up to capacity snapshots (capacity <= 0 retains all).
+func NewMetrics(interval int64, capacity int) *Metrics {
+	return cpu.NewMetrics(interval, capacity)
+}
+
+// NewTraceRecorder returns an Observer that records a Chrome trace.
+func NewTraceRecorder() *TraceRecorder { return cpu.NewTraceRecorder() }
+
+// Tee fans one pipeline's events out to several observers.
+func Tee(obs ...Observer) Observer { return cpu.Tee(obs...) }
+
 // Update timings.
 const (
 	UpdateImmediate = cpu.UpdateImmediate
