@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt check reproduce experiments clean
+.PHONY: all build test bench benchcheck vet fmt check reproduce experiments clean
 
 all: build test
 
@@ -15,6 +15,12 @@ test:
 # The full benchmark pass used for bench_output.txt.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The benchmark regression gate: pinned benchmarks vs BENCH_BASELINE.json,
+# failing on >15% slowdown. Refresh the baseline with
+# `go run ./cmd/benchcheck -update` after intentional performance changes.
+benchcheck:
+	$(GO) run ./cmd/benchcheck
 
 vet:
 	$(GO) vet ./...

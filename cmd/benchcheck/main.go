@@ -1,0 +1,157 @@
+// Command benchcheck is the benchmark regression gate: it runs the pinned
+// benchmarks, takes the minimum ns/op over -count repetitions (the least
+// noisy point estimate), and compares against the checked-in baseline.
+// Any benchmark more than -tolerance slower than its baseline fails the
+// gate; -update reruns the suite and rewrites the baseline instead.
+//
+// Usage:
+//
+//	benchcheck                  # compare against BENCH_BASELINE.json
+//	benchcheck -update          # re-measure and rewrite the baseline
+//	benchcheck -tolerance 0.30  # loosen the gate (e.g. noisy CI hosts)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// targets pins which benchmarks are gated. Patterns are anchored so new
+// benchmarks don't silently join the gate without a baseline entry.
+var targets = []struct{ pkg, pattern string }{
+	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup)$"},
+	{"./internal/harness", "^BenchmarkSimulateAllCached$"},
+}
+
+// baseline is the BENCH_BASELINE.json schema.
+type baseline struct {
+	Note    string             `json:"note"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches "BenchmarkName/sub-8   123   4567 ns/op ..." and strips
+// the GOMAXPROCS suffix so baselines are stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	var (
+		update    = flag.Bool("update", false, "rewrite the baseline from fresh measurements")
+		path      = flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+		count     = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op is kept")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed slowdown before failing (0.15 = +15%)")
+	)
+	flag.Parse()
+
+	got := make(map[string]float64)
+	for _, t := range targets {
+		if err := runBench(t.pkg, t.pattern, *count, got); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(got) == 0 {
+		log.Fatal("no benchmark results parsed")
+	}
+
+	if *update {
+		b := baseline{
+			Note:    "minimum ns/op over repeated runs; regenerate with `go run ./cmd/benchcheck -update`",
+			NsPerOp: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*path, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(*path)
+	if err != nil {
+		log.Fatalf("%v (run `go run ./cmd/benchcheck -update` to create the baseline)", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("parsing %s: %v", *path, err)
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base.NsPerOp[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-45s missing from this run\n", name)
+			failed = true
+			continue
+		}
+		ratio := have / want
+		status := "ok  "
+		if ratio > 1+*tolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-45s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			status, name, have, want, 100*(ratio-1))
+	}
+	for name := range got {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("note %-45s not in baseline; add with -update\n", name)
+		}
+	}
+	if failed {
+		log.Fatalf("benchmark regression beyond %.0f%%", 100**tolerance)
+	}
+	fmt.Println("benchcheck: all pinned benchmarks within tolerance")
+}
+
+// runBench executes one `go test -bench` invocation and folds the minimum
+// ns/op per benchmark into out.
+func runBench(pkg, pattern string, count int, out map[string]float64) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-count", strconv.Itoa(count), "-benchmem=false", pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Printf("running %s -bench %s (count=%d)\n", pkg, pattern, count)
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("%s: %w\n%s", pkg, err, buf.String())
+	}
+	matched := false
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("%s: parsing %q: %w", pkg, sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+		matched = true
+	}
+	if !matched {
+		return fmt.Errorf("%s: no benchmarks matched %q", pkg, pattern)
+	}
+	return sc.Err()
+}

@@ -58,6 +58,7 @@ func main() {
 		branchq      = flag.Bool("branchq", false, "branch-quality ablation (gshare vs perfect)")
 		all          = flag.Bool("all", false, "run everything")
 		quick        = flag.Bool("quick", false, "restrict sweeps to the 8/48 configuration")
+		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
 		outDir       = flag.String("out", "", "also write results as CSV and JSON into this directory")
 		svgDir       = flag.String("svg", "", "also render figures as SVG into this directory")
@@ -65,6 +66,9 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *noTraceCache {
+		harness.SetTraceCaching(false)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -328,6 +332,11 @@ func main() {
 			})
 		}
 		fmt.Print(textplot.Table([]string{"Counter bits", "Speedup", "CH%", "CL%", "IH%", "IL%"}, cells))
+	}
+
+	if c := harness.DefaultTraceCache(); harness.TraceCaching() && c.Hits()+c.Misses() > 0 {
+		fmt.Printf("\ntrace cache: %d hits, %d misses, %d records cached\n",
+			c.Hits(), c.Misses(), c.CachedRecords())
 	}
 }
 

@@ -116,13 +116,23 @@ type entry struct {
 
 	// retireAt is the earliest retirement cycle once the output is valid.
 	retireAt int64
+
+	// Event-driven wakeup bookkeeping. cons lists the ring indices of
+	// entries registered as consumers of this entry's output (register
+	// operands at dispatch, store-forwarded data at access time); stale
+	// registrations are filtered at use by re-checking the dependence.
+	// inQ tracks membership in the pipeline's ready queue.
+	cons []int
+	inQ  bool
 }
 
 func (e *entry) writesReg() bool { return isa.WritesReg(e.rec.Instr.Op) }
 
 // reset prepares a slot for a new dispatch.
 func (e *entry) reset() {
+	cons := e.cons[:0] // keep the consumer-list allocation across reuse
 	*e = entry{
+		cons:          cons,
 		inFlightDone:  never,
 		earliestIssue: never,
 		doneCycle:     never,

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 
 	"valuespec/internal/bpred"
 	"valuespec/internal/core"
@@ -20,9 +21,11 @@ type eqEvent struct {
 }
 
 // waveEvent continues a hierarchical invalidation wave: the set of producer
-// ages whose direct consumers are nullified next.
+// ages whose direct consumers are nullified next, plus the producers' ring
+// indices for the consumer-list walk (unused by the reference scan).
 type waveEvent struct {
 	ages map[int64]bool
+	idxs []int
 }
 
 // Pipeline simulates one program on one processor configuration under one
@@ -53,6 +56,18 @@ type Pipeline struct {
 
 	eqEvents   map[int64][]eqEvent
 	waveEvents map[int64][]waveEvent
+
+	// Event-driven wakeup state. readyQ holds the ring indices of every
+	// unissued entry in age order — the only entries wakeup/selection must
+	// examine. scanWakeup switches issue and invalidation back to the
+	// original full-window scans (the test-only reference implementation the
+	// property tests compare against). waveMark/waveCand/waveFrontier are
+	// scratch space for the invalidation consumer walk.
+	readyQ       []int
+	scanWakeup   bool
+	waveMark     []bool
+	waveCand     []int
+	waveFrontier []int
 
 	portsUsed int // D-cache ports consumed this cycle
 
@@ -94,6 +109,8 @@ func New(cfg Config, spec *SpecOptions, src trace.Source) (*Pipeline, error) {
 		blockingAge: never,
 		eqEvents:    make(map[int64][]eqEvent),
 		waveEvents:  make(map[int64][]waveEvent),
+		readyQ:      make([]int, 0, cfg.WindowSize),
+		waveMark:    make([]bool, cfg.WindowSize),
 	}
 	for i := range p.regProd {
 		p.regProd[i] = -1
@@ -115,6 +132,100 @@ func (p *Pipeline) specOn() bool { return p.spec != nil }
 
 // slot returns the ring index of the i-th oldest entry (0 = head).
 func (p *Pipeline) slot(i int) int { return (p.head + i) % len(p.entries) }
+
+// ---------------------------------------------------------------------------
+// Ready queue and consumer lists (event-driven wakeup)
+//
+// readyQ mirrors the invariant "used && !issued && !inFlight" — exactly the
+// entries the selection logic can consider — sorted by age, so wakeup visits
+// candidates instead of scanning the whole window every cycle. Entries join
+// at dispatch and when nullified, and leave at issue and when squashed.
+// Consumer lists (entry.cons) invert the regProd dependence edges so an
+// invalidation wave walks only the registered consumers of the wrong
+// producers instead of rescanning the window.
+
+// qPos returns the position in readyQ of the entry with the given age, or
+// the position it would be inserted at. Ages are unique and readyQ is sorted
+// ascending, so this is an exact locate for members.
+func (p *Pipeline) qPos(age int64) int {
+	lo, hi := 0, len(p.readyQ)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if p.entries[p.readyQ[m]].age < age {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// qInsert adds e to the ready queue (no-op if already queued).
+func (p *Pipeline) qInsert(e *entry) {
+	if e.inQ {
+		return
+	}
+	e.inQ = true
+	pos := p.qPos(e.age)
+	p.readyQ = append(p.readyQ, 0)
+	copy(p.readyQ[pos+1:], p.readyQ[pos:])
+	p.readyQ[pos] = e.idx
+}
+
+// qRemove drops e from the ready queue (no-op if not queued).
+func (p *Pipeline) qRemove(e *entry) {
+	if !e.inQ {
+		return
+	}
+	e.inQ = false
+	pos := p.qPos(e.age)
+	p.readyQ = append(p.readyQ[:pos], p.readyQ[pos+1:]...)
+}
+
+// addConsumer registers the entry at ring index idx as a consumer of the
+// producer at ring index prodIdx. Registrations may go stale (the consumer
+// reissues, retires, or its slot is reused); users of the list re-verify the
+// dependence by age before acting.
+func (p *Pipeline) addConsumer(prodIdx, idx int) {
+	e := &p.entries[prodIdx]
+	for _, c := range e.cons {
+		if c == idx {
+			return
+		}
+	}
+	e.cons = append(e.cons, idx)
+}
+
+// gatherConsumers collects the registered consumers of the producer entries
+// at prodIdxs — transitively when transitive is set (flattened invalidation
+// closes within the cycle) — deduplicated and sorted by age, so the caller
+// visits them in the same order the reference full-window scan would.
+func (p *Pipeline) gatherConsumers(prodIdxs []int, transitive bool) []int {
+	cand := p.waveCand[:0]
+	frontier := append(p.waveFrontier[:0], prodIdxs...)
+	for len(frontier) > 0 {
+		pi := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, ci := range p.entries[pi].cons {
+			if p.waveMark[ci] {
+				continue
+			}
+			p.waveMark[ci] = true
+			cand = append(cand, ci)
+			if transitive {
+				frontier = append(frontier, ci)
+			}
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		return p.entries[cand[i]].age < p.entries[cand[j]].age
+	})
+	for _, ci := range cand {
+		p.waveMark[ci] = false
+	}
+	p.waveCand, p.waveFrontier = cand, frontier[:0]
+	return cand
+}
 
 // Run simulates until the instruction stream is drained and the window is
 // empty, returning the statistics. It returns an error if the simulation
@@ -362,7 +473,7 @@ func (p *Pipeline) runEvents(c int64) {
 	if evs, ok := p.waveEvents[c]; ok {
 		delete(p.waveEvents, c)
 		for _, w := range evs {
-			p.waveStep(w.ages, c)
+			p.waveStep(w.ages, w.idxs, c)
 		}
 	}
 	evs, ok := p.eqEvents[c]
@@ -371,6 +482,7 @@ func (p *Pipeline) runEvents(c int64) {
 	}
 	delete(p.eqEvents, c)
 	var roots map[int64]bool
+	var rootIdxs []int
 	for _, ev := range evs {
 		e := &p.entries[ev.idx]
 		if !e.used || e.age != ev.age || e.execToken != ev.token {
@@ -399,23 +511,88 @@ func (p *Pipeline) runEvents(c int64) {
 			roots = make(map[int64]bool)
 		}
 		roots[e.age] = true
+		rootIdxs = append(rootIdxs, e.idx)
 		if p.model.Invalidation == core.InvalidateComplete {
 			p.squashYounger(e.age, c)
 			p.fetchResume = maxi64(p.fetchResume, c+1)
 		}
 	}
 	if len(roots) > 0 && p.model.Invalidation != core.InvalidateComplete {
-		p.waveStep(roots, c)
+		p.waveStep(roots, rootIdxs, c)
 	}
 }
 
-// waveStep nullifies the consumers of the producers in ages. For parallel
-// (flattened) invalidation the wave closes transitively within the cycle;
-// for hierarchical invalidation each dependence level costs a cycle, so the
-// newly nullified entries seed a continuation event at c+1.
-func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
+// waveStep nullifies the consumers of the producers in ages (whose ring
+// indices are prodIdxs). For parallel (flattened) invalidation the wave
+// closes transitively within the cycle; for hierarchical invalidation each
+// dependence level costs a cycle, so the newly nullified entries seed a
+// continuation event at c+1.
+//
+// Instead of rescanning the whole window, the event-driven path walks the
+// producers' registered consumer lists: gatherConsumers returns the (for
+// flattened waves, transitive) consumers in age order, which is exactly the
+// order the reference scan would test them in, so emitted events, statistics
+// and nullification outcomes are identical.
+func (p *Pipeline) waveStep(ages map[int64]bool, prodIdxs []int, c int64) {
+	if p.scanWakeup {
+		p.waveStepScan(ages, c)
+		return
+	}
+	hier := p.model.Invalidation == core.InvalidateHierarchical
+	cand := p.gatherConsumers(prodIdxs, !hier)
+	next := map[int64]bool{}
+	var nextIdxs []int
+	reissue := int64(p.model.Lat.InvalidateReissue)
+	nulled := int64(0)
+	for _, ci := range cand {
+		e := &p.entries[ci]
+		if !e.used {
+			continue // stale registration: the consumer's slot was freed
+		}
+		if !e.issued && !e.doneExec && !e.inFlight {
+			continue // never consumed anything; the sweep refreshes its view
+		}
+		wrong := false
+		for s := 0; s < e.nsrc; s++ {
+			o := &e.src[s]
+			if o.inWindow && ages[o.prodAge] && !e.usedCorrect[s] {
+				wrong = true
+				break
+			}
+		}
+		if !wrong && e.fwdProdAge != never && ages[e.fwdProdAge] && !e.fwdDataOK {
+			wrong = true
+		}
+		if !wrong {
+			continue
+		}
+		p.emit(c, EvInvalidate, e)
+		p.stats.Nullified++
+		nulled++
+		e.nullify(c, reissue)
+		p.qInsert(e)
+		if hier {
+			next[e.age] = true
+			nextIdxs = append(nextIdxs, e.idx)
+		} else {
+			ages[e.age] = true
+		}
+	}
+	if p.metrics != nil {
+		p.metrics.waveSize.Observe(nulled)
+	}
+	if hier && len(next) > 0 {
+		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next, idxs: nextIdxs})
+	}
+}
+
+// waveStepScan is the original O(window) invalidation pass, kept as the
+// reference implementation the property tests compare the consumer-list walk
+// against (enabled via scanWakeup).
+func (p *Pipeline) waveStepScan(ages map[int64]bool, c int64) {
 	hier := p.model.Invalidation == core.InvalidateHierarchical
 	next := map[int64]bool{}
+	var nextIdxs []int
 	reissue := int64(p.model.Lat.InvalidateReissue)
 	nulled := int64(0)
 	for i := 0; i < p.count; i++ {
@@ -444,8 +621,10 @@ func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
 		p.stats.Nullified++
 		nulled++
 		e.nullify(c, reissue)
+		p.qInsert(e)
 		if hier {
 			next[e.age] = true
+			nextIdxs = append(nextIdxs, e.idx)
 		} else {
 			ages[e.age] = true
 		}
@@ -454,7 +633,7 @@ func (p *Pipeline) waveStep(ages map[int64]bool, c int64) {
 		p.metrics.waveSize.Observe(nulled)
 	}
 	if hier && len(next) > 0 {
-		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next})
+		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next, idxs: nextIdxs})
 	}
 }
 
@@ -472,6 +651,7 @@ func (p *Pipeline) squashYounger(age int64, c int64) {
 			continue
 		}
 		requeue = append(requeue, e.rec)
+		p.qRemove(e)
 		e.used = false
 	}
 	if len(requeue) == 0 {

@@ -208,7 +208,47 @@ func (p *Pipeline) finishRetire(e *entry) {
 // scheme non-speculative candidates precede speculative ones within each
 // group, oldest first, while the oldest-first policy ignores the speculative
 // state of operands.
+//
+// The event-driven path iterates the ready queue — the unissued entries in
+// age order — instead of scanning the whole window once per selection pass.
+// The candidate sequence each pass sees is identical to the reference scan's
+// (issued and in-flight entries would be skipped by tryIssue anyway), so
+// grants, grant order and statistics are bit-identical.
 func (p *Pipeline) issue(c int64) {
+	if p.scanWakeup {
+		p.issueScan(c)
+		return
+	}
+	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
+	specPasses := 2
+	if oldestFirst {
+		specPasses = 1
+	}
+	grants := 0
+	for group := 0; group < 2; group++ {
+		memCtrl := group == 0 // branches and loads first
+		for specPass := 0; specPass < specPasses && grants < p.cfg.IssueWidth; specPass++ {
+			for qi := 0; qi < len(p.readyQ) && grants < p.cfg.IssueWidth; {
+				e := &p.entries[p.readyQ[qi]]
+				if (e.cls == isa.ClassBranch || e.cls == isa.ClassLoad) != memCtrl {
+					qi++
+					continue
+				}
+				if p.tryIssue(e, c, specPass == 1, !oldestFirst) {
+					grants++ // tryIssue dequeued e; readyQ[qi] is the next candidate
+				} else {
+					qi++
+				}
+			}
+		}
+	}
+	p.stats.Issues += int64(grants)
+}
+
+// issueScan is the original full-window wakeup/selection scan, kept as the
+// reference implementation the property tests compare the ready queue
+// against (enabled via scanWakeup).
+func (p *Pipeline) issueScan(c int64) {
 	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
 	specPasses := 2
 	if oldestFirst {
@@ -276,6 +316,7 @@ func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
 
 	// Issue.
 	p.emit(c, EvIssue, e)
+	p.qRemove(e)
 	e.issued = true
 	e.inFlight = true
 	e.execCount++
@@ -353,6 +394,7 @@ func (p *Pipeline) startAccesses(c int64) {
 			e.fwdDataOK = d.correct
 			if d.inWindow {
 				e.fwdProdAge = d.prodAge
+				p.addConsumer(d.prodIdx, e.idx)
 			}
 			p.stats.StoreForwards++
 			continue
@@ -514,6 +556,7 @@ func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
 		}
 	}
 
+	p.qInsert(e)
 	for s := 0; s < e.nsrc; s++ {
 		o := &e.src[s]
 		*o = operand{reg: rec.SrcRegs[s], validAt: never, ready: never}
@@ -523,6 +566,7 @@ func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
 			o.prodIdx = prod
 			o.prodAge = p.regProdAge[o.reg]
 			o.state = core.StateInvalid
+			p.addConsumer(prod, idx)
 			p.syncOperand(o)
 		} else {
 			o.state = core.StateValid

@@ -1,0 +1,174 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/emu"
+	"valuespec/internal/trace"
+	"valuespec/internal/vpred"
+)
+
+// runWakeup simulates recs with either the event-driven wakeup queues or the
+// reference full-window scan, capturing the complete event stream.
+func runWakeup(t *testing.T, cfg Config, mk func() *SpecOptions, recs []trace.Record, scan bool) (*Stats, *EventLog) {
+	t.Helper()
+	p, err := New(cfg, mk(), &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.scanWakeup = scan
+	log := &EventLog{}
+	p.SetObserver(log)
+	st, err := p.Run()
+	if err != nil {
+		t.Fatalf("Run (scan=%t): %v\nstats: %s", scan, err, p.Stats())
+	}
+	return st, log
+}
+
+// TestEventWakeupMatchesScan is the equivalence property behind the
+// event-driven wakeup conversion: on random dependence DAGs, under every
+// model preset and under the ablations that stress nullification the
+// hardest, the ready-queue/consumer-list implementation must produce exactly
+// the same event stream — same entries woken, issued, invalidated and
+// retired in the same cycles, in the same order — and byte-identical
+// statistics as the original full-window scan.
+func TestEventWakeupMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(1337))
+	configs := []Config{flatMemConfig(Config4x24()), Config8x48()}
+
+	variants := []func() *SpecOptions{
+		func() *SpecOptions { return nil }, // base
+	}
+	for _, preset := range core.Presets() {
+		preset := preset
+		variants = append(variants, func() *SpecOptions {
+			return &SpecOptions{
+				Enabled:    true,
+				Model:      preset,
+				Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+				Confidence: confidence.NewResetting(10, 2),
+			}
+		})
+	}
+	// Always-speculate ablations maximize invalidation-wave traffic, the
+	// path where the consumer-list walk replaces the window scan.
+	ablations := []func(m *core.Model){
+		func(m *core.Model) {},
+		func(m *core.Model) { m.Invalidation = core.InvalidateHierarchical },
+		func(m *core.Model) { m.Invalidation = core.InvalidateComplete },
+		func(m *core.Model) { m.Wakeup = core.WakeupLimited },
+		func(m *core.Model) { m.Selection = core.SelectOldestFirst },
+		func(m *core.Model) {
+			m.Invalidation = core.InvalidateHierarchical
+			m.BranchResolution = core.ResolveSpeculative
+			m.MemResolution = core.ResolveSpeculative
+			m.Lat.InvalidateReissue = 3
+		},
+	}
+	for _, ab := range ablations {
+		ab := ab
+		variants = append(variants, func() *SpecOptions {
+			m := core.Great()
+			ab(&m)
+			return &SpecOptions{
+				Enabled:    true,
+				Model:      m,
+				Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+				Confidence: confidence.Always{},
+			}
+		})
+	}
+
+	for trial := 0; trial < 6; trial++ {
+		prog := genProgram(r)
+		m, err := emu.New(prog, emu.WithBudget(2500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := trace.Collect(m, 0)
+		for vi, mk := range variants {
+			for ci, cfg := range configs {
+				stQ, logQ := runWakeup(t, cfg, mk, recs, false)
+				stS, logS := runWakeup(t, cfg, mk, recs, true)
+				if !reflect.DeepEqual(stQ, stS) {
+					t.Fatalf("trial %d variant %d cfg %d: stats diverged\nqueue: %s\nscan:  %s",
+						trial, vi, ci, stQ, stS)
+				}
+				if !reflect.DeepEqual(logQ.Events, logS.Events) {
+					for i := range logQ.Events {
+						if i >= len(logS.Events) || logQ.Events[i] != logS.Events[i] {
+							t.Fatalf("trial %d variant %d cfg %d: event %d diverged: queue %+v scan %+v",
+								trial, vi, ci, i, logQ.Events[i], logS.Events[i])
+						}
+					}
+					t.Fatalf("trial %d variant %d cfg %d: event streams differ in length: %d vs %d",
+						trial, vi, ci, len(logQ.Events), len(logS.Events))
+				}
+			}
+		}
+	}
+}
+
+// benchWakeupRecs builds a window-saturating record stream: long dependence
+// chains interleaved with independent work, so the window stays full and the
+// wakeup logic has many entries to consider each cycle.
+func benchWakeupRecs(b *testing.B, n int) []trace.Record {
+	b.Helper()
+	r := rand.New(rand.NewSource(99))
+	var recs []trace.Record
+	for len(recs) < n {
+		prog := genProgram(r)
+		m, err := emu.New(prog, emu.WithBudget(int64(n-len(recs))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := trace.Collect(m, 0)
+		// Renumber so the concatenated stream is a single coherent trace.
+		for i := range got {
+			got[i].Seq = int64(len(recs) + i)
+		}
+		recs = append(recs, got...)
+	}
+	return recs
+}
+
+// BenchmarkWakeup compares the event-driven wakeup queues against the
+// reference full-window scan on the 16-wide/96-entry configuration, where
+// the per-cycle scans are largest. The "queue" result is the shipped path.
+func BenchmarkWakeup(b *testing.B) {
+	recs := benchWakeupRecs(b, 20000)
+	cfg := flatMemConfig(Config16x96())
+	for _, mode := range []struct {
+		name string
+		scan bool
+	}{{"queue", false}, {"scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var retired int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := &SpecOptions{
+					Enabled:    true,
+					Model:      core.Great(),
+					Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+					Confidence: confidence.NewResetting(10, 2),
+				}
+				p, err := New(cfg, spec, trace.NewMemorySource(recs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.scanWakeup = mode.scan
+				st, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += st.Retired
+			}
+			b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/emu"
+	"valuespec/internal/obs"
+	"valuespec/internal/trace"
+)
+
+// traceKey identifies one recorded instruction stream: a workload at a
+// resolved (non-zero) scale. Timing parameters deliberately don't appear —
+// the functional trace is the same for every processor configuration, which
+// is exactly the redundancy the cache removes.
+type traceKey struct {
+	workload string
+	scale    int
+}
+
+type traceEntry struct {
+	once sync.Once
+	recs []trace.Record
+	err  error
+}
+
+// TraceCache memoizes the functional emulation of each (workload, scale)
+// pair so a sweep emulates every workload once and replays the recorded
+// stream for all subsequent specs. Safe for concurrent use; each caller gets
+// an independent read cursor over the shared record slice. Hit/miss/record
+// counters are published through an internal obs.Registry.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	reg     *obs.Registry
+	hits    *obs.Counter
+	misses  *obs.Counter
+	records *obs.Counter
+}
+
+// NewTraceCache returns an empty cache with a fresh metrics registry.
+func NewTraceCache() *TraceCache {
+	reg := obs.NewRegistry()
+	return &TraceCache{
+		entries: make(map[traceKey]*traceEntry),
+		reg:     reg,
+		hits:    reg.Counter("trace_cache.hits"),
+		misses:  reg.Counter("trace_cache.misses"),
+		records: reg.Counter("trace_cache.records"),
+	}
+}
+
+// Source returns a fresh replay cursor over the recorded trace of w at the
+// given scale (<= 0 selects the workload default), emulating the workload on
+// first use. Concurrent callers for the same key share one emulation: the
+// first to arrive records it while the rest block on it, then every caller
+// replays the same shared records.
+func (c *TraceCache) Source(w bench.Workload, scale int) (trace.Source, error) {
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	key := traceKey{workload: w.Name, scale: scale}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &traceEntry{}
+		c.entries[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		m, err := emu.New(w.Build(scale))
+		if err != nil {
+			e.err = fmt.Errorf("harness: %s: %w", w.Name, err)
+			return
+		}
+		e.recs = trace.Collect(m, 0)
+		c.mu.Lock()
+		c.records.Add(int64(len(e.recs)))
+		c.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return trace.NewMemorySource(e.recs), nil
+}
+
+// Hits returns how many Source calls were served from an existing recording.
+func (c *TraceCache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits.Value()
+}
+
+// Misses returns how many Source calls had to emulate the workload.
+func (c *TraceCache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses.Value()
+}
+
+// CachedRecords returns the total number of trace records held.
+func (c *TraceCache) CachedRecords() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records.Value()
+}
+
+// Registry exposes the cache's metrics registry (trace_cache.hits,
+// trace_cache.misses, trace_cache.records). The registry itself is not
+// goroutine-safe: read it only while no simulations are in flight, or use
+// the locked accessors above.
+func (c *TraceCache) Registry() *obs.Registry { return c.reg }
+
+// defaultTraceCache backs SimulateAll; traceCachingEnabled is the
+// -no-trace-cache escape hatch.
+var (
+	defaultTraceCache   = NewTraceCache()
+	traceCachingEnabled atomic.Bool
+)
+
+func init() { traceCachingEnabled.Store(true) }
+
+// SetTraceCaching toggles trace replay in SimulateAll. Disabling it makes
+// every simulation execute-driven again (each spec re-runs the functional
+// emulator), which is the -no-trace-cache escape hatch in cmd/vsweep.
+func SetTraceCaching(on bool) { traceCachingEnabled.Store(on) }
+
+// TraceCaching reports whether SimulateAll replays cached traces.
+func TraceCaching() bool { return traceCachingEnabled.Load() }
+
+// DefaultTraceCache returns the process-wide cache used by SimulateAll.
+func DefaultTraceCache() *TraceCache { return defaultTraceCache }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"valuespec/internal/bench"
 	"valuespec/internal/confidence"
@@ -23,6 +24,7 @@ import (
 	"valuespec/internal/isa"
 	"valuespec/internal/obs"
 	"valuespec/internal/stats"
+	"valuespec/internal/trace"
 	"valuespec/internal/vpred"
 )
 
@@ -98,15 +100,33 @@ type Result struct {
 // IPC returns the measured instructions per cycle.
 func (r Result) IPC() float64 { return r.Stats.IPC() }
 
-// Simulate runs one simulation to completion.
-func Simulate(spec Spec) (Result, error) {
-	scale := spec.Scale
-	if scale <= 0 {
-		scale = spec.Workload.DefaultScale
-	}
-	m, err := emu.New(spec.Workload.Build(scale))
-	if err != nil {
-		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+// Simulate runs one simulation to completion, execute-driven: the pipeline
+// consumes the functional emulator directly.
+func Simulate(spec Spec) (Result, error) { return simulate(spec, nil) }
+
+// simulate runs one simulation. With a non-nil cache the pipeline replays
+// the cached trace of (workload, scale); otherwise it is execute-driven.
+// Both feed the pipeline the identical record stream, so results are
+// bit-identical either way (the differential suite in replay_test.go holds
+// this at byte granularity).
+func simulate(spec Spec, cache *TraceCache) (Result, error) {
+	var src trace.Source
+	if cache != nil {
+		s, err := cache.Source(spec.Workload, spec.Scale)
+		if err != nil {
+			return Result{}, err
+		}
+		src = s
+	} else {
+		scale := spec.Scale
+		if scale <= 0 {
+			scale = spec.Workload.DefaultScale
+		}
+		m, err := emu.New(spec.Workload.Build(scale))
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+		}
+		src = m
 	}
 	var opts *cpu.SpecOptions
 	if spec.Model != nil {
@@ -130,7 +150,7 @@ func Simulate(spec Spec) (Result, error) {
 			Predictable: spec.Predictable,
 		}
 	}
-	p, err := cpu.New(spec.Config, opts, m)
+	p, err := cpu.New(spec.Config, opts, src)
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
 	}
@@ -155,23 +175,52 @@ func Simulate(spec Spec) (Result, error) {
 	return res, nil
 }
 
-// SimulateAll runs the given specs concurrently (bounded by GOMAXPROCS) and
-// returns results in input order. The first error aborts the batch.
+// SimulateAll runs the given specs on a fixed pool of GOMAXPROCS workers and
+// returns results in input order. Each workload is emulated at most once per
+// (workload, scale): subsequent specs replay the recorded trace through the
+// process-wide TraceCache (disable with SetTraceCaching(false), the
+// -no-trace-cache flag in cmd/vsweep). The first error cancels the batch —
+// workers stop claiming new specs and the error is returned once in-flight
+// simulations drain.
 func SimulateAll(specs []Spec) ([]Result, error) {
+	var cache *TraceCache
+	if TraceCaching() {
+		cache = defaultTraceCache
+	}
+	return simulateAll(specs, cache)
+}
+
+func simulateAll(specs []Spec, cache *TraceCache) ([]Result, error) {
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
-	for i := range specs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Simulate(specs[i])
-		}(i)
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				res, err := simulate(specs[i], cache)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+			}
+		}()
 	}
 	wg.Wait()
+	// Report the earliest error in input order for determinism.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

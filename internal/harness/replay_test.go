@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+)
+
+// TestReplayMatchesExecuteDriven is the differential suite behind the trace
+// cache: for every workload, every paper model and both confidence settings,
+// an execute-driven simulation and a cached trace-replay simulation must
+// produce byte-identical statistics. Anything the pipeline can observe — the
+// record stream, its length, the ground-truth bits driving oracle
+// confidence — must survive the record/replay round trip exactly.
+func TestReplayMatchesExecuteDriven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workload suite under 12 spec combinations")
+	}
+	cache := NewTraceCache()
+	cfg := cpu.Config8x48()
+	models := core.Presets() // Super, Great, Good
+	for _, w := range bench.All() {
+		scale := w.DefaultScale / 6
+		if scale < 1 {
+			scale = 1
+		}
+		for i := range models {
+			for _, oracle := range []bool{false, true} {
+				spec := Spec{
+					Workload: w,
+					Scale:    scale,
+					Config:   cfg,
+					Model:    &models[i],
+					Setting:  Setting{Update: cpu.UpdateImmediate, Oracle: oracle},
+				}
+				exec, err := simulate(spec, nil)
+				if err != nil {
+					t.Fatalf("%s/%s oracle=%t execute-driven: %v", w.Name, models[i].Name, oracle, err)
+				}
+				replay, err := simulate(spec, cache)
+				if err != nil {
+					t.Fatalf("%s/%s oracle=%t replay: %v", w.Name, models[i].Name, oracle, err)
+				}
+				eb, err := json.Marshal(exec.Stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := json.Marshal(replay.Stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(eb, rb) {
+					t.Errorf("%s/%s oracle=%t: stats diverged\nexecute: %s\nreplay:  %s",
+						w.Name, models[i].Name, oracle, eb, rb)
+				}
+			}
+		}
+	}
+	if h, m := cache.Hits(), cache.Misses(); m != int64(len(bench.All())) || h != m*5 {
+		t.Errorf("cache counters: %d hits, %d misses; want %d misses and 5 hits each",
+			h, m, len(bench.All()))
+	}
+}
+
+// TestSimulateAllCancelsOnError checks the worker-pool cancellation path: a
+// failing spec early in a large batch must abort it without running every
+// remaining spec.
+func TestSimulateAllCancelsOnError(t *testing.T) {
+	w := bench.All()[0]
+	specs := make([]Spec, 64)
+	for i := range specs {
+		specs[i] = Spec{Workload: w, Scale: 1, Config: cpu.Config4x24()}
+	}
+	// An invalid configuration fails in cpu.New before any cycles run.
+	specs[1].Config = cpu.Config{IssueWidth: 0, WindowSize: 0}
+	if _, err := SimulateAll(specs); err == nil {
+		t.Fatal("SimulateAll returned nil error for an invalid spec")
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"valuespec/internal/isa"
+)
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Seq: int64(i), PC: i,
+			Instr:   isa.Instruction{Op: isa.ADD, Dst: 1, Src1: 2, Src2: 3},
+			NSrc:    2,
+			SrcRegs: [2]isa.Reg{2, 3},
+			SrcVals: [2]int64{int64(i), int64(2 * i)},
+			DstVal:  int64(3 * i),
+			NextPC:  i + 1,
+		}
+	}
+	return recs
+}
+
+func TestMemorySourceIndependentCursors(t *testing.T) {
+	recs := testRecords(5)
+	a, b := NewMemorySource(recs), NewMemorySource(recs)
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("Len = %d/%d, want 5", a.Len(), b.Len())
+	}
+	// Advance a past b; b must be unaffected.
+	if r, ok := a.Next(); !ok || r.Seq != 0 {
+		t.Fatalf("a.Next = %v, %t", r, ok)
+	}
+	if r, ok := a.Next(); !ok || r.Seq != 1 {
+		t.Fatalf("a.Next = %v, %t", r, ok)
+	}
+	if r, ok := b.Next(); !ok || r.Seq != 0 {
+		t.Fatalf("b.Next = %v, %t after advancing a", r, ok)
+	}
+	got := Collect(a, 0)
+	if len(got) != 3 {
+		t.Fatalf("a drained %d records, want 3", len(got))
+	}
+	if _, ok := a.Next(); ok {
+		t.Fatal("a.Next reported a record past the end")
+	}
+}
+
+func TestRecorderTeesAndDrains(t *testing.T) {
+	recs := testRecords(7)
+	rec := NewRecorder(&SliceSource{Records: recs})
+	// Pull a couple through, then drain the rest.
+	first, ok := rec.Next()
+	if !ok || first.Seq != 0 {
+		t.Fatalf("Next = %v, %t", first, ok)
+	}
+	all := rec.Drain()
+	if !reflect.DeepEqual(all, recs) {
+		t.Fatalf("Drain = %d records, want the original 7 intact", len(all))
+	}
+	if !reflect.DeepEqual(rec.Records(), recs) {
+		t.Fatal("Records disagrees with Drain")
+	}
+	// Replaying the recording must reproduce the stream.
+	replay := Collect(NewMemorySource(rec.Records()), 0)
+	if !reflect.DeepEqual(replay, recs) {
+		t.Fatal("replay of the recording diverged from the original stream")
+	}
+}

@@ -31,6 +31,15 @@ fi
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
 
+echo "== benchmark regression gate =="
+if go run ./cmd/benchcheck >"$out/benchcheck.txt" 2>&1; then
+	cat "$out/benchcheck.txt"
+else
+	cat "$out/benchcheck.txt"
+	echo "reproduce.sh: benchcheck FAILED -- see $out/benchcheck.txt" >&2
+	exit 1
+fi
+
 echo "== Fig. 1 diagrams =="
 go run ./cmd/vpipe | tee "$out/fig1.txt"
 
