@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench benchcheck vet fmt check reproduce experiments clean
+.PHONY: all build test bench benchcheck vet fmt check race-harness reproduce experiments clean
 
 all: build test
 
@@ -28,7 +28,9 @@ vet:
 fmt:
 	gofmt -w .
 
-# The pre-merge gate: formatting, vet, and the race-enabled test suite.
+# The pre-merge gate: formatting, vet, and the race-enabled test suite
+# (which covers the harness worker pool; see race-harness for the quick
+# targeted run).
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -36,6 +38,11 @@ check:
 	fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Race-enabled run of just the harness worker-pool tests, for quick
+# iteration on the concurrency code.
+race-harness:
+	$(GO) test -race ./internal/harness/...
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

@@ -1,8 +1,13 @@
 // Command benchcheck is the benchmark regression gate: it runs the pinned
-// benchmarks, takes the minimum ns/op over -count repetitions (the least
-// noisy point estimate), and compares against the checked-in baseline.
-// Any benchmark more than -tolerance slower than its baseline fails the
-// gate; -update reruns the suite and rewrites the baseline instead.
+// benchmarks with -benchmem, takes the minimum ns/op and allocs/op over
+// -count repetitions (the least noisy point estimates), and compares against
+// the checked-in baseline. Any benchmark more than -tolerance slower than its
+// baseline ns/op, or allocating beyond its allocs/op budget, fails the gate;
+// -update reruns the suite and rewrites the baseline instead.
+//
+// Allocation budgets make the zero-allocation steady state enforceable: a
+// budget of 0 (e.g. BenchmarkPipelineSteadyState) fails on the first heap
+// allocation that creeps into the hot loop, regardless of timing noise.
 //
 // Usage:
 //
@@ -28,19 +33,28 @@ import (
 // targets pins which benchmarks are gated. Patterns are anchored so new
 // benchmarks don't silently join the gate without a baseline entry.
 var targets = []struct{ pkg, pattern string }{
-	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup)$"},
+	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup|BenchmarkPipelineSteadyState|BenchmarkReplayRequeue|BenchmarkReadyQueueWide)$"},
 	{"./internal/harness", "^BenchmarkSimulateAllCached$"},
 }
 
-// baseline is the BENCH_BASELINE.json schema.
+// baseline is the BENCH_BASELINE.json schema. AllocsPerOp entries are
+// budgets: a run may allocate less, never more (beyond tolerance; a budget
+// of 0 admits no tolerance).
 type baseline struct {
-	Note    string             `json:"note"`
-	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Note        string             `json:"note"`
+	NsPerOp     map[string]float64 `json:"ns_per_op"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
 }
 
-// benchLine matches "BenchmarkName/sub-8   123   4567 ns/op ..." and strips
-// the GOMAXPROCS suffix so baselines are stable across machines.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// measurement is one benchmark's folded (minimum) results.
+type measurement struct {
+	ns     float64
+	allocs float64
+}
+
+// benchLine matches "BenchmarkName/sub-8   123   4567 ns/op ... 8 allocs/op"
+// and strips the GOMAXPROCS suffix so baselines are stable across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
 
 func main() {
 	log.SetFlags(0)
@@ -48,12 +62,12 @@ func main() {
 	var (
 		update    = flag.Bool("update", false, "rewrite the baseline from fresh measurements")
 		path      = flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
-		count     = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op is kept")
+		count     = flag.Int("count", 3, "benchmark repetitions; the minimum per metric is kept")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed slowdown before failing (0.15 = +15%)")
 	)
 	flag.Parse()
 
-	got := make(map[string]float64)
+	got := make(map[string]measurement)
 	for _, t := range targets {
 		if err := runBench(t.pkg, t.pattern, *count, got); err != nil {
 			log.Fatal(err)
@@ -65,8 +79,13 @@ func main() {
 
 	if *update {
 		b := baseline{
-			Note:    "minimum ns/op over repeated runs; regenerate with `go run ./cmd/benchcheck -update`",
-			NsPerOp: got,
+			Note:        "minimum ns/op and allocs/op budgets over repeated runs; regenerate with `go run ./cmd/benchcheck -update`",
+			NsPerOp:     make(map[string]float64, len(got)),
+			AllocsPerOp: make(map[string]float64, len(got)),
+		}
+		for name, m := range got {
+			b.NsPerOp[name] = m.ns
+			b.AllocsPerOp[name] = m.allocs
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -102,14 +121,24 @@ func main() {
 			failed = true
 			continue
 		}
-		ratio := have / want
+		ratio := have.ns / want
 		status := "ok  "
 		if ratio > 1+*tolerance {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%s %-45s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
-			status, name, have, want, 100*(ratio-1))
+			status, name, have.ns, want, 100*(ratio-1))
+		if budget, ok := base.AllocsPerOp[name]; ok {
+			if have.allocs > budget*(1+*tolerance) {
+				fmt.Printf("FAIL %-45s %12.0f allocs/op exceeds budget %.0f\n",
+					name, have.allocs, budget)
+				failed = true
+			} else if have.allocs > budget {
+				fmt.Printf("note %-45s %12.0f allocs/op above budget %.0f (within tolerance)\n",
+					name, have.allocs, budget)
+			}
+		}
 	}
 	for name := range got {
 		if _, ok := base.NsPerOp[name]; !ok {
@@ -119,14 +148,14 @@ func main() {
 	if failed {
 		log.Fatalf("benchmark regression beyond %.0f%%", 100**tolerance)
 	}
-	fmt.Println("benchcheck: all pinned benchmarks within tolerance")
+	fmt.Println("benchcheck: all pinned benchmarks within tolerance and allocation budgets")
 }
 
 // runBench executes one `go test -bench` invocation and folds the minimum
-// ns/op per benchmark into out.
-func runBench(pkg, pattern string, count int, out map[string]float64) error {
+// ns/op and allocs/op per benchmark into out.
+func runBench(pkg, pattern string, count int, out map[string]measurement) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-count", strconv.Itoa(count), "-benchmem=false", pkg)
+		"-bench", pattern, "-count", strconv.Itoa(count), "-benchmem", pkg)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -145,8 +174,23 @@ func runBench(pkg, pattern string, count int, out map[string]float64) error {
 		if err != nil {
 			return fmt.Errorf("%s: parsing %q: %w", pkg, sc.Text(), err)
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		allocs := 0.0
+		if m[3] != "" {
+			if allocs, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return fmt.Errorf("%s: parsing %q: %w", pkg, sc.Text(), err)
+			}
+		}
+		prev, ok := out[m[1]]
+		if !ok {
+			out[m[1]] = measurement{ns: ns, allocs: allocs}
+		} else {
+			if ns < prev.ns {
+				prev.ns = ns
+			}
+			if allocs < prev.allocs {
+				prev.allocs = allocs
+			}
+			out[m[1]] = prev
 		}
 		matched = true
 	}

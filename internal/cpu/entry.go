@@ -107,6 +107,7 @@ type entry struct {
 	fwdStore   int64 // age of the forwarding store, never if from cache
 	fwdDataOK  bool  // ground truth of the value the access returned
 	fwdProdAge int64 // age of the forwarded data's producer, never if none
+	fwdProdIdx int   // ring index of that producer, -1 if none
 
 	// Branch state.
 	resolved    bool
@@ -143,6 +144,7 @@ func (e *entry) reset() {
 		memDoneAt:     never,
 		fwdStore:      never,
 		fwdProdAge:    never,
+		fwdProdIdx:    -1,
 		resolveAt:     never,
 		retireAt:      never,
 	}
@@ -173,6 +175,7 @@ func (e *entry) nullify(c, reissueLat int64) {
 	e.fwdStore = never
 	e.fwdDataOK = false
 	e.fwdProdAge = never
+	e.fwdProdIdx = -1
 	e.resolved = false
 	e.resolveAt = never
 	e.earliestIssue = maxi64(e.earliestIssue, c+reissueLat)

@@ -1,6 +1,10 @@
 package cpu
 
-import "valuespec/internal/obs"
+import (
+	runtimemetrics "runtime/metrics"
+
+	"valuespec/internal/obs"
+)
 
 // Metric names published by the pipeline, beyond the counters mirrored from
 // Stats.Counters (see docs/OBSERVABILITY.md for the catalog with units).
@@ -12,6 +16,14 @@ const (
 	MetricRetireLatency = "retire.latency"          // histogram: cycles from dispatch to retirement
 	MetricStoreFwdRate  = "mem.store_forward_rate"  // gauge: store forwards per load over the last interval
 	MetricWaveSize      = "invalidation.wave_nulls" // histogram: entries nullified per invalidation wave step
+
+	// Hot-loop data-structure counters (see docs/PERFORMANCE.md).
+	MetricEventsScheduled  = "events.scheduled"         // counter: events filed into the timing wheels
+	MetricEventsRecycled   = "events.slots_recycled"    // counter: wheel slot slices reused with retained capacity
+	MetricWheelGrows       = "events.wheel_grows"       // counter: wheel ring doublings (latency beyond the horizon)
+	MetricWaveSetReuses    = "events.wavesets_recycled" // counter: invalidation wave sets served from the pool
+	MetricAllocsPerCycle   = "runtime.allocs_per_cycle" // gauge: heap objects allocated per cycle over the last interval
+	runtimeAllocsObjMetric = "/gc/heap/allocs:objects"  // runtime/metrics source for MetricAllocsPerCycle
 )
 
 // Metrics collects sampled distributions and an interval time series from
@@ -33,9 +45,21 @@ type Metrics struct {
 	waveSize     *obs.Histogram
 	fwdRate      *obs.Gauge
 
+	evScheduled *obs.Counter
+	evRecycled  *obs.Counter
+	wheelGrows  *obs.Counter
+	wsReuses    *obs.Counter
+	allocsRate  *obs.Gauge
+
 	prevIssues int64
 	prevLoads  int64
 	prevFwds   int64
+
+	// runtime/metrics sample buffer for the allocs-per-cycle gauge, reused
+	// across samples; prevAllocs/prevCycle delimit the last interval.
+	rtSample   [1]runtimemetrics.Sample
+	prevAllocs uint64
+	prevCycle  int64
 }
 
 // NewMetrics creates a collector sampling every interval cycles into a ring
@@ -52,7 +76,13 @@ func NewMetrics(interval int64, capacity int) *Metrics {
 		retireLat:    reg.Histogram(MetricRetireLatency),
 		waveSize:     reg.Histogram(MetricWaveSize),
 		fwdRate:      reg.Gauge(MetricStoreFwdRate),
+		evScheduled:  reg.Counter(MetricEventsScheduled),
+		evRecycled:   reg.Counter(MetricEventsRecycled),
+		wheelGrows:   reg.Counter(MetricWheelGrows),
+		wsReuses:     reg.Counter(MetricWaveSetReuses),
+		allocsRate:   reg.Gauge(MetricAllocsPerCycle),
 	}
+	m.rtSample[0].Name = runtimeAllocsObjMetric
 	// Register the counter mirrors up front so the sampler's column set is
 	// complete from the first snapshot.
 	for _, c := range (&Stats{}).Counters() {
@@ -75,17 +105,21 @@ func (m *Metrics) cycleStart(occupancy int) {
 }
 
 // cycleEnd records end-of-cycle distributions and takes an interval sample
-// when one is due. cycle is the number of completed cycles.
-func (m *Metrics) cycleEnd(cycle int64, st *Stats) {
+// when one is due.
+func (m *Metrics) cycleEnd(p *Pipeline) {
+	st := &p.stats
 	m.issueSlots.Observe(st.Issues - m.prevIssues)
 	m.prevIssues = st.Issues
-	if m.Sampler.Due(cycle) {
-		m.sample(cycle, st)
+	if m.Sampler.Due(p.cycle) {
+		m.sample(p)
 	}
 }
 
-// sample syncs the counter mirrors from st and snapshots the registry.
-func (m *Metrics) sample(cycle int64, st *Stats) {
+// sample syncs the counter mirrors from the pipeline and snapshots the
+// registry.
+func (m *Metrics) sample(p *Pipeline) {
+	st := &p.stats
+	cycle := p.cycle
 	for _, c := range st.Counters() {
 		m.Registry.Counter(c.Name).Set(c.Value)
 	}
@@ -95,13 +129,29 @@ func (m *Metrics) sample(cycle int64, st *Stats) {
 		m.fwdRate.Set(0)
 	}
 	m.prevLoads, m.prevFwds = st.Loads, st.StoreForwards
+
+	m.evScheduled.Set(p.eqWheel.scheduled + p.waveWheel.scheduled + p.wbWheel.scheduled)
+	m.evRecycled.Set(p.eqWheel.recycled + p.waveWheel.recycled + p.wbWheel.recycled)
+	m.wheelGrows.Set(p.eqWheel.grows + p.waveWheel.grows + p.wbWheel.grows)
+	m.wsReuses.Set(p.waveSetReuses)
+
+	// Heap objects allocated per simulated cycle over the interval: the
+	// steady-state loop itself allocates nothing, so this gauge surfaces
+	// warmup growth and any observer/metrics overhead.
+	runtimemetrics.Read(m.rtSample[:])
+	allocs := m.rtSample[0].Value.Uint64()
+	if dc := cycle - m.prevCycle; dc > 0 {
+		m.allocsRate.Set(float64(allocs-m.prevAllocs) / float64(dc))
+	}
+	m.prevAllocs, m.prevCycle = allocs, cycle
+
 	m.Sampler.Sample(cycle)
 }
 
 // finish takes the final snapshot covering the last partial interval, so
 // the series' counter deltas span the whole run.
-func (m *Metrics) finish(cycle int64, st *Stats) {
-	if m.Sampler.Pending(cycle) {
-		m.sample(cycle, st)
+func (m *Metrics) finish(p *Pipeline) {
+	if m.Sampler.Pending(p.cycle) {
+		m.sample(p)
 	}
 }

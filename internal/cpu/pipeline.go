@@ -2,7 +2,6 @@ package cpu
 
 import (
 	"fmt"
-	"sort"
 
 	"valuespec/internal/bpred"
 	"valuespec/internal/core"
@@ -20,13 +19,17 @@ type eqEvent struct {
 	match bool  // equality matched (verification) or not (invalidation)
 }
 
-// waveEvent continues a hierarchical invalidation wave: the set of producer
-// ages whose direct consumers are nullified next, plus the producers' ring
-// indices for the consumer-list walk (unused by the reference scan).
-type waveEvent struct {
-	ages map[int64]bool
-	idxs []int
+// qent is one ready-queue element. Removal tombstones the element in place
+// (idx becomes qTomb) instead of closing the gap; the age key is kept so the
+// queue stays sorted and binary-searchable, and a later insertion of the same
+// age reclaims the slot (see qInsert).
+type qent struct {
+	age int64
+	idx int32
 }
+
+// qTomb marks a removed ready-queue element.
+const qTomb int32 = -1
 
 // Pipeline simulates one program on one processor configuration under one
 // speculative-execution model. Create with New, drive with Run.
@@ -40,7 +43,7 @@ type Pipeline struct {
 
 	src     trace.Source
 	srcDone bool
-	pending []trace.Record // replay queue, consumed before src
+	pending recDeque // replay queue, consumed before src
 
 	entries []entry
 	head    int // ring index of the oldest entry
@@ -54,20 +57,44 @@ type Pipeline struct {
 	fetchResume int64 // earliest cycle fetch may proceed
 	blockingAge int64 // age of the unresolved mispredicted branch, never if none
 
-	eqEvents   map[int64][]eqEvent
-	waveEvents map[int64][]waveEvent
+	// Event scheduling. The timing wheels are the shipped path: slot c&mask
+	// holds the events for cycle c, slot slices are recycled in place, and
+	// the ring grows when a model latency exceeds the nominal horizon.
+	// mapEvents switches scheduling back to the cycle-keyed maps (the
+	// test-only reference implementation the event property tests compare
+	// the wheels against).
+	eqWheel   wheel[eqEvent]
+	waveWheel wheel[*waveSet]
+	wbWheel   wheel[wbEvent]
+	mapEvents bool
+	eqMap     map[int64][]eqEvent
+	waveMap   map[int64][]*waveSet
 
-	// Event-driven wakeup state. readyQ holds the ring indices of every
-	// unissued entry in age order — the only entries wakeup/selection must
-	// examine. scanWakeup switches issue and invalidation back to the
-	// original full-window scans (the test-only reference implementation the
-	// property tests compare against). waveMark/waveCand/waveFrontier are
-	// scratch space for the invalidation consumer walk.
-	readyQ       []int
-	scanWakeup   bool
+	// Invalidation-wave state. waveAges guards bitset membership against
+	// ring-slot reuse (see waveSet); wavePool recycles the sets; waveMark,
+	// waveCand and waveFrontier are scratch space for the consumer walk.
+	waveAges     []int64
+	wavePool     []*waveSet
 	waveMark     []bool
 	waveCand     []int
 	waveFrontier []int
+
+	waveSetReuses int64 // wave sets served from the pool
+
+	// Event-driven wakeup state. readyQ holds the ring indices of every
+	// unissued entry in age order — the only entries wakeup/selection must
+	// examine — with removals tombstoned in place and compacted lazily.
+	// scanWakeup switches issue and invalidation back to the original
+	// full-window scans (the test-only reference implementation the wakeup
+	// property tests compare against).
+	readyQ     []qent
+	qDead      int
+	scanWakeup bool
+
+	// Per-cycle selection scratch: issue candidates split into the two
+	// priority groups (branches/loads, then the rest), reused across cycles.
+	selMem   []selCand
+	selOther []selCand
 
 	portsUsed int // D-cache ports consumed this cycle
 
@@ -107,9 +134,13 @@ func New(cfg Config, spec *SpecOptions, src trace.Source) (*Pipeline, error) {
 		src:         src,
 		entries:     make([]entry, cfg.WindowSize),
 		blockingAge: never,
-		eqEvents:    make(map[int64][]eqEvent),
-		waveEvents:  make(map[int64][]waveEvent),
-		readyQ:      make([]int, 0, cfg.WindowSize),
+		eqWheel:     newWheel[eqEvent](wheelNominalSlots),
+		waveWheel:   newWheel[*waveSet](wheelNominalSlots),
+		wbWheel:     newWheel[wbEvent](wheelNominalSlots),
+		eqMap:       make(map[int64][]eqEvent),
+		waveMap:     make(map[int64][]*waveSet),
+		waveAges:    make([]int64, cfg.WindowSize),
+		readyQ:      make([]qent, 0, cfg.WindowSize),
 		waveMark:    make([]bool, cfg.WindowSize),
 	}
 	for i := range p.regProd {
@@ -130,8 +161,16 @@ func (p *Pipeline) Branch() *bpred.Gshare { return p.bp }
 // specOn reports whether value speculation is active.
 func (p *Pipeline) specOn() bool { return p.spec != nil }
 
-// slot returns the ring index of the i-th oldest entry (0 = head).
-func (p *Pipeline) slot(i int) int { return (p.head + i) % len(p.entries) }
+// slot returns the ring index of the i-th oldest entry (0 = head). i never
+// exceeds the window size, so one conditional subtraction replaces the
+// modulo — an integer division that showed up in every per-cycle scan.
+func (p *Pipeline) slot(i int) int {
+	s := p.head + i
+	if n := len(p.entries); s >= n {
+		s -= n
+	}
+	return s
+}
 
 // ---------------------------------------------------------------------------
 // Ready queue and consumer lists (event-driven wakeup)
@@ -144,14 +183,15 @@ func (p *Pipeline) slot(i int) int { return (p.head + i) % len(p.entries) }
 // invalidation wave walks only the registered consumers of the wrong
 // producers instead of rescanning the window.
 
-// qPos returns the position in readyQ of the entry with the given age, or
-// the position it would be inserted at. Ages are unique and readyQ is sorted
-// ascending, so this is an exact locate for members.
+// qPos returns the position in readyQ of the element with the given age, or
+// the position it would be inserted at. Ages are unique, tombstones keep
+// their age keys, and readyQ is sorted ascending, so this is an exact locate
+// for members.
 func (p *Pipeline) qPos(age int64) int {
 	lo, hi := 0, len(p.readyQ)
 	for lo < hi {
 		m := int(uint(lo+hi) >> 1)
-		if p.entries[p.readyQ[m]].age < age {
+		if p.readyQ[m].age < age {
 			lo = m + 1
 		} else {
 			hi = m
@@ -160,26 +200,63 @@ func (p *Pipeline) qPos(age int64) int {
 	return lo
 }
 
-// qInsert adds e to the ready queue (no-op if already queued).
+// qInsert adds e to the ready queue (no-op if already queued). Dispatch
+// inserts are always at the tail (ages are issued in dispatch order); a
+// nullified entry re-enters mid-queue, where it almost always reclaims the
+// tombstone its issue left behind, so the O(n) shifting insert is the cold
+// fallback.
 func (p *Pipeline) qInsert(e *entry) {
 	if e.inQ {
 		return
 	}
 	e.inQ = true
+	ent := qent{age: e.age, idx: int32(e.idx)}
 	pos := p.qPos(e.age)
-	p.readyQ = append(p.readyQ, 0)
-	copy(p.readyQ[pos+1:], p.readyQ[pos:])
-	p.readyQ[pos] = e.idx
+	switch {
+	case pos == len(p.readyQ):
+		p.readyQ = append(p.readyQ, ent)
+	case p.readyQ[pos].idx == qTomb:
+		// Rewriting a tombstone's age key keeps the order: the left
+		// neighbor is older than e (binary search) and the right neighbor
+		// is younger than the tombstone's key, which is at least e's age.
+		p.readyQ[pos] = ent
+		p.qDead--
+	case pos > 0 && p.readyQ[pos-1].idx == qTomb:
+		p.readyQ[pos-1] = ent
+		p.qDead--
+	default:
+		p.readyQ = append(p.readyQ, qent{})
+		copy(p.readyQ[pos+1:], p.readyQ[pos:])
+		p.readyQ[pos] = ent
+	}
 }
 
-// qRemove drops e from the ready queue (no-op if not queued).
+// qRemove drops e from the ready queue (no-op if not queued) by tombstoning
+// its element in place.
 func (p *Pipeline) qRemove(e *entry) {
 	if !e.inQ {
 		return
 	}
 	e.inQ = false
-	pos := p.qPos(e.age)
-	p.readyQ = append(p.readyQ[:pos], p.readyQ[pos+1:]...)
+	p.readyQ[p.qPos(e.age)].idx = qTomb
+	p.qDead++
+}
+
+// qCompact squeezes tombstones out when they outnumber the live elements.
+// Called only from cycle-level code, never while a selection pass is
+// iterating the queue.
+func (p *Pipeline) qCompact() {
+	if p.qDead*2 <= len(p.readyQ) || p.qDead < 16 {
+		return
+	}
+	live := p.readyQ[:0]
+	for _, ent := range p.readyQ {
+		if ent.idx != qTomb {
+			live = append(live, ent)
+		}
+	}
+	p.readyQ = live
+	p.qDead = 0
 }
 
 // addConsumer registers the entry at ring index idx as a consumer of the
@@ -217,9 +294,18 @@ func (p *Pipeline) gatherConsumers(prodIdxs []int, transitive bool) []int {
 			}
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool {
-		return p.entries[cand[i]].age < p.entries[cand[j]].age
-	})
+	// Insertion sort by age: candidate lists are small and nearly sorted
+	// (consumers register in dispatch order), and unlike sort.Slice this
+	// does not allocate in the steady-state loop.
+	for i := 1; i < len(cand); i++ {
+		ci, age := cand[i], p.entries[cand[i]].age
+		j := i - 1
+		for j >= 0 && p.entries[cand[j]].age > age {
+			cand[j+1] = cand[j]
+			j--
+		}
+		cand[j+1] = ci
+	}
 	for _, ci := range cand {
 		p.waveMark[ci] = false
 	}
@@ -235,7 +321,7 @@ func (p *Pipeline) Run() (*Stats, error) {
 	if p.metrics != nil {
 		// Flush the last partial metrics interval (also on error, so a
 		// truncated run still serializes what it measured).
-		p.metrics.finish(p.cycle, &p.stats)
+		p.metrics.finish(p)
 	}
 	if p.phases != nil {
 		p.phases.End()
@@ -246,7 +332,7 @@ func (p *Pipeline) Run() (*Stats, error) {
 func (p *Pipeline) run() (*Stats, error) {
 	lastRetired, lastProgress := int64(0), int64(0)
 	for {
-		if p.count == 0 && p.srcDone && len(p.pending) == 0 {
+		if p.count == 0 && p.srcDone && p.pending.len() == 0 {
 			return &p.stats, nil
 		}
 		if p.cycle >= p.cfg.MaxCycles {
@@ -306,7 +392,7 @@ func (p *Pipeline) step() {
 	p.cycle++
 	p.stats.Cycles = p.cycle
 	if p.metrics != nil {
-		p.metrics.cycleEnd(p.cycle, &p.stats)
+		p.metrics.cycleEnd(p)
 	}
 }
 
@@ -344,9 +430,68 @@ func (p *Pipeline) dumpHead() string {
 // ---------------------------------------------------------------------------
 // Writeback
 
+// wbEvent is a scheduled writeback: the completion of one execution or one
+// load access, filed on the writeback wheel when its finish cycle becomes
+// known (issue and access start respectively). The (age, token) pair voids
+// events whose entry was squashed, nullified or reissued since scheduling.
+type wbEvent struct {
+	age   int64
+	token int64
+	idx   int32
+	kind  uint8 // wbExec or wbMem
+}
+
+const (
+	wbExec uint8 = iota // execution completion
+	wbMem               // load memory-access completion
+)
+
+// writeback finishes the executions and memory accesses due at cycle c. The
+// event-driven path drains the writeback wheel instead of scanning the whole
+// window; the scan visits entries in age order with execution completion
+// before access completion per entry, so the drained events are insertion-
+// sorted by (age, kind) to replicate that order exactly.
 func (p *Pipeline) writeback(c int64) {
-	for i := 0; i < p.count; i++ {
-		e := &p.entries[p.slot(i)]
+	if p.scanWakeup {
+		p.writebackScan(c)
+		return
+	}
+	evs := p.wbWheel.take(c)
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && (evs[j].age > ev.age || (evs[j].age == ev.age && evs[j].kind > ev.kind)) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
+	for i := range evs {
+		ev := &evs[i]
+		e := &p.entries[ev.idx]
+		if !e.used || e.age != ev.age || e.execToken != ev.token {
+			continue // squashed, nullified or reissued since scheduling
+		}
+		if ev.kind == wbExec {
+			if e.inFlight && e.inFlightDone == c-1 {
+				p.completeExec(e, c)
+			}
+		} else if e.cls == isa.ClassLoad && e.memStarted && !e.memDone && e.memDoneAt == c-1 {
+			p.completeLoad(e, c)
+		}
+	}
+}
+
+// writebackScan is the original O(window) writeback pass, kept as the
+// reference implementation the property tests compare the event-driven
+// drain against (enabled via scanWakeup).
+func (p *Pipeline) writebackScan(c int64) {
+	n := len(p.entries)
+	for i, s := 0, p.head; i < p.count; i++ {
+		e := &p.entries[s]
+		if s++; s == n {
+			s = 0
+		}
 		if e.inFlight && e.inFlightDone == c-1 {
 			p.completeExec(e, c)
 		}
@@ -403,6 +548,25 @@ func (p *Pipeline) completeLoad(e *entry, c int64) {
 	p.broadcast(e, c)
 }
 
+// scheduleEq files the equality outcome ev for cycle at (the current cycle
+// is c; at >= c always, since the equality latencies are non-negative).
+func (p *Pipeline) scheduleEq(c, at int64, ev eqEvent) {
+	if p.mapEvents {
+		p.eqMap[at] = append(p.eqMap[at], ev)
+		return
+	}
+	p.eqWheel.schedule(c, at, ev)
+}
+
+// scheduleWave files the wave continuation w for cycle at.
+func (p *Pipeline) scheduleWave(c, at int64, w *waveSet) {
+	if p.mapEvents {
+		p.waveMap[at] = append(p.waveMap[at], w)
+		return
+	}
+	p.waveWheel.schedule(c, at, w)
+}
+
 // broadcast publishes e's computed result to consumers at cycle c and, for
 // speculated predictions, schedules the equality outcome.
 func (p *Pipeline) broadcast(e *entry, c int64) {
@@ -417,7 +581,7 @@ func (p *Pipeline) broadcast(e *entry, c int64) {
 			lat = int64(p.model.Lat.ExecEqInvalidate)
 		}
 		e.eqReady = c + lat
-		p.eqEvents[e.eqReady] = append(p.eqEvents[e.eqReady],
+		p.scheduleEq(c, e.eqReady,
 			eqEvent{idx: e.idx, age: e.age, token: e.execToken, match: match})
 		return
 	}
@@ -470,20 +634,36 @@ func (p *Pipeline) resolveBranch(e *entry, c int64) {
 // Equality events and invalidation waves
 
 func (p *Pipeline) runEvents(c int64) {
-	if evs, ok := p.waveEvents[c]; ok {
-		delete(p.waveEvents, c)
-		for _, w := range evs {
-			p.waveStep(w.ages, w.idxs, c)
+	var waves []*waveSet
+	if p.mapEvents {
+		if ws, ok := p.waveMap[c]; ok {
+			delete(p.waveMap, c)
+			waves = ws
+		}
+	} else {
+		waves = p.waveWheel.take(c)
+	}
+	for _, w := range waves {
+		p.waveStep(w, c)
+		p.putWaveSet(w)
+	}
+
+	var evs []eqEvent
+	if p.mapEvents {
+		var ok bool
+		if evs, ok = p.eqMap[c]; !ok {
+			return
+		}
+		delete(p.eqMap, c)
+	} else {
+		if evs = p.eqWheel.take(c); len(evs) == 0 {
+			return
 		}
 	}
-	evs, ok := p.eqEvents[c]
-	if !ok {
-		return
-	}
-	delete(p.eqEvents, c)
-	var roots map[int64]bool
-	var rootIdxs []int
-	for _, ev := range evs {
+	complete := p.model.Invalidation == core.InvalidateComplete
+	var roots *waveSet
+	for i := range evs {
+		ev := &evs[i]
 		e := &p.entries[ev.idx]
 		if !e.used || e.age != ev.age || e.execToken != ev.token {
 			continue // nullified or squashed since scheduling
@@ -507,63 +687,45 @@ func (p *Pipeline) runEvents(c int64) {
 		e.outState = core.StateSpeculative
 		e.outCorrect = e.execClean
 		e.outReady = c
-		if roots == nil {
-			roots = make(map[int64]bool)
-		}
-		roots[e.age] = true
-		rootIdxs = append(rootIdxs, e.idx)
-		if p.model.Invalidation == core.InvalidateComplete {
+		if complete {
 			p.squashYounger(e.age, c)
 			p.fetchResume = maxi64(p.fetchResume, c+1)
+			continue
 		}
+		if roots == nil {
+			roots = p.getWaveSet()
+		}
+		p.mark(roots, e)
 	}
-	if len(roots) > 0 && p.model.Invalidation != core.InvalidateComplete {
-		p.waveStep(roots, rootIdxs, c)
+	if roots != nil {
+		p.waveStep(roots, c)
+		p.putWaveSet(roots)
 	}
 }
 
-// waveStep nullifies the consumers of the producers in ages (whose ring
-// indices are prodIdxs). For parallel (flattened) invalidation the wave
-// closes transitively within the cycle; for hierarchical invalidation each
-// dependence level costs a cycle, so the newly nullified entries seed a
-// continuation event at c+1.
+// waveStep nullifies the consumers of the producers in the wave set w. For
+// parallel (flattened) invalidation the wave closes transitively within the
+// cycle; for hierarchical invalidation each dependence level costs a cycle,
+// so the newly nullified entries seed a continuation event at c+1.
 //
 // Instead of rescanning the whole window, the event-driven path walks the
 // producers' registered consumer lists: gatherConsumers returns the (for
 // flattened waves, transitive) consumers in age order, which is exactly the
 // order the reference scan would test them in, so emitted events, statistics
 // and nullification outcomes are identical.
-func (p *Pipeline) waveStep(ages map[int64]bool, prodIdxs []int, c int64) {
+func (p *Pipeline) waveStep(w *waveSet, c int64) {
 	if p.scanWakeup {
-		p.waveStepScan(ages, c)
+		p.waveStepScan(w, c)
 		return
 	}
 	hier := p.model.Invalidation == core.InvalidateHierarchical
-	cand := p.gatherConsumers(prodIdxs, !hier)
-	next := map[int64]bool{}
-	var nextIdxs []int
+	cand := p.gatherConsumers(w.idxs, !hier)
+	var next *waveSet
 	reissue := int64(p.model.Lat.InvalidateReissue)
 	nulled := int64(0)
 	for _, ci := range cand {
 		e := &p.entries[ci]
-		if !e.used {
-			continue // stale registration: the consumer's slot was freed
-		}
-		if !e.issued && !e.doneExec && !e.inFlight {
-			continue // never consumed anything; the sweep refreshes its view
-		}
-		wrong := false
-		for s := 0; s < e.nsrc; s++ {
-			o := &e.src[s]
-			if o.inWindow && ages[o.prodAge] && !e.usedCorrect[s] {
-				wrong = true
-				break
-			}
-		}
-		if !wrong && e.fwdProdAge != never && ages[e.fwdProdAge] && !e.fwdDataOK {
-			wrong = true
-		}
-		if !wrong {
+		if !p.waveHits(w, e) {
 			continue
 		}
 		p.emit(c, EvInvalidate, e)
@@ -572,49 +734,52 @@ func (p *Pipeline) waveStep(ages map[int64]bool, prodIdxs []int, c int64) {
 		e.nullify(c, reissue)
 		p.qInsert(e)
 		if hier {
-			next[e.age] = true
-			nextIdxs = append(nextIdxs, e.idx)
+			if next == nil {
+				next = p.getWaveSet()
+			}
+			p.mark(next, e)
 		} else {
-			ages[e.age] = true
+			p.mark(w, e)
 		}
 	}
 	if p.metrics != nil {
 		p.metrics.waveSize.Observe(nulled)
 	}
-	if hier && len(next) > 0 {
-		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next, idxs: nextIdxs})
+	if next != nil {
+		p.scheduleWave(c, c+1, next)
 	}
+}
+
+// waveHits reports whether the wave w nullifies e: the entry has consumed a
+// value (issued at least once) and one of the values it consumed came from a
+// producer in the wave and was wrong.
+func (p *Pipeline) waveHits(w *waveSet, e *entry) bool {
+	if !e.used {
+		return false // stale registration: the consumer's slot was freed
+	}
+	if !e.issued && !e.doneExec && !e.inFlight {
+		return false // never consumed anything; the sweep refreshes its view
+	}
+	for s := 0; s < e.nsrc; s++ {
+		o := &e.src[s]
+		if o.inWindow && p.inWave(w, o.prodIdx, o.prodAge) && !e.usedCorrect[s] {
+			return true
+		}
+	}
+	return e.fwdProdIdx >= 0 && p.inWave(w, e.fwdProdIdx, e.fwdProdAge) && !e.fwdDataOK
 }
 
 // waveStepScan is the original O(window) invalidation pass, kept as the
 // reference implementation the property tests compare the consumer-list walk
 // against (enabled via scanWakeup).
-func (p *Pipeline) waveStepScan(ages map[int64]bool, c int64) {
+func (p *Pipeline) waveStepScan(w *waveSet, c int64) {
 	hier := p.model.Invalidation == core.InvalidateHierarchical
-	next := map[int64]bool{}
-	var nextIdxs []int
+	var next *waveSet
 	reissue := int64(p.model.Lat.InvalidateReissue)
 	nulled := int64(0)
 	for i := 0; i < p.count; i++ {
 		e := &p.entries[p.slot(i)]
-		if !e.used {
-			continue
-		}
-		if !e.issued && !e.doneExec && !e.inFlight {
-			continue // never consumed anything; the sweep refreshes its view
-		}
-		wrong := false
-		for s := 0; s < e.nsrc; s++ {
-			o := &e.src[s]
-			if o.inWindow && ages[o.prodAge] && !e.usedCorrect[s] {
-				wrong = true
-				break
-			}
-		}
-		if !wrong && e.fwdProdAge != never && ages[e.fwdProdAge] && !e.fwdDataOK {
-			wrong = true
-		}
-		if !wrong {
+		if !p.waveHits(w, e) {
 			continue
 		}
 		p.emit(c, EvInvalidate, e)
@@ -623,43 +788,47 @@ func (p *Pipeline) waveStepScan(ages map[int64]bool, c int64) {
 		e.nullify(c, reissue)
 		p.qInsert(e)
 		if hier {
-			next[e.age] = true
-			nextIdxs = append(nextIdxs, e.idx)
+			if next == nil {
+				next = p.getWaveSet()
+			}
+			p.mark(next, e)
 		} else {
-			ages[e.age] = true
+			p.mark(w, e)
 		}
 	}
 	if p.metrics != nil {
 		p.metrics.waveSize.Observe(nulled)
 	}
-	if hier && len(next) > 0 {
-		p.waveEvents[c+1] = append(p.waveEvents[c+1], waveEvent{ages: next, idxs: nextIdxs})
+	if next != nil {
+		p.scheduleWave(c, c+1, next)
 	}
 }
 
 // squashYounger removes every entry strictly younger than age from the
 // window and queues their records for re-dispatch (they are on the correct
 // path; complete invalidation refetches them, as does a repaired speculative
-// branch resolution).
+// branch resolution). The window is age-ordered, so the squashed entries are
+// a suffix; walking it youngest-first pushes each record onto the front of
+// the replay deque, which reproduces the old prepend-in-age-order semantics
+// without copying the whole queue.
 func (p *Pipeline) squashYounger(age int64, c int64) {
-	keep := 0
-	var requeue []trace.Record
-	for i := 0; i < p.count; i++ {
-		e := &p.entries[p.slot(i)]
+	squashed := 0
+	for p.count > 0 {
+		e := &p.entries[p.slot(p.count-1)]
 		if e.age <= age {
-			keep++
-			continue
+			break
 		}
-		requeue = append(requeue, e.rec)
+		p.pending.pushFront(e.rec)
 		p.qRemove(e)
 		e.used = false
+		p.count--
+		squashed++
 	}
-	if len(requeue) == 0 {
+	if squashed == 0 {
 		return
 	}
-	p.stats.CompleteSquashes += int64(len(requeue))
-	p.count = keep
-	p.pending = append(requeue, p.pending...)
+	p.stats.CompleteSquashes += int64(squashed)
+	p.qCompact()
 	if p.blockingAge > age {
 		// The blocking mispredicted branch was squashed; it will block
 		// again when re-dispatched.

@@ -16,10 +16,14 @@ import (
 // gating terms inside refreshOutput.
 
 func (p *Pipeline) sweep(c int64) {
-	for i := 0; i < p.count; i++ {
-		e := &p.entries[p.slot(i)]
-		for s := 0; s < e.nsrc; s++ {
-			p.syncOperand(&e.src[s])
+	n := len(p.entries)
+	for i, s := 0, p.head; i < p.count; i++ {
+		e := &p.entries[s]
+		if s++; s == n {
+			s = 0
+		}
+		for o := 0; o < e.nsrc; o++ {
+			p.syncOperand(&e.src[o])
 		}
 		p.refreshOutput(e, c, i)
 	}
@@ -32,6 +36,11 @@ func (p *Pipeline) sweep(c int64) {
 // broadcasts.
 func (p *Pipeline) syncOperand(o *operand) {
 	if !o.inWindow {
+		return
+	}
+	if o.state == core.StateValid && o.correct {
+		// Settled: a correct Valid value is never displaced or upgraded, so
+		// skip the producer lookup (usually a cache miss) entirely.
 		return
 	}
 	pr := &p.entries[o.prodIdx]
@@ -219,30 +228,77 @@ func (p *Pipeline) issue(c int64) {
 		p.issueScan(c)
 		return
 	}
+	p.qCompact()
 	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
-	specPasses := 2
-	if oldestFirst {
-		specPasses = 1
+
+	// Readiness is pass-invariant within the cycle — granting one entry
+	// never changes another's operands mid-issue — so one walk of the ready
+	// queue evaluates every candidate once, and the priority passes below
+	// pick from the two group lists instead of re-checking the whole queue
+	// per (group, speculative) pass.
+	selMem, selOther := p.selMem[:0], p.selOther[:0]
+	for qi := range p.readyQ {
+		idx := p.readyQ[qi].idx
+		if idx == qTomb {
+			continue
+		}
+		e := &p.entries[idx]
+		ok, spec := p.checkIssue(e, c)
+		if !ok {
+			continue
+		}
+		cand := selCand{q: int32(qi), idx: idx, spec: spec}
+		if e.cls == isa.ClassBranch || e.cls == isa.ClassLoad {
+			selMem = append(selMem, cand)
+		} else {
+			selOther = append(selOther, cand)
+		}
 	}
+	p.selMem, p.selOther = selMem, selOther
+
 	grants := 0
-	for group := 0; group < 2; group++ {
-		memCtrl := group == 0 // branches and loads first
-		for specPass := 0; specPass < specPasses && grants < p.cfg.IssueWidth; specPass++ {
-			for qi := 0; qi < len(p.readyQ) && grants < p.cfg.IssueWidth; {
-				e := &p.entries[p.readyQ[qi]]
-				if (e.cls == isa.ClassBranch || e.cls == isa.ClassLoad) != memCtrl {
-					qi++
+	for group := 0; group < 2 && grants < p.cfg.IssueWidth; group++ {
+		sel := selMem
+		if group == 1 {
+			sel = selOther
+		}
+		for specPass := 0; specPass < 2 && grants < p.cfg.IssueWidth; specPass++ {
+			for i := range sel {
+				if grants == p.cfg.IssueWidth {
+					break
+				}
+				cand := &sel[i]
+				if cand.idx == qTomb {
+					continue // granted in a previous pass
+				}
+				// Non-speculative candidates precede speculative ones under
+				// the paper's scheme; oldest-first ignores the distinction.
+				if !oldestFirst && cand.spec != (specPass == 1) {
 					continue
 				}
-				if p.tryIssue(e, c, specPass == 1, !oldestFirst) {
-					grants++ // tryIssue dequeued e; readyQ[qi] is the next candidate
-				} else {
-					qi++
-				}
+				e := &p.entries[cand.idx]
+				p.readyQ[cand.q].idx = qTomb
+				p.qDead++
+				e.inQ = false
+				p.grantIssue(e, c)
+				cand.idx = qTomb
+				grants++
+			}
+			if oldestFirst {
+				break // a single pass took candidates regardless of spec state
 			}
 		}
 	}
 	p.stats.Issues += int64(grants)
+}
+
+// selCand is one issue candidate: its ready-queue position (for O(1)
+// tombstoning on grant), ring index, and whether it would consume a
+// speculative input.
+type selCand struct {
+	q    int32
+	idx  int32
+	spec bool
 }
 
 // issueScan is the original full-window wakeup/selection scan, kept as the
@@ -277,8 +333,24 @@ func (p *Pipeline) issueScan(c int64) {
 // speculative inputs (non-speculative first) or only speculative ones;
 // without matchSpec any ready candidate is taken.
 func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
-	if e.issued || e.inFlight || c < e.earliestIssue {
+	ok, spec := p.checkIssue(e, c)
+	if !ok {
 		return false
+	}
+	if matchSpec && spec != allowSpec {
+		return false
+	}
+	p.qRemove(e)
+	p.grantIssue(e, c)
+	return true
+}
+
+// checkIssue reports whether e can issue at cycle c and whether it would
+// consume a speculative input. It mutates nothing, so the answer may be
+// evaluated once per cycle and reused across selection passes.
+func (p *Pipeline) checkIssue(e *entry, c int64) (ok, spec bool) {
+	if e.issued || e.inFlight || c < e.earliestIssue {
+		return false, false
 	}
 	isCtrl := e.cls == isa.ClassBranch || e.rec.Instr.Op == isa.JR
 	validOnly := isCtrl && (!p.specOn() || p.model.BranchResolution == core.ResolveValidOnly)
@@ -291,36 +363,39 @@ func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
 	if e.cls == isa.ClassStore {
 		nsrc = 1 // address generation reads only the base register
 	}
-	spec := false
 	for s := 0; s < nsrc; s++ {
 		o := &e.src[s]
 		if validOnly {
 			if !o.validBy(c) {
-				return false
+				return false, false
 			}
 			if isCtrl && o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyBranch) {
-				return false
+				return false, false
 			}
 			continue
 		}
 		if !o.available(c, !p.specOn() || p.model.ForwardSpeculative) {
-			return false
+			return false, false
 		}
 		if o.state.Speculative() {
 			spec = true
 		}
 	}
-	if matchSpec && spec != allowSpec {
-		return false
-	}
+	return true, spec
+}
 
-	// Issue.
+// grantIssue performs the state mutations of issuing e at cycle c. The
+// caller has already removed e from the ready queue.
+func (p *Pipeline) grantIssue(e *entry, c int64) {
 	p.emit(c, EvIssue, e)
-	p.qRemove(e)
 	e.issued = true
 	e.inFlight = true
 	e.execCount++
 	e.execToken++
+	nsrc := e.nsrc
+	if e.cls == isa.ClassStore {
+		nsrc = 1
+	}
 	clean := true
 	specUsed := false
 	for s := 0; s < nsrc; s++ {
@@ -342,10 +417,13 @@ func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
 		lat = 1 // address generation
 	}
 	e.inFlightDone = c + lat - 1
+	if !p.scanWakeup {
+		p.wbWheel.schedule(c, e.inFlightDone+1,
+			wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbExec})
+	}
 	if e.wasNullified {
 		p.stats.Reissues++
 	}
-	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -356,8 +434,12 @@ func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
 // memory-ordering constraint and data-cache port limits.
 func (p *Pipeline) startAccesses(c int64) {
 	validOnly := !p.specOn() || p.model.MemResolution == core.ResolveValidOnly
-	for i := 0; i < p.count; i++ {
-		e := &p.entries[p.slot(i)]
+	n := len(p.entries)
+	for i, s := 0, p.head; i < p.count; i++ {
+		e := &p.entries[s]
+		if s++; s == n {
+			s = 0
+		}
 		if e.cls != isa.ClassLoad || !e.agDone || e.memStarted {
 			continue
 		}
@@ -390,10 +472,15 @@ func (p *Pipeline) startAccesses(c int64) {
 			}
 			e.memStarted = true
 			e.memDoneAt = c
+			if !p.scanWakeup {
+				p.wbWheel.schedule(c, c+1,
+					wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbMem})
+			}
 			e.fwdStore = st.age
 			e.fwdDataOK = d.correct
 			if d.inWindow {
 				e.fwdProdAge = d.prodAge
+				e.fwdProdIdx = d.prodIdx
 				p.addConsumer(d.prodIdx, e.idx)
 			}
 			p.stats.StoreForwards++
@@ -406,6 +493,10 @@ func (p *Pipeline) startAccesses(c int64) {
 		lat := int64(p.hier.Data(uint64(e.rec.Addr) * 8))
 		e.memStarted = true
 		e.memDoneAt = c + lat - 1
+		if !p.scanWakeup {
+			p.wbWheel.schedule(c, e.memDoneAt+1,
+				wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbMem})
+		}
 		e.fwdDataOK = true
 	}
 }
@@ -423,8 +514,12 @@ func (o *operand) inWindowRegfileValid(c int64) bool {
 // may access memory only when the addresses of all preceding stores in the
 // window are known (valid under valid-only resolution).
 func (p *Pipeline) olderStoreAddrsKnown(e *entry, pos int, c int64, validOnly bool) bool {
-	for i := 0; i < pos; i++ {
-		s := &p.entries[p.slot(i)]
+	n := len(p.entries)
+	for i, si := 0, p.head; i < pos; i++ {
+		s := &p.entries[si]
+		if si++; si == n {
+			si = 0
+		}
 		if s.cls != isa.ClassStore {
 			continue
 		}
@@ -441,8 +536,13 @@ func (p *Pipeline) olderStoreAddrsKnown(e *entry, pos int, c int64, validOnly bo
 // forwardingStore returns the youngest older store writing the load's
 // address, if any.
 func (p *Pipeline) forwardingStore(e *entry, pos int) *entry {
+	n := len(p.entries)
+	si := p.slot(pos)
 	for i := pos - 1; i >= 0; i-- {
-		s := &p.entries[p.slot(i)]
+		if si--; si < 0 {
+			si = n - 1
+		}
+		s := &p.entries[si]
 		if s.cls == isa.ClassStore && s.rec.Addr == e.rec.Addr {
 			return s
 		}
@@ -509,10 +609,8 @@ func (p *Pipeline) fetch(c int64) {
 // nextRecord pulls the next correct-path record, preferring the replay
 // queue.
 func (p *Pipeline) nextRecord() (trace.Record, bool, bool) {
-	if len(p.pending) > 0 {
-		rec := p.pending[0]
-		p.pending = p.pending[1:]
-		return rec, true, true
+	if p.pending.len() > 0 {
+		return p.pending.popFront(), true, true
 	}
 	if p.srcDone {
 		return trace.Record{}, false, false
@@ -526,7 +624,7 @@ func (p *Pipeline) nextRecord() (trace.Record, bool, bool) {
 }
 
 func (p *Pipeline) pushFront(rec trace.Record) {
-	p.pending = append([]trace.Record{rec}, p.pending...)
+	p.pending.pushFront(rec)
 }
 
 // dispatch allocates a window entry for rec at cycle c.

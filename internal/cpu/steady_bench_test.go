@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"testing"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/trace"
+	"valuespec/internal/vpred"
+)
+
+// cyclicSource replays a recorded stream forever, renumbering Seq so the
+// concatenation is one coherent endless trace. It keeps the window full for
+// as many cycles as a steady-state benchmark wants to run.
+type cyclicSource struct {
+	recs []trace.Record
+	pos  int
+	seq  int64
+}
+
+func (s *cyclicSource) Next() (trace.Record, bool) {
+	r := s.recs[s.pos]
+	s.pos++
+	if s.pos == len(s.recs) {
+		s.pos = 0
+	}
+	r.Seq = s.seq
+	s.seq++
+	return r, true
+}
+
+// BenchmarkPipelineSteadyState measures one simulated cycle of a warmed-up
+// pipeline under the full Great model. The warmup drives every pool and ring
+// to its high-water mark (wheel slots, wave sets, ready queue, replay deque,
+// consumer lists); after it, the hot loop must run at 0 allocs/op — that
+// budget is pinned in BENCH_BASELINE.json and enforced by cmd/benchcheck.
+func BenchmarkPipelineSteadyState(b *testing.B) {
+	recs := benchWakeupRecs(b, 20000)
+	spec := &SpecOptions{
+		Enabled:    true,
+		Model:      core.Great(),
+		Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+		Confidence: confidence.NewResetting(10, 2),
+	}
+	p, err := New(flatMemConfig(Config8x48()), spec, &cyclicSource{recs: recs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		p.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.step()
+	}
+	b.ReportMetric(float64(p.stats.Retired)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkReplayRequeue compares the replay-queue representations on the
+// squash pattern: n records pushed onto the front one at a time (a complete
+// invalidation squashing the window, repeatedly), then drained. The ring
+// deque is O(1) per operation; the slice representation the deque replaced
+// re-allocated and copied the whole queue per prepend, so its per-op cost
+// grows linearly with queue depth (quadratic per squash burst) — visible
+// directly in the ns/op spread across sizes.
+func BenchmarkReplayRequeue(b *testing.B) {
+	for _, n := range []int{1024, 8192} {
+		rec := trace.Record{}
+		b.Run(sizeName("deque", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var d recDeque
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					d.pushFront(rec)
+				}
+				for d.len() > 0 {
+					d.popFront()
+				}
+			}
+		})
+		b.Run(sizeName("prepend", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var q []trace.Record
+				for j := 0; j < n; j++ {
+					q = append([]trace.Record{rec}, q...)
+				}
+				for len(q) > 0 {
+					q = q[1:]
+				}
+			}
+		})
+	}
+}
+
+func sizeName(kind string, n int) string {
+	switch n {
+	case 1024:
+		return kind + "-1k"
+	case 8192:
+		return kind + "-8k"
+	}
+	return kind
+}
+
+// BenchmarkReadyQueueWide stresses selection on a window far wider than the
+// paper's largest configuration (16-wide, 512 entries), where the per-cycle
+// full-window scan is most expensive. "queue" is the shipped tombstoned
+// ready queue; "scan" is the reference full-window scan.
+func BenchmarkReadyQueueWide(b *testing.B) {
+	recs := benchWakeupRecs(b, 20000)
+	cfg := flatMemConfig(Config{IssueWidth: 16, WindowSize: 512})
+	for _, mode := range []struct {
+		name string
+		scan bool
+	}{{"queue", false}, {"scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var retired int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := &SpecOptions{
+					Enabled:    true,
+					Model:      core.Great(),
+					Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+					Confidence: confidence.NewResetting(10, 2),
+				}
+				p, err := New(cfg, spec, trace.NewMemorySource(recs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.scanWakeup = mode.scan
+				st, err := p.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += st.Retired
+			}
+			b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}

@@ -1,0 +1,411 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"valuespec/internal/confidence"
+	"valuespec/internal/core"
+	"valuespec/internal/emu"
+	"valuespec/internal/trace"
+	"valuespec/internal/vpred"
+)
+
+// ---------------------------------------------------------------------------
+// Timing wheel
+
+func TestWheelScheduleTake(t *testing.T) {
+	w := newWheel[int](8)
+	// Interleave schedules across the horizon, including several events on
+	// one cycle and a slot that wraps around the ring.
+	w.schedule(0, 3, 30)
+	w.schedule(0, 3, 31)
+	w.schedule(0, 5, 50)
+	want := map[int64][]int{3: {30, 31}, 5: {50}, 8: {80}}
+	for c := int64(0); c <= 10; c++ {
+		if c == 1 {
+			// Slot 8&7 == 0 was drained during cycle 0; a full revolution
+			// later it may be reused.
+			w.schedule(1, 8, 80)
+		}
+		got := w.take(c)
+		if !reflect.DeepEqual(append([]int(nil), got...), want[c]) &&
+			!(len(got) == 0 && len(want[c]) == 0) {
+			t.Fatalf("cycle %d: got %v want %v", c, got, want[c])
+		}
+	}
+	if w.scheduled != 4 {
+		t.Fatalf("scheduled = %d, want 4", w.scheduled)
+	}
+	if w.grows != 0 {
+		t.Fatalf("grows = %d, want 0", w.grows)
+	}
+	// Re-scheduling onto a drained slot reuses its capacity.
+	w.schedule(10, 11, 1)
+	if w.recycled == 0 {
+		t.Fatal("recycled = 0 after reusing a drained slot")
+	}
+	if got := w.take(11); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("take(11) = %v, want [1]", got)
+	}
+}
+
+func TestWheelGrowRehomes(t *testing.T) {
+	w := newWheel[int](4)
+	// Fill several slots, then schedule past the horizon so the ring must
+	// double with events pending; they must surface on their original cycles.
+	w.schedule(0, 1, 10)
+	w.schedule(0, 2, 20)
+	w.schedule(0, 3, 30)
+	w.schedule(0, 9, 90) // delta 9 >= 4: grows to 16 slots
+	if w.grows != 1 {
+		t.Fatalf("grows = %d, want 1", w.grows)
+	}
+	if len(w.slots) != 16 {
+		t.Fatalf("len(slots) = %d, want 16", len(w.slots))
+	}
+	want := map[int64][]int{1: {10}, 2: {20}, 3: {30}, 9: {90}}
+	for c := int64(0); c <= 9; c++ {
+		got := w.take(c)
+		if len(got) == 0 && len(want[c]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]int(nil), got...), want[c]) {
+			t.Fatalf("cycle %d after grow: got %v want %v", c, got, want[c])
+		}
+	}
+}
+
+// TestWheelRandomMatchesMap drives a wheel and a cycle-keyed map with the
+// same random schedule/drain sequence and checks they agree on every cycle.
+func TestWheelRandomMatchesMap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	w := newWheel[int](8)
+	ref := map[int64][]int{}
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		// Mostly short latencies; occasionally far beyond the horizon.
+		delta := int64(r.Intn(6))
+		if r.Intn(50) == 0 {
+			delta = int64(64 + r.Intn(200))
+		}
+		at := now + delta
+		w.schedule(now, at, i)
+		ref[at] = append(ref[at], i)
+
+		got := w.take(now)
+		if want := ref[now]; !reflect.DeepEqual(append([]int(nil), got...), want) &&
+			!(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("cycle %d: wheel %v map %v", now, got, want)
+		}
+		delete(ref, now)
+		now++
+	}
+	// Drain the tail.
+	for c := now; len(ref) > 0; c++ {
+		got := w.take(c)
+		if want := ref[c]; !reflect.DeepEqual(append([]int(nil), got...), want) &&
+			!(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("tail cycle %d: wheel %v map %v", c, got, want)
+		}
+		delete(ref, c)
+	}
+	if w.grows == 0 {
+		t.Fatal("random schedule never grew the wheel; long-latency path untested")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wave sets
+
+func TestWaveSetAddHasClear(t *testing.T) {
+	w := newWaveSet(130) // 3 words, including a partial one
+	for _, idx := range []int{0, 63, 64, 127, 129} {
+		if w.has(idx) {
+			t.Fatalf("has(%d) before add", idx)
+		}
+		w.add(idx)
+		if !w.has(idx) {
+			t.Fatalf("!has(%d) after add", idx)
+		}
+	}
+	w.clear()
+	for _, idx := range []int{0, 63, 64, 127, 129} {
+		if w.has(idx) {
+			t.Fatalf("has(%d) after clear", idx)
+		}
+	}
+	if len(w.idxs) != 0 {
+		t.Fatalf("idxs not reset: %v", w.idxs)
+	}
+}
+
+func TestWaveSetPool(t *testing.T) {
+	p, err := New(Config8x48(), nil, &trace.SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.getWaveSet()
+	a.add(7)
+	p.putWaveSet(a)
+	b := p.getWaveSet()
+	if b != a {
+		t.Fatal("pool did not return the released set")
+	}
+	if b.has(7) || len(b.idxs) != 0 {
+		t.Fatal("pooled set not cleared")
+	}
+	if p.waveSetReuses != 1 {
+		t.Fatalf("waveSetReuses = %d, want 1", p.waveSetReuses)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replay deque
+
+func TestRecDequeMatchesSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	var d recDeque
+	var ref []trace.Record
+	rec := func(i int) trace.Record { return trace.Record{Seq: int64(i)} }
+	for i := 0; i < 20000; i++ {
+		switch op := r.Intn(3); {
+		case op == 0:
+			d.pushFront(rec(i))
+			ref = append([]trace.Record{rec(i)}, ref...)
+		case op == 1:
+			d.pushBack(rec(i))
+			ref = append(ref, rec(i))
+		case len(ref) > 0:
+			got, want := d.popFront(), ref[0]
+			ref = ref[1:]
+			if got.Seq != want.Seq {
+				t.Fatalf("op %d: popFront = %d, want %d", i, got.Seq, want.Seq)
+			}
+		}
+		if d.len() != len(ref) {
+			t.Fatalf("op %d: len = %d, want %d", i, d.len(), len(ref))
+		}
+	}
+	for len(ref) > 0 {
+		if got := d.popFront(); got.Seq != ref[0].Seq {
+			t.Fatalf("drain: popFront = %d, want %d", got.Seq, ref[0].Seq)
+		}
+		ref = ref[1:]
+	}
+	if d.len() != 0 {
+		t.Fatalf("drained deque has len %d", d.len())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ready-queue tombstones
+
+// TestReadyQueueTombstones model-checks qInsert/qRemove/qCompact against a
+// reference set: after every operation the queue must stay age-sorted, hold
+// exactly the live members, and account its tombstones.
+func TestReadyQueueTombstones(t *testing.T) {
+	const window = 64
+	p, err := New(Config{IssueWidth: 8, WindowSize: window}, nil, &trace.SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	live := map[int64]int{} // age -> ring index
+	nextAge := int64(0)
+	inUse := map[int]int64{} // ring index -> age
+
+	check := func(step int) {
+		t.Helper()
+		if !sort.SliceIsSorted(p.readyQ, func(i, j int) bool { return p.readyQ[i].age < p.readyQ[j].age }) {
+			t.Fatalf("step %d: readyQ not sorted: %v", step, p.readyQ)
+		}
+		dead, got := 0, map[int64]int{}
+		for _, ent := range p.readyQ {
+			if ent.idx == qTomb {
+				dead++
+				continue
+			}
+			got[ent.age] = int(ent.idx)
+		}
+		if dead != p.qDead {
+			t.Fatalf("step %d: qDead = %d, counted %d", step, p.qDead, dead)
+		}
+		if !reflect.DeepEqual(got, live) {
+			t.Fatalf("step %d: members %v, want %v", step, got, live)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		if r.Intn(2) == 0 && len(inUse) < window {
+			// Claim a free slot with a fresh age and enqueue it. Nullified
+			// entries re-enter mid-queue in the real pipeline; model that by
+			// sometimes backdating the age below the current maximum.
+			idx := r.Intn(window)
+			for _, used := inUse[idx]; used; _, used = inUse[idx] {
+				idx = (idx + 1) % window
+			}
+			age := nextAge
+			nextAge += int64(1 + r.Intn(3))
+			e := &p.entries[idx]
+			e.idx, e.age, e.inQ = idx, age, false
+			p.qInsert(e)
+			if !e.inQ {
+				t.Fatalf("step %d: qInsert left inQ false", step)
+			}
+			live[age], inUse[idx] = idx, age
+		} else if len(inUse) > 0 {
+			var idx int
+			for idx = range inUse {
+				break
+			}
+			age := inUse[idx]
+			e := &p.entries[idx]
+			p.qRemove(e)
+			if e.inQ {
+				t.Fatalf("step %d: qRemove left inQ true", step)
+			}
+			delete(live, age)
+			delete(inUse, idx)
+		}
+		if r.Intn(64) == 0 {
+			p.qCompact()
+		}
+		check(step)
+	}
+	p.qCompact()
+	if p.qDead*2 > len(p.readyQ) && p.qDead >= 16 {
+		t.Fatalf("qCompact left %d dead of %d", p.qDead, len(p.readyQ))
+	}
+	check(-1)
+}
+
+// TestReadyQueueTombstoneReclaim pins the fast path: removing an element and
+// re-inserting the same age must reclaim its tombstone without growing the
+// queue, which is what keeps nullification O(log n).
+func TestReadyQueueTombstoneReclaim(t *testing.T) {
+	p, err := New(Config8x48(), nil, &trace.SliceSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		e := &p.entries[i]
+		e.idx, e.age = i, int64(i)
+		p.qInsert(e)
+	}
+	e := &p.entries[4]
+	p.qRemove(e)
+	if p.qDead != 1 {
+		t.Fatalf("qDead = %d, want 1", p.qDead)
+	}
+	n := len(p.readyQ)
+	p.qInsert(e)
+	if len(p.readyQ) != n {
+		t.Fatalf("reinsertion grew the queue: %d -> %d", n, len(p.readyQ))
+	}
+	if p.qDead != 0 {
+		t.Fatalf("qDead = %d after reclaim, want 0", p.qDead)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wheel-vs-map pipeline equivalence
+
+// runEventMode simulates recs with either the timing wheels (shipped) or the
+// cycle-keyed maps (reference), capturing the complete event stream.
+func runEventMode(t *testing.T, cfg Config, mk func() *SpecOptions, recs []trace.Record, useMap bool) (*Stats, *EventLog, *Pipeline) {
+	t.Helper()
+	p, err := New(cfg, mk(), &trace.SliceSource{Records: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mapEvents = useMap
+	log := &EventLog{}
+	p.SetObserver(log)
+	_, err = p.Run()
+	if err != nil {
+		t.Fatalf("Run (mapEvents=%t): %v\nstats: %s", useMap, err, p.Stats())
+	}
+	return p.Stats(), log, p
+}
+
+// TestEventWheelMatchesMap is the equivalence property behind the timing-wheel
+// conversion: on random dependence DAGs under randomized latency variables —
+// including equality latencies far beyond the wheel's nominal 64-slot horizon,
+// which force the ring to grow mid-run — the wheel-scheduled pipeline must
+// produce exactly the same event stream and byte-identical statistics as the
+// map-keyed reference scheduler.
+func TestEventWheelMatchesMap(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	configs := []Config{flatMemConfig(Config4x24()), Config8x48()}
+
+	randLat := func(short bool) core.Latencies {
+		l := core.Latencies{
+			ExecEqInvalidate:  r.Intn(4),
+			ExecEqVerify:      r.Intn(4),
+			VerifyFreeIssue:   1 + r.Intn(2),
+			VerifyFreeRetire:  1 + r.Intn(2),
+			InvalidateReissue: r.Intn(3),
+			VerifyBranch:      r.Intn(3),
+			VerifyAddrMem:     r.Intn(3),
+		}
+		if !short {
+			// Past the nominal horizon: the wheel must grow in-pipeline.
+			l.ExecEqInvalidate = wheelNominalSlots + r.Intn(150)
+			l.ExecEqVerify = wheelNominalSlots + r.Intn(150)
+		}
+		return l
+	}
+	invals := []core.InvalidationScheme{core.InvalidateParallel, core.InvalidateHierarchical, core.InvalidateComplete}
+
+	sawGrowth := false
+	for trial := 0; trial < 8; trial++ {
+		prog := genProgram(r)
+		m, err := emu.New(prog, emu.WithBudget(2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := trace.Collect(m, 0)
+		short := trial%2 == 0
+		model := core.Great()
+		model.Invalidation = invals[trial%len(invals)]
+		if model.Invalidation == core.InvalidateHierarchical {
+			model.Verification = core.VerifyHierarchical
+		}
+		model.Lat = randLat(short)
+		mk := func() *SpecOptions {
+			return &SpecOptions{
+				Enabled:    true,
+				Model:      model,
+				Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+				Confidence: confidence.Always{},
+			}
+		}
+		for ci, cfg := range configs {
+			stW, logW, pw := runEventMode(t, cfg, mk, recs, false)
+			stM, logM, _ := runEventMode(t, cfg, mk, recs, true)
+			if !reflect.DeepEqual(stW, stM) {
+				t.Fatalf("trial %d cfg %d (lat %+v): stats diverged\nwheel: %s\nmap:   %s",
+					trial, ci, model.Lat, stW, stM)
+			}
+			if !reflect.DeepEqual(logW.Events, logM.Events) {
+				for i := range logW.Events {
+					if i >= len(logM.Events) || logW.Events[i] != logM.Events[i] {
+						t.Fatalf("trial %d cfg %d: event %d diverged: wheel %+v map %+v",
+							trial, ci, i, logW.Events[i], logM.Events[i])
+					}
+				}
+				t.Fatalf("trial %d cfg %d: event streams differ in length: %d vs %d",
+					trial, ci, len(logW.Events), len(logM.Events))
+			}
+			if !short && pw.eqWheel.grows > 0 {
+				sawGrowth = true
+			}
+		}
+	}
+	if !sawGrowth {
+		t.Fatal("no trial grew the equality wheel; the long-latency growth path went untested")
+	}
+}

@@ -28,6 +28,12 @@ else
 	exit 1
 fi
 
+echo "== vet =="
+go vet ./...
+
+echo "== race-enabled harness worker-pool tests =="
+go test -race ./internal/harness/... | tee "$out/race_harness.txt"
+
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
 
