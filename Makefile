@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench benchcheck vet fmt check race-harness reproduce experiments clean
+.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke reproduce experiments clean
 
 all: build test
 
@@ -39,10 +39,16 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Race-enabled run of just the harness worker-pool tests, for quick
-# iteration on the concurrency code.
+# Race-enabled run of just the concurrency-bearing packages (the harness
+# worker pool plus the observability stack it publishes through), for quick
+# iteration; `make check` runs the whole suite under -race.
 race-harness:
-	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness
+
+# End-to-end smoke test of the live observability server: a quick sweep
+# with -serve, probed over HTTP while it runs.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

@@ -35,6 +35,7 @@ import (
 var targets = []struct{ pkg, pattern string }{
 	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup|BenchmarkPipelineSteadyState|BenchmarkReplayRequeue|BenchmarkReadyQueueWide)$"},
 	{"./internal/harness", "^BenchmarkSimulateAllCached$"},
+	{"./internal/obs", "^(BenchmarkSharedRegistrySnapshot|BenchmarkPromExposition)$"},
 }
 
 // baseline is the BENCH_BASELINE.json schema. AllocsPerOp entries are

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -28,6 +30,8 @@ import (
 	"valuespec/internal/core"
 	"valuespec/internal/cpu"
 	"valuespec/internal/harness"
+	"valuespec/internal/obs"
+	"valuespec/internal/obsweb"
 	"valuespec/internal/report"
 )
 
@@ -45,13 +49,14 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print a pipeline timeline of the first N instructions")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 
-		metricsOut      = flag.String("metrics-out", "", "write the interval metrics time series to this file (.csv or .json)")
+		metricsOut      = flag.String("metrics-out", "", "write the interval metrics time series to this file: a .csv extension (any case) selects CSV, any other name means JSON")
 		metricsInterval = flag.Int64("metrics-interval", 1000, "cycles per metrics sample")
 		metricsCap      = flag.Int("metrics-cap", 0, "max retained samples, overwriting the oldest (0 = unbounded)")
 		traceOut        = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file")
 		phaseStats      = flag.Bool("phase-stats", false, "print the wall-time breakdown of the simulator's pipeline stages")
 		cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 		memProfile      = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		serveAddr       = flag.String("serve", "", "serve live observability on this address for the duration of the run (Prometheus /metrics, /progress, /healthz, /readyz, /debug/pprof/); port 0 picks a free one")
 	)
 	flag.Parse()
 
@@ -122,7 +127,32 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Live observability: progress for this one spec plus, at completion,
+	// the pipeline's own metrics registry merged into the served exposition.
+	var progress *harness.Progress
+	var obsrv *obsweb.Server
+	if *serveAddr != "" {
+		progress = harness.NewProgress(obs.NewSharedRegistry())
+		obsrv = obsweb.New(obsweb.Config{
+			Metrics:  progress.Registry(),
+			Progress: func() any { return progress.Snapshot() },
+		})
+		if err := obsrv.Start(context.Background(), *serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving observability on http://%s (/metrics /progress /progress/stream /healthz /readyz /debug/pprof/)\n", obsrv.Addr())
+		progress.BatchStart(1)
+		progress.SpecStart()
+	}
+	t0 := time.Now()
 	res, err := harness.Simulate(spec)
+	if progress != nil {
+		var st *cpu.Stats
+		if err == nil {
+			st = res.Stats
+		}
+		progress.SpecDone(st, err, time.Since(t0))
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -178,6 +208,22 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if obsrv != nil {
+		// Fold the (now quiescent) pipeline registry into the served
+		// exposition so a final scrape sees the run's full distributions.
+		// Merge adds the mirrored Stats counters on top of the progress
+		// tracker's totals; Finish republishes (Set, not Add) right after,
+		// so the served counters end exact.
+		if spec.Metrics != nil {
+			progress.Registry().Merge(spec.Metrics.Registry)
+		}
+		progress.Finish()
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := obsrv.Shutdown(ctx); err != nil {
+			log.Printf("observability server shutdown: %v", err)
+		}
+	}
 }
 
 // writeMetrics serializes the sampler series as CSV or JSON by extension.
@@ -188,7 +234,7 @@ func writeMetrics(path string, m *cpu.Metrics) {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".csv") {
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
 		err = t.WriteCSV(f)
 	} else {
 		err = t.WriteJSON(f)

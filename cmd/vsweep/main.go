@@ -14,9 +14,15 @@
 //	vsweep -latency -verification -invalidation -resolution -forwarding \
 //	       -predictors -confsweep
 //	vsweep -all             # everything
+//	vsweep -all -serve 127.0.0.1:9090   # + live /metrics, /progress, pprof
+//
+// -serve exposes the run's live observability (Prometheus metrics, sweep
+// progress as JSON and SSE, pprof) for its duration and prints a final
+// progress summary table; see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +36,8 @@ import (
 	"valuespec/internal/core"
 	"valuespec/internal/cpu"
 	"valuespec/internal/harness"
+	"valuespec/internal/obs"
+	"valuespec/internal/obsweb"
 	"valuespec/internal/report"
 	"valuespec/internal/svgplot"
 	"valuespec/internal/textplot"
@@ -59,6 +67,7 @@ func main() {
 		all          = flag.Bool("all", false, "run everything")
 		quick        = flag.Bool("quick", false, "restrict sweeps to the 8/48 configuration")
 		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
+		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /healthz, /readyz, /debug/pprof/")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
 		outDir       = flag.String("out", "", "also write results as CSV and JSON into this directory")
 		svgDir       = flag.String("svg", "", "also render figures as SVG into this directory")
@@ -68,6 +77,22 @@ func main() {
 	flag.Parse()
 	if *noTraceCache {
 		harness.SetTraceCaching(false)
+	}
+	// Live observability: a SharedRegistry fed by the harness progress
+	// tracker, served over HTTP for the duration of the run.
+	var progress *harness.Progress
+	var obsrv *obsweb.Server
+	if *serveAddr != "" {
+		progress = harness.NewProgress(obs.NewSharedRegistry())
+		harness.SetProgress(progress)
+		obsrv = obsweb.New(obsweb.Config{
+			Metrics:  progress.Registry(),
+			Progress: func() any { return progress.Snapshot() },
+		})
+		if err := obsrv.Start(context.Background(), *serveAddr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving observability on http://%s (/metrics /progress /progress/stream /healthz /readyz /debug/pprof/)\n", obsrv.Addr())
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -337,6 +362,27 @@ func main() {
 	if c := harness.DefaultTraceCache(); harness.TraceCaching() && c.Hits()+c.Misses() > 0 {
 		fmt.Printf("\ntrace cache: %d hits, %d misses, %d records cached\n",
 			c.Hits(), c.Misses(), c.CachedRecords())
+	}
+
+	if progress != nil {
+		progress.Finish()
+		snap := progress.Snapshot()
+		section("Sweep progress summary")
+		fmt.Print(textplot.Table([]string{"Metric", "Value"}, [][]string{
+			{"specs completed", fmt.Sprintf("%d/%d", snap.SpecsCompleted, snap.SpecsTotal)},
+			{"specs failed", fmt.Sprintf("%d", snap.SpecsFailed)},
+			{"cycles simulated", fmt.Sprintf("%d", snap.CyclesTotal)},
+			{"instructions retired", fmt.Sprintf("%d", snap.Retired)},
+			{"trace-cache hit rate", fmt.Sprintf("%.1f%% (%d hits, %d misses)", 100*snap.CacheHitRate, snap.CacheHits, snap.CacheMisses)},
+			{"mean spec wall time", fmt.Sprintf("%.3fs (EWMA)", snap.SpecSecEWMA)},
+			{"elapsed", fmt.Sprintf("%.1fs on %d workers", snap.ElapsedSeconds, snap.Workers)},
+		}))
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := obsrv.Shutdown(ctx); err != nil {
+			log.Printf("observability server shutdown: %v", err)
+		}
+		harness.SetProgress(nil)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"valuespec/internal/confidence"
 	"valuespec/internal/core"
+	"valuespec/internal/obs"
 	"valuespec/internal/trace"
 	"valuespec/internal/vpred"
 )
@@ -34,6 +35,13 @@ func (s *cyclicSource) Next() (trace.Record, bool) {
 // to its high-water mark (wheel slots, wave sets, ready queue, replay deque,
 // consumer lists); after it, the hot loop must run at 0 allocs/op — that
 // budget is pinned in BENCH_BASELINE.json and enforced by cmd/benchcheck.
+//
+// The pipeline runs with a Metrics collector attached and an obs
+// SharedRegistry adapter standing by, the configuration a live-served sweep
+// uses: the per-cycle histogram hooks are on the measured path, while the
+// interval never elapses and the shared merge happens only after the timed
+// loop. The 0 allocs/op budget therefore also pins "attached-but-idle"
+// live observability as allocation-free.
 func BenchmarkPipelineSteadyState(b *testing.B) {
 	recs := benchWakeupRecs(b, 20000)
 	spec := &SpecOptions{
@@ -46,6 +54,9 @@ func BenchmarkPipelineSteadyState(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	shared := obs.NewSharedRegistry()
+	m := NewMetrics(1<<62, 0) // idle: the sampling interval never elapses
+	p.SetMetrics(m)
 	for i := 0; i < 50000; i++ {
 		p.step()
 	}
@@ -53,6 +64,11 @@ func BenchmarkPipelineSteadyState(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.step()
+	}
+	b.StopTimer()
+	shared.Merge(m.Registry) // the adapter a sweep runs at spec completion
+	if shared.Snapshot().Histogram(MetricOccupancy).Count() == 0 {
+		b.Fatal("idle metrics adapter recorded nothing")
 	}
 	b.ReportMetric(float64(p.stats.Retired)/b.Elapsed().Seconds(), "instrs/s")
 }

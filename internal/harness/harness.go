@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"valuespec/internal/bench"
 	"valuespec/internal/confidence"
@@ -197,6 +198,14 @@ func simulateAll(specs []Spec, cache *TraceCache) ([]Result, error) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	// Live progress tracking, when cmd-level code installed a tracker. The
+	// worker loop reports spec starts, completions and failures as they
+	// happen; specs never claimed after a cancellation stay visibly pending.
+	progress := ActiveProgress()
+	if progress != nil {
+		progress.setCache(cache)
+		progress.BatchStart(len(specs))
+	}
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -209,7 +218,15 @@ func simulateAll(specs []Spec, cache *TraceCache) ([]Result, error) {
 				if i >= len(specs) {
 					return
 				}
+				var t0 time.Time
+				if progress != nil {
+					progress.SpecStart()
+					t0 = time.Now()
+				}
 				res, err := simulate(specs[i], cache)
+				if progress != nil {
+					progress.SpecDone(res.Stats, err, time.Since(t0))
+				}
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

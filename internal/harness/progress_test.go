@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"testing"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/obs"
+)
+
+// TestProgressTracksSimulateAll runs a small batch through SimulateAll with
+// a tracker installed and checks the snapshot and the published registry
+// agree with the results.
+func TestProgressTracksSimulateAll(t *testing.T) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	great := core.Great()
+	specs := []Spec{
+		{Workload: w, Scale: testScale, Config: cpu.Config8x48()},
+		{Workload: w, Scale: testScale, Config: cpu.Config8x48(),
+			Model: &great, Setting: Setting{Update: cpu.UpdateImmediate}},
+		{Workload: w, Scale: testScale, Config: cpu.Config8x48(),
+			Model: &great, Setting: Setting{Update: cpu.UpdateDelayed}},
+	}
+	shared := obs.NewSharedRegistry()
+	pr := NewProgress(shared)
+	SetProgress(pr)
+	defer SetProgress(nil)
+
+	cache := NewTraceCache()
+	results, err := simulateAll(specs, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Finish()
+
+	var wantCycles, wantRetired int64
+	for _, r := range results {
+		wantCycles += r.Stats.Cycles
+		wantRetired += r.Stats.Retired
+	}
+	snap := pr.Snapshot()
+	if snap.SpecsTotal != 3 || snap.SpecsCompleted != 3 || snap.SpecsFailed != 0 || snap.SpecsInFlight != 0 {
+		t.Errorf("snapshot counts = %+v, want 3 total, 3 completed, 0 failed, 0 inflight", snap)
+	}
+	if snap.CyclesTotal != wantCycles || snap.Retired != wantRetired {
+		t.Errorf("snapshot cycles/retired = %d/%d, want %d/%d",
+			snap.CyclesTotal, snap.Retired, wantCycles, wantRetired)
+	}
+	if snap.CacheMisses != 1 || snap.CacheHits != 2 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1", snap.CacheHits, snap.CacheMisses)
+	}
+	if !snap.Done {
+		t.Error("snapshot not Done after Finish")
+	}
+	if snap.ETASeconds != 0 {
+		t.Errorf("ETA = %g after Finish, want 0", snap.ETASeconds)
+	}
+	if snap.SpecSecEWMA <= 0 {
+		t.Errorf("EWMA = %g, want > 0", snap.SpecSecEWMA)
+	}
+
+	reg := shared.Snapshot()
+	if got := reg.Counter("retired").Value(); got != wantRetired {
+		t.Errorf("published retired = %d, want %d", got, wantRetired)
+	}
+	if got := reg.Counter(MetricSpecsCompleted).Value(); got != 3 {
+		t.Errorf("published completed = %d, want 3", got)
+	}
+	if got := reg.Histogram(MetricSpecCycles).Count(); got != 3 {
+		t.Errorf("published spec-cycle samples = %d, want 3", got)
+	}
+	if got := reg.Gauge(MetricSpecsInflight).Value(); got != 0 {
+		t.Errorf("published inflight = %g, want 0", got)
+	}
+}
+
+// TestProgressFailurePath checks the cancellation accounting: a failing spec
+// counts as failed, the batch total still covers every accepted spec, and
+// unclaimed specs remain visibly pending (total > completed + failed is
+// allowed; completed never exceeds the successes).
+func TestProgressFailurePath(t *testing.T) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Spec{Workload: w, Scale: testScale, Config: cpu.Config{IssueWidth: 0, WindowSize: 48}}
+	good := Spec{Workload: w, Scale: testScale, Config: cpu.Config8x48()}
+	shared := obs.NewSharedRegistry()
+	pr := NewProgress(shared)
+	SetProgress(pr)
+	defer SetProgress(nil)
+
+	if _, err := simulateAll([]Spec{bad, good, good, good}, nil); err == nil {
+		t.Fatal("expected an error from the invalid config")
+	}
+	snap := pr.Snapshot()
+	if snap.SpecsTotal != 4 {
+		t.Errorf("total = %d, want 4", snap.SpecsTotal)
+	}
+	if snap.SpecsFailed != 1 {
+		t.Errorf("failed = %d, want 1", snap.SpecsFailed)
+	}
+	if snap.SpecsInFlight != 0 {
+		t.Errorf("inflight = %d, want 0 after the pool drained", snap.SpecsInFlight)
+	}
+	if snap.SpecsCompleted+snap.SpecsFailed > snap.SpecsTotal {
+		t.Errorf("completed %d + failed %d exceeds total %d",
+			snap.SpecsCompleted, snap.SpecsFailed, snap.SpecsTotal)
+	}
+	if got := shared.Snapshot().Counter(MetricSpecsFailed).Value(); got != 1 {
+		t.Errorf("published failed = %d, want 1", got)
+	}
+}
+
+// TestProgressETA checks the estimate's shape without depending on wall
+// time: with a known EWMA and worker count, ETA = ewma * remaining / workers,
+// and it reaches zero when everything is done.
+func TestProgressETA(t *testing.T) {
+	pr := NewProgress(obs.NewSharedRegistry())
+	pr.workers = 4
+	pr.BatchStart(9)
+	pr.SpecStart()
+	pr.SpecDone(&cpu.Stats{Cycles: 100, Retired: 50}, nil, 2_000_000_000) // 2s
+	snap := pr.Snapshot()
+	want := 2.0 * 8 / 4
+	if diff := snap.ETASeconds - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ETA = %g, want %g", snap.ETASeconds, want)
+	}
+	for i := 0; i < 8; i++ {
+		pr.SpecStart()
+		pr.SpecDone(&cpu.Stats{Cycles: 100, Retired: 50}, nil, 1_000_000_000)
+	}
+	if eta := pr.Snapshot().ETASeconds; eta != 0 {
+		t.Errorf("ETA = %g with nothing remaining, want 0", eta)
+	}
+}

@@ -133,6 +133,38 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return float64(h.Max())
 }
 
+// Merge folds every sample of o into h, as if each had been Observed here.
+// Bucket counts and sums add exactly; min/max tighten to the combined range.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Clone returns an independent deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		counts: make([]uint64, len(h.counts)),
+		count:  h.count,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+	copy(c.counts, h.counts)
+	return c
+}
+
 // Buckets calls fn for every non-empty bucket with its inclusive lower
 // bound, exclusive upper bound, and count, in ascending value order.
 func (h *Histogram) Buckets(fn func(lo, hi int64, count uint64)) {

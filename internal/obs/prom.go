@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, version 0.0.4, in registration order (so output is deterministic
+// and golden-testable). Metric names are sanitized to the Prometheus charset
+// (dots and other separators become underscores) and prefixed with
+// namespace_ when namespace is non-empty.
+//
+//   - counters render as "<name>_total" with "# TYPE ... counter" (names
+//     already ending in _total are not suffixed again);
+//   - gauges render verbatim with "# TYPE ... gauge";
+//   - histograms render as cumulative "_bucket{le="..."}" series derived
+//     from the log-bucketed counts, plus exact "_sum" and "_count". Samples
+//     are integers and each obs bucket spans [lo, hi), so le = hi-1 bounds
+//     every bucket exactly — no precision is lost in translation. Only
+//     non-empty buckets are emitted (plus the mandatory le="+Inf").
+//
+// The registry must be private to the caller: pass a plain single-goroutine
+// Registry, or a SharedRegistry.Snapshot().
+func WritePrometheus(w io.Writer, r *Registry, namespace string) error {
+	// One reusable line buffer: the whole exposition allocates only the
+	// sanitized names and whatever growth the buffer needs once.
+	buf := make([]byte, 0, 256)
+	flush := func() error {
+		_, err := w.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	for _, name := range r.order {
+		pn := promName(namespace, name)
+		switch {
+		case r.counters[name] != nil:
+			if !strings.HasSuffix(pn, "_total") {
+				pn += "_total"
+			}
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, pn...)
+			buf = append(buf, " counter\n"...)
+			buf = append(buf, pn...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, r.counters[name].Value(), 10)
+			buf = append(buf, '\n')
+		case r.gauges[name] != nil:
+			buf = append(buf, "# TYPE "...)
+			buf = append(buf, pn...)
+			buf = append(buf, " gauge\n"...)
+			buf = append(buf, pn...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, r.gauges[name].Value(), 'g', -1, 64)
+			buf = append(buf, '\n')
+		default:
+			buf = appendPromHistogram(buf, pn, r.hists[name])
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendPromHistogram renders one histogram as cumulative buckets.
+func appendPromHistogram(buf []byte, pn string, h *Histogram) []byte {
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, pn...)
+	buf = append(buf, " histogram\n"...)
+	var cum uint64
+	h.Buckets(func(lo, hi int64, count uint64) {
+		cum += count
+		if hi == 1<<63-1 { // final bucket: covered by le="+Inf" below
+			return
+		}
+		buf = append(buf, pn...)
+		buf = append(buf, `_bucket{le="`...)
+		buf = strconv.AppendInt(buf, hi-1, 10)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	})
+	buf = append(buf, pn...)
+	buf = append(buf, `_bucket{le="+Inf"} `...)
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, pn...)
+	buf = append(buf, "_sum "...)
+	buf = strconv.AppendInt(buf, h.Sum(), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, pn...)
+	buf = append(buf, "_count "...)
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// promName sanitizes an obs metric name into the Prometheus name charset
+// [a-zA-Z0-9_:], mapping every other byte (the registry's dots, mostly) to
+// an underscore, and prefixes the namespace.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	b.Grow(len(namespace) + 1 + len(name))
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchSharedRegistry builds a shared registry with a sweep-shaped
+// population: the Stats counter mirrors, a few tracker gauges, and three
+// histograms with samples spread across many octaves.
+func benchSharedRegistry() *SharedRegistry {
+	s := NewSharedRegistry()
+	s.Do(func(r *Registry) {
+		for _, name := range []string{
+			"cycles", "retired", "dispatched", "fetch_stall_cycles",
+			"window_full_stalls", "cond_branches", "branch_mispredicts",
+			"loads", "stores", "store_forwards", "predictions", "speculated",
+			"pred_correct_high", "pred_correct_low", "pred_incorrect_high",
+			"pred_incorrect_low", "invalidation_waves", "nullified",
+			"reissues", "complete_squashes", "issues",
+			"sweep.specs_total", "sweep.specs_completed", "sweep.specs_failed",
+		} {
+			r.Counter(name).Set(123456789)
+		}
+		for _, name := range []string{
+			"sweep.specs_inflight", "sweep.eta_seconds",
+			"sweep.spec_seconds_ewma", "sweep.trace_cache_hit_rate",
+		} {
+			r.Gauge(name).Set(3.25)
+		}
+		for _, name := range []string{"sweep.spec_cycles", "window.occupancy", "retire.latency"} {
+			h := r.Histogram(name)
+			for v := int64(0); v < 4096; v += 3 {
+				h.Observe(v * v)
+			}
+		}
+	})
+	return s
+}
+
+// BenchmarkSharedRegistrySnapshot measures the deep-copy read path the
+// obsweb server takes on every /metrics scrape and SSE frame. Its allocs/op
+// budget in BENCH_BASELINE.json keeps the snapshot from growing hidden
+// per-metric allocations.
+func BenchmarkSharedRegistrySnapshot(b *testing.B) {
+	s := benchSharedRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Snapshot() == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+// BenchmarkPromExposition measures rendering a snapshot as Prometheus text,
+// the other half of a /metrics scrape.
+func BenchmarkPromExposition(b *testing.B) {
+	snap := benchSharedRegistry().Snapshot()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WritePrometheus(&buf, snap, "valuespec"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

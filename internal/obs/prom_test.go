@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPromExpositionGolden pins the exposition output byte-for-byte for a
+// fixed registry: three counters (one already carrying the _total suffix,
+// which must not be doubled), a gauge, and a histogram whose samples cover
+// the exact low buckets, a mid octave, and a wide octave.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("retired").Set(12345)
+	r.Counter("trace_cache.hits").Set(7)
+	r.Counter("sweep.specs_total").Set(104)
+	r.Gauge("sweep.eta_seconds").Set(1.5)
+	h := r.Histogram("sweep.spec_cycles")
+	for _, v := range []int64{0, 3, 17, 1000} {
+		h.Observe(v)
+	}
+
+	const want = `# TYPE valuespec_retired_total counter
+valuespec_retired_total 12345
+# TYPE valuespec_trace_cache_hits_total counter
+valuespec_trace_cache_hits_total 7
+# TYPE valuespec_sweep_specs_total counter
+valuespec_sweep_specs_total 104
+# TYPE valuespec_sweep_eta_seconds gauge
+valuespec_sweep_eta_seconds 1.5
+# TYPE valuespec_sweep_spec_cycles histogram
+valuespec_sweep_spec_cycles_bucket{le="0"} 1
+valuespec_sweep_spec_cycles_bucket{le="3"} 2
+valuespec_sweep_spec_cycles_bucket{le="19"} 3
+valuespec_sweep_spec_cycles_bucket{le="1023"} 4
+valuespec_sweep_spec_cycles_bucket{le="+Inf"} 4
+valuespec_sweep_spec_cycles_sum 1020
+valuespec_sweep_spec_cycles_count 4
+`
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, "valuespec"); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromEmptyHistogram checks that a registered-but-unobserved histogram
+// still exposes a _bucket series (the mandatory le="+Inf"), so scrapes and
+// smoke tests see the full metric set from the first instant of a run.
+func TestPromEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("sweep.spec_cycles")
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, "valuespec"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE valuespec_sweep_spec_cycles histogram
+valuespec_sweep_spec_cycles_bucket{le="+Inf"} 0
+valuespec_sweep_spec_cycles_sum 0
+valuespec_sweep_spec_cycles_count 0
+`
+	if got := buf.String(); got != want {
+		t.Errorf("empty histogram mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromBucketsCumulative checks the structural invariants of the bucket
+// series on a spread of samples: strictly increasing le values, monotonically
+// non-decreasing cumulative counts, and a +Inf line equal to _count.
+func TestPromBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for v := int64(0); v < 5000; v += 7 {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r, ""); err != nil {
+		t.Fatal(err)
+	}
+	lastLe := int64(-1)
+	lastCum := uint64(0)
+	var infCum uint64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_bucket{le=") {
+			continue
+		}
+		var cum uint64
+		if strings.Contains(line, `le="+Inf"`) {
+			if _, err := fmt.Sscanf(line, `lat_bucket{le="+Inf"} %d`, &infCum); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			continue
+		}
+		var le int64
+		if _, err := fmt.Sscanf(line, `lat_bucket{le="%d"} %d`, &le, &cum); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if le <= lastLe {
+			t.Errorf("le %d not increasing after %d", le, lastLe)
+		}
+		if cum < lastCum {
+			t.Errorf("cumulative count %d decreased from %d at le=%d", cum, lastCum, le)
+		}
+		lastLe, lastCum = le, cum
+	}
+	if infCum != h.Count() {
+		t.Errorf("+Inf bucket %d, want count %d", infCum, h.Count())
+	}
+	if lastCum != h.Count() {
+		t.Errorf("last finite bucket %d, want all %d samples <= its le", lastCum, h.Count())
+	}
+}
+
+// TestPromName covers the charset sanitization.
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ ns, in, want string }{
+		{"valuespec", "retired", "valuespec_retired"},
+		{"valuespec", "trace_cache.hits", "valuespec_trace_cache_hits"},
+		{"", "window.occupancy", "window_occupancy"},
+		{"", "9lives", "_lives"},
+		{"", "a-b c", "a_b_c"},
+	} {
+		if got := promName(tc.ns, tc.in); got != tc.want {
+			t.Errorf("promName(%q, %q) = %q, want %q", tc.ns, tc.in, got, tc.want)
+		}
+	}
+}

@@ -5,9 +5,13 @@
 // timer for profiling the simulation loop itself.
 //
 // The package deliberately knows nothing about the pipeline: internal/cpu
-// publishes into it, internal/report serializes out of it. None of the types
-// are goroutine-safe; each simulation owns its own registry, matching the
-// one-pipeline-per-goroutine concurrency model of the harness.
+// publishes into it, internal/report serializes out of it. With the single
+// exception of SharedRegistry — the mutex-guarded aggregation point that
+// cross-goroutine consumers (the harness progress tracker, the obsweb
+// server) read through Snapshot — none of the types are goroutine-safe; each
+// simulation owns its own registry, matching the one-pipeline-per-goroutine
+// concurrency model of the harness, and hands it to a SharedRegistry via
+// Merge only when the run is done.
 package obs
 
 import (
@@ -159,6 +163,41 @@ func (r *Registry) row(dst []float64, prev map[string]int64) []float64 {
 			float64(h.Max()))
 	}
 	return dst
+}
+
+// Merge folds every metric of o into r, creating names on first sight (in
+// o's registration order) and panicking on kind conflicts. Counters add,
+// gauges take o's value (last merge wins), histograms merge sample-exactly.
+// Merge each source registry at most once per aggregation epoch: merging the
+// same counters twice double-counts them.
+func (r *Registry) Merge(o *Registry) {
+	for _, name := range o.order {
+		switch {
+		case o.counters[name] != nil:
+			r.Counter(name).Add(o.counters[name].Value())
+		case o.gauges[name] != nil:
+			r.Gauge(name).Set(o.gauges[name].Value())
+		default:
+			r.Histogram(name).Merge(o.hists[name])
+		}
+	}
+}
+
+// Clone returns an independent deep copy of r, preserving registration
+// order. Mutating either registry afterwards leaves the other untouched.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	c.order = append(c.order, r.order...)
+	for name, v := range r.counters {
+		c.counters[name] = &Counter{v: v.v}
+	}
+	for name, v := range r.gauges {
+		c.gauges[name] = &Gauge{v: v.v}
+	}
+	for name, h := range r.hists {
+		c.hists[name] = h.Clone()
+	}
+	return c
 }
 
 // String renders a sorted one-line-per-metric summary, for debugging.

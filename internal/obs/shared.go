@@ -1,0 +1,83 @@
+package obs
+
+import "sync"
+
+// SharedRegistry is the goroutine-safe aggregation point of the metrics
+// layer: a mutex-guarded Registry that concurrent producers publish into and
+// concurrent consumers read via deep-copy snapshots. It exists so the
+// harness worker pool and the obsweb HTTP server can meet without perturbing
+// the zero-alloc single-goroutine hot path — pipelines keep their private
+// Registry and fold it in with Merge when they finish, while live trackers
+// (progress counters, server-side gauges) publish through the locked
+// mutators below.
+//
+// Every method may be called from any goroutine. Readers never see a
+// half-updated batch: use Do to publish several related values under one
+// critical section, and Snapshot to read a consistent copy.
+type SharedRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// NewSharedRegistry returns an empty shared registry.
+func NewSharedRegistry() *SharedRegistry {
+	return &SharedRegistry{reg: NewRegistry()}
+}
+
+// Merge folds a single-goroutine registry into the shared one (counters add,
+// gauges overwrite, histograms merge sample-exactly). The source must be
+// quiescent — merge a pipeline's registry after its run completes, and at
+// most once, or its counters double-count.
+func (s *SharedRegistry) Merge(r *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Merge(r)
+}
+
+// Snapshot returns a deep copy of the current state. The copy is exclusively
+// the caller's: serialize it, diff it, or mutate it freely without further
+// locking.
+func (s *SharedRegistry) Snapshot() *Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Clone()
+}
+
+// Do runs fn with exclusive access to the underlying registry, so one
+// publisher can update several metrics atomically with respect to Snapshot.
+// fn must not retain the *Registry or any metric handle past its return.
+func (s *SharedRegistry) Do(fn func(r *Registry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.reg)
+}
+
+// Add increments the named counter, creating it on first use.
+func (s *SharedRegistry) Add(name string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter(name).Add(n)
+}
+
+// SetCounter overwrites the named counter, for mirroring an externally
+// accumulated total (e.g. trace-cache hits) into the shared registry.
+func (s *SharedRegistry) SetCounter(name string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Counter(name).Set(v)
+}
+
+// SetGauge overwrites the named gauge, creating it on first use.
+func (s *SharedRegistry) SetGauge(name string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Gauge(name).Set(v)
+}
+
+// Observe records one sample into the named histogram, creating it on first
+// use.
+func (s *SharedRegistry) Observe(name string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Histogram(name).Observe(v)
+}

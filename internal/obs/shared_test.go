@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMerge checks that merging two histograms is sample-exact:
+// identical to observing every sample into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for v := int64(0); v < 300; v++ {
+		h := a
+		if v%3 == 0 {
+			h = b
+		}
+		h.Observe(v * v % 97)
+		all.Observe(v * v % 97)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged count/sum/min/max = %d/%d/%d/%d, want %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(), all.Count(), all.Sum(), all.Min(), all.Max())
+	}
+	for i := range a.counts {
+		if a.counts[i] != all.counts[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, a.counts[i], all.counts[i])
+		}
+	}
+	// Merging an empty histogram is a no-op, including on min/max.
+	before := a.Min()
+	a.Merge(NewHistogram())
+	if a.Min() != before || a.Count() != all.Count() {
+		t.Error("merging an empty histogram changed state")
+	}
+}
+
+// TestRegistryMergeAndClone checks the merge semantics (counters add, gauges
+// overwrite, histograms combine) and that clones are fully independent.
+func TestRegistryMergeAndClone(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("retired").Add(10)
+	a.Gauge("rate").Set(1.0)
+	a.Histogram("lat").Observe(5)
+
+	b := NewRegistry()
+	b.Counter("retired").Add(32)
+	b.Counter("cycles").Add(7)
+	b.Gauge("rate").Set(2.5)
+	b.Histogram("lat").Observe(9)
+
+	a.Merge(b)
+	if got := a.Counter("retired").Value(); got != 42 {
+		t.Errorf("merged counter = %d, want 42", got)
+	}
+	if got := a.Counter("cycles").Value(); got != 7 {
+		t.Errorf("new-name counter = %d, want 7", got)
+	}
+	if got := a.Gauge("rate").Value(); got != 2.5 {
+		t.Errorf("merged gauge = %g, want last-merge value 2.5", got)
+	}
+	if got := a.Histogram("lat").Count(); got != 2 {
+		t.Errorf("merged histogram count = %d, want 2", got)
+	}
+
+	c := a.Clone()
+	a.Counter("retired").Add(1)
+	a.Gauge("rate").Set(9)
+	a.Histogram("lat").Observe(1)
+	if c.Counter("retired").Value() != 42 || c.Gauge("rate").Value() != 2.5 || c.Histogram("lat").Count() != 2 {
+		t.Error("clone shares state with its source")
+	}
+	if got, want := fmt.Sprint(c.Names()), fmt.Sprint(a.Names()); got != want {
+		t.Errorf("clone order %v, want %v", got, want)
+	}
+}
+
+// TestRegistryMergeKindConflict checks that merging a name registered as a
+// different kind panics, same as direct misuse of the registry.
+func TestRegistryMergeKindConflict(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x")
+	b := NewRegistry()
+	b.Gauge("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("merge across kinds did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+// TestSharedRegistryConcurrent hammers one SharedRegistry from 8 goroutines
+// mixing every mutator with snapshots and merges; run under -race this is
+// the package's data-race canary, and the final counts are checked exactly.
+func TestSharedRegistryConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 2000
+	)
+	s := NewSharedRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			private := NewRegistry()
+			private.Counter("merged").Add(1)
+			private.Histogram("lat").Observe(int64(g))
+			for i := 0; i < iters; i++ {
+				s.Add("adds", 1)
+				s.SetGauge("gauge", float64(g))
+				s.Observe("lat", int64(i%100))
+				s.Do(func(r *Registry) {
+					r.Counter("batched").Add(1)
+					r.Gauge("batched_gauge").Set(float64(i))
+				})
+				if i%100 == 0 {
+					snap := s.Snapshot()
+					if snap.Counter("adds").Value() < 0 {
+						t.Error("negative counter in snapshot")
+					}
+					// The snapshot is private: mutating it must not affect s.
+					snap.Counter("adds").Add(1 << 40)
+				}
+			}
+			s.Merge(private)
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if got := snap.Counter("adds").Value(); got != goroutines*iters {
+		t.Errorf("adds = %d, want %d", got, goroutines*iters)
+	}
+	if got := snap.Counter("batched").Value(); got != goroutines*iters {
+		t.Errorf("batched = %d, want %d", got, goroutines*iters)
+	}
+	if got := snap.Counter("merged").Value(); got != goroutines {
+		t.Errorf("merged = %d, want %d", got, goroutines)
+	}
+	if got := snap.Histogram("lat").Count(); got != uint64(goroutines*iters+goroutines) {
+		t.Errorf("lat count = %d, want %d", got, goroutines*iters+goroutines)
+	}
+}

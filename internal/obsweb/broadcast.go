@@ -1,0 +1,80 @@
+package obsweb
+
+import "sync"
+
+// broadcaster fans frames out to SSE subscribers without ever blocking the
+// publisher. Each subscriber owns a one-frame buffered channel: publish
+// tries a non-blocking send, and when the buffer is still full from the
+// last tick it evicts the stale frame, installs the newest, and counts a
+// drop — a slow client skips ahead rather than slowing the loop or its
+// peers down.
+type broadcaster struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	dropped int64
+	onDrop  func(total int64)
+}
+
+func newBroadcaster(onDrop func(total int64)) *broadcaster {
+	return &broadcaster{subs: make(map[chan []byte]struct{}), onDrop: onDrop}
+}
+
+// subscribe registers a new one-frame subscription channel.
+func (b *broadcaster) subscribe() chan []byte {
+	ch := make(chan []byte, 1)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes ch; pending frames are left for the GC.
+func (b *broadcaster) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// empty reports whether nobody is subscribed.
+func (b *broadcaster) empty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs) == 0
+}
+
+// publish delivers frame to every subscriber, newest-wins per channel.
+func (b *broadcaster) publish(frame []byte) {
+	b.mu.Lock()
+	var dropped int64
+	for ch := range b.subs {
+		select {
+		case ch <- frame:
+			continue
+		default:
+		}
+		// Buffer full: evict the stale frame (the subscriber may race us and
+		// drain it first, in which case the send below just succeeds).
+		select {
+		case <-ch:
+			b.dropped++
+			dropped = b.dropped
+		default:
+		}
+		select {
+		case ch <- frame:
+		default:
+		}
+	}
+	onDrop := b.onDrop
+	b.mu.Unlock()
+	if dropped > 0 && onDrop != nil {
+		onDrop(dropped)
+	}
+}
+
+// droppedTotal returns how many frames were evicted unread.
+func (b *broadcaster) droppedTotal() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

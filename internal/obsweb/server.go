@@ -1,0 +1,310 @@
+// Package obsweb serves the simulator's observability live over HTTP: the
+// shared metrics registry as Prometheus text exposition, the sweep progress
+// tracker as JSON and as a Server-Sent-Events stream, health/readiness
+// probes, and the runtime's pprof endpoints. It is the first network-facing
+// subsystem of the codebase and is stdlib-only, like everything else.
+//
+// The server reads exclusively through obs.SharedRegistry.Snapshot and a
+// caller-supplied progress-snapshot closure, so scrapes never contend with
+// the single-goroutine hot path of a running pipeline — the worker pool
+// publishes into the shared registry, the server copies out of it.
+//
+// Endpoints:
+//
+//	GET /metrics          Prometheus text format 0.0.4
+//	GET /healthz          liveness: 200 "ok" while the process runs
+//	GET /readyz           readiness: 200 once serving, 503 before/during shutdown
+//	GET /progress         one progress snapshot as JSON
+//	GET /progress/stream  SSE: one "data:" frame per interval; slow clients
+//	                      skip to the newest frame instead of blocking anyone
+//	GET /debug/pprof/*    net/http/pprof (profile, heap, trace, ...)
+package obsweb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// MetricSSEDropped counts SSE frames skipped because a client's buffer was
+// still full at publish time; published into the shared registry, so the
+// exposition itself reports streaming health.
+const MetricSSEDropped = "obsweb.sse_dropped_frames"
+
+// DefaultStreamInterval is the SSE push period when Config leaves it zero.
+const DefaultStreamInterval = 500 * time.Millisecond
+
+// Config wires a Server to its data sources. The zero value of optional
+// fields disables the corresponding endpoints.
+type Config struct {
+	// Metrics backs GET /metrics; nil serves an empty exposition.
+	Metrics *obs.SharedRegistry
+	// Namespace prefixes every exposed metric name; empty means "valuespec".
+	Namespace string
+	// Progress returns the JSON-marshalable snapshot served by /progress
+	// and streamed by /progress/stream; nil disables both endpoints. It is
+	// called from server goroutines and must be goroutine-safe.
+	Progress func() any
+	// StreamInterval is the SSE push period; <= 0 means
+	// DefaultStreamInterval.
+	StreamInterval time.Duration
+}
+
+// Server is the live observability HTTP server. Create with New, expose
+// with Start (or mount Handler in a server of your own), stop with Shutdown
+// — or let the context passed to Start do it.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	srv   *http.Server
+	ln    net.Listener
+	ready atomic.Bool
+
+	bc       *broadcaster
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a server over cfg and starts its SSE broadcast loop (a no-op
+// until a client subscribes). Callers must eventually Shutdown even if they
+// never Start, to stop that loop.
+func New(cfg Config) *Server {
+	if cfg.Namespace == "" {
+		cfg.Namespace = "valuespec"
+	}
+	if cfg.StreamInterval <= 0 {
+		cfg.StreamInterval = DefaultStreamInterval
+	}
+	s := &Server{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.Progress != nil {
+		s.mux.HandleFunc("/progress", s.handleProgress)
+		s.mux.HandleFunc("/progress/stream", s.handleStream)
+	}
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Progress != nil {
+		s.bc = newBroadcaster(s.onDroppedFrame)
+		s.wg.Add(1)
+		go s.streamLoop()
+	}
+	return s
+}
+
+// Handler returns the server's route table, for mounting under an external
+// http.Server (tests use net/http/httptest around it).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (e.g. "127.0.0.1:9090"; port 0 picks a free one — read
+// the result from Addr) and serves in the background until Shutdown. When
+// ctx is cancelled the server shuts itself down gracefully, bounded by
+// shutdownGrace.
+func (s *Server) Start(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// ErrServerClosed is the normal Shutdown result; real accept errors
+		// surface to clients as connection failures, which the probes catch.
+		_ = s.srv.Serve(ln)
+	}()
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+				defer cancel()
+				_ = s.Shutdown(sctx)
+			case <-s.stop:
+			}
+		}()
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// shutdownGrace bounds the context-cancel shutdown path.
+const shutdownGrace = 5 * time.Second
+
+// Addr returns the bound listen address ("host:port"), or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// SetReady flips the /readyz answer; Start sets it, Shutdown clears it.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Shutdown stops the SSE loop, closes every stream, and gracefully shuts
+// the HTTP server down within ctx. Safe to call multiple times and without
+// a prior Start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.stopOnce.Do(func() { close(s.stop) })
+	var err error
+	if s.srv != nil {
+		err = s.srv.Shutdown(ctx)
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "valuespec live observability\n\n"+
+		"  /metrics          Prometheus text exposition\n"+
+		"  /healthz          liveness probe\n"+
+		"  /readyz           readiness probe\n"+
+		"  /progress         sweep progress snapshot (JSON)\n"+
+		"  /progress/stream  sweep progress stream (SSE)\n"+
+		"  /debug/pprof/     runtime profiles\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := obs.NewRegistry()
+	if s.cfg.Metrics != nil {
+		snap = s.cfg.Metrics.Snapshot()
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	// Snapshot-then-write means a slow scraper holds no lock anywhere.
+	_ = obs.WritePrometheus(w, snap, s.cfg.Namespace)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cfg.Progress())
+}
+
+// handleStream serves one SSE subscriber: an immediate frame so clients see
+// state without waiting an interval, then one frame per broadcast tick. The
+// subscriber's buffer holds a single frame — when the client reads slower
+// than the tick, the broadcaster replaces the stale frame with the newest
+// and counts the drop, so no client ever applies backpressure to the
+// broadcast loop or to other clients.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	frame, err := s.frame()
+	if err != nil {
+		return
+	}
+	if _, err := w.Write(frame); err != nil {
+		return
+	}
+	fl.Flush()
+
+	ch := s.bc.subscribe()
+	defer s.bc.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// streamLoop marshals one frame per interval and fans it out; it idles
+// (skipping even the marshal) while nobody is subscribed.
+func (s *Server) streamLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.StreamInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if s.bc.empty() {
+				continue
+			}
+			frame, err := s.frame()
+			if err != nil {
+				continue
+			}
+			s.bc.publish(frame)
+		}
+	}
+}
+
+// frame renders the current progress snapshot as one SSE frame.
+func (s *Server) frame() ([]byte, error) {
+	body, err := json.Marshal(s.cfg.Progress())
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 0, len(body)+8)
+	frame = append(frame, "data: "...)
+	frame = append(frame, body...)
+	frame = append(frame, '\n', '\n')
+	return frame, nil
+}
+
+// onDroppedFrame publishes the drop count so streaming health shows up in
+// the exposition alongside everything else.
+func (s *Server) onDroppedFrame(total int64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.SetCounter(MetricSSEDropped, total)
+	}
+}

@@ -1,0 +1,225 @@
+package obsweb
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// testProgress is a minimal JSON-marshalable snapshot with a monotonically
+// increasing counter, standing in for harness.ProgressSnapshot.
+type testProgress struct {
+	Completed int64 `json:"specs_completed"`
+}
+
+func newTestServer(t *testing.T, interval time.Duration) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	shared := obs.NewSharedRegistry()
+	shared.SetCounter("retired", 42)
+	shared.Observe("sweep.spec_cycles", 17)
+	var n atomic.Int64
+	s := New(Config{
+		Metrics:        shared,
+		Progress:       func() any { return testProgress{Completed: n.Add(1)} },
+		StreamInterval: interval,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts, &n
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestProbesAndIndex(t *testing.T) {
+	s, ts, _ := newTestServer(t, time.Hour)
+	if code, body, _ := get(t, ts.URL+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	// Handler-only servers are not ready until marked (Start does it).
+	if code, _, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before SetReady = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, body, _ := get(t, ts.URL+"/readyz"); code != 200 || body != "ready\n" {
+		t.Errorf("/readyz = %d %q, want 200 ready", code, body)
+	}
+	if code, body, _ := get(t, ts.URL+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q, want endpoint listing", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	for _, want := range []string{
+		"# TYPE valuespec_retired_total counter\nvaluespec_retired_total 42\n",
+		`valuespec_sweep_spec_cycles_bucket{le="+Inf"} 1`,
+		"valuespec_sweep_spec_cycles_sum 17",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestProgressJSON(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	code, body, hdr := get(t, ts.URL+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var p testProgress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if p.Completed < 1 {
+		t.Errorf("completed = %d, want >= 1", p.Completed)
+	}
+}
+
+// TestSSEStream reads two frames from /progress/stream, checks the counts
+// advance monotonically, disconnects, and verifies the server is unharmed.
+func TestSSEStream(t *testing.T) {
+	_, ts, _ := newTestServer(t, 10*time.Millisecond)
+	resp, err := http.Get(ts.URL + "/progress/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var frames []testProgress
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(frames) < 2 {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		body, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			t.Fatalf("non-SSE line %q", line)
+		}
+		var p testProgress
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("decoding frame %q: %v", body, err)
+		}
+		frames = append(frames, p)
+	}
+	resp.Body.Close() // disconnect mid-stream
+	if len(frames) != 2 {
+		t.Fatalf("read %d frames, want 2 (scan err %v)", len(frames), sc.Err())
+	}
+	if frames[1].Completed <= frames[0].Completed {
+		t.Errorf("frames not advancing: %d then %d", frames[0].Completed, frames[1].Completed)
+	}
+	// The abandoned subscription must not wedge the server.
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Errorf("/healthz after disconnect = %d, want 200", code)
+	}
+}
+
+// TestBroadcasterSlowClient pins the drop policy: a full one-frame buffer is
+// evicted in favor of the newest frame, drops are counted, and the publisher
+// never blocks.
+func TestBroadcasterSlowClient(t *testing.T) {
+	var reported int64
+	b := newBroadcaster(func(total int64) { reported = total })
+	slow := b.subscribe()
+	fast := b.subscribe()
+	defer b.unsubscribe(slow)
+
+	b.publish([]byte("a"))
+	<-fast
+	b.publish([]byte("b"))
+	<-fast
+	b.publish([]byte("c"))
+	<-fast
+
+	if got := string(<-slow); got != "c" {
+		t.Errorf("slow client read %q, want newest frame \"c\"", got)
+	}
+	if got := b.droppedTotal(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if reported != 2 {
+		t.Errorf("onDrop reported %d, want 2", reported)
+	}
+	b.unsubscribe(fast)
+	if b.empty() {
+		t.Error("empty with one subscriber left")
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	if code, body, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d (%d bytes), want 200 with content", code, len(body))
+	}
+}
+
+// TestStartShutdownOnContextCancel exercises the real listener path: Start
+// on an ephemeral port, probe readiness, cancel the context, and require
+// the server to drain.
+func TestStartShutdownOnContextCancel(t *testing.T) {
+	s := New(Config{Metrics: obs.NewSharedRegistry()})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	if code, _, _ := get(t, "http://"+addr+"/readyz"); code != 200 {
+		t.Fatalf("/readyz after Start = %d, want 200", code)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get("http://" + addr + "/healthz"); err != nil {
+			return // connection refused: shut down
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting after context cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

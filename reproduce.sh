@@ -31,8 +31,8 @@ fi
 echo "== vet =="
 go vet ./...
 
-echo "== race-enabled harness worker-pool tests =="
-go test -race ./internal/harness/... | tee "$out/race_harness.txt"
+echo "== race-enabled harness + observability tests =="
+go test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness | tee "$out/race_harness.txt"
 
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
@@ -45,6 +45,9 @@ else
 	echo "reproduce.sh: benchcheck FAILED -- see $out/benchcheck.txt" >&2
 	exit 1
 fi
+
+echo "== live observability server smoke test =="
+sh scripts/serve_smoke.sh "$out/serve_smoke"
 
 echo "== Fig. 1 diagrams =="
 go run ./cmd/vpipe | tee "$out/fig1.txt"

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Smoke-test the live observability server end-to-end: start a quick sweep
+# with -serve on an ephemeral port, curl the probes and the Prometheus
+# exposition while it runs, and assert the metrics a dashboard would scrape
+# are actually there. Nonzero exit on any failure.
+#
+# Usage: scripts/serve_smoke.sh [workdir]
+set -eu
+
+dir=${1:-$(mktemp -d)}
+mkdir -p "$dir"
+log="$dir/serve_smoke.log"
+bin="$dir/vsweep"
+
+fail() {
+	echo "serve_smoke: FAIL: $*" >&2
+	echo "serve_smoke: ---- sweep log ----" >&2
+	cat "$log" >&2 || true
+	exit 1
+}
+
+go build -o "$bin" ./cmd/vsweep
+
+"$bin" -quick -fig3 -serve 127.0.0.1:0 >"$log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# The sweep prints its bound address on startup; wait for it.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's|^serving observability on http://\([^ ]*\).*|\1|p' "$log")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "vsweep exited before serving"
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || fail "no 'serving observability' line within 10s"
+echo "serve_smoke: server at http://$addr"
+
+health=$(curl -fsS "http://$addr/healthz") || fail "/healthz unreachable"
+[ "$health" = "ok" ] || fail "/healthz said '$health', want 'ok'"
+
+curl -fsS "http://$addr/readyz" >/dev/null || fail "/readyz not 200"
+
+metrics=$(curl -fsS "http://$addr/metrics") || fail "/metrics unreachable"
+for want in \
+	valuespec_retired_total \
+	valuespec_sweep_specs_total \
+	'valuespec_sweep_spec_cycles_bucket{le="+Inf"}'; do
+	case $metrics in
+	*"$want"*) ;;
+	*) fail "/metrics missing '$want'" ;;
+	esac
+done
+
+curl -fsS "http://$addr/progress" | grep -q '"specs_total"' ||
+	fail "/progress missing specs_total"
+
+# Let the sweep finish so the final summary path runs too.
+wait "$pid" || fail "vsweep exited nonzero"
+trap - EXIT INT TERM
+grep -q "Sweep progress summary" "$log" || fail "no final progress summary"
+echo "serve_smoke: OK (/healthz /readyz /metrics /progress + summary)"
