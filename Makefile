@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke reproduce experiments clean
+.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke jobs-smoke reproduce experiments clean
 
 all: build test
 
@@ -43,12 +43,17 @@ check:
 # worker pool plus the observability stack it publishes through), for quick
 # iteration; `make check` runs the whole suite under -race.
 race-harness:
-	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness
+	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs
 
 # End-to-end smoke test of the live observability server: a quick sweep
 # with -serve, probed over HTTP while it runs.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke test of the job service: vserved durability across a
+# kill/restart, result-store dedup, and vsweep -submit equivalence.
+jobs-smoke:
+	sh scripts/jobs_smoke.sh
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

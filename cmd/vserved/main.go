@@ -1,0 +1,93 @@
+// Command vserved is the simulation job daemon: it serves the internal/jobs
+// API over HTTP, executes submitted sweeps on a worker pool, and keeps every
+// job and result durable under its data directory, so a restarted daemon
+// resumes interrupted work and answers repeated requests from the
+// content-addressed result store without re-simulating.
+//
+// Usage:
+//
+//	vserved -addr 127.0.0.1:9090 -data ./vserved-data
+//	vserved -workers 4 -job-timeout 30m -max-retries 2
+//
+// Endpoints (see docs/SERVICE.md):
+//
+//	POST   /jobs              submit a batch of simulations
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status, with live progress while running
+//	GET    /jobs/{id}/result  stored Stats as JSON (?format=csv for CSV)
+//	DELETE /jobs/{id}         cancel
+//	GET    /metrics /progress /healthz /readyz /debug/pprof/
+//
+// Submit sweeps from the command line with "vsweep -fig3 -submit URL".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"valuespec/internal/harness"
+	"valuespec/internal/jobs"
+	"valuespec/internal/obs"
+	"valuespec/internal/obsweb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vserved: ")
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free one)")
+		dataDir     = flag.String("data", "vserved-data", "durable state directory (jobs and results)")
+		workers     = flag.Int("workers", 2, "jobs executed concurrently (0 = accept and stage only)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded; a request's timeout_seconds overrides)")
+		maxRetries  = flag.Int("max-retries", 2, "re-queues of a failing job before it fails for good")
+		cacheBudget = flag.Int64("trace-cache-budget", 0, "byte budget of the shared trace cache (0 = unbounded)")
+	)
+	flag.Parse()
+	if *cacheBudget > 0 {
+		harness.DefaultTraceCache().SetByteBudget(*cacheBudget)
+	}
+
+	reg := obs.NewSharedRegistry()
+	svc, err := jobs.Open(jobs.Config{
+		DataDir:    *dataDir,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		MaxRetries: *maxRetries,
+		Metrics:    reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := svc.Recovered(); n > 0 {
+		log.Printf("recovered %d interrupted job(s) from %s", n, *dataDir)
+	}
+
+	srv := obsweb.New(obsweb.Config{
+		Metrics:  reg,
+		Progress: func() any { return svc.Snapshot() },
+		Jobs:     svc.Handler(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Start(nil, *addr); err != nil {
+		log.Fatal(err)
+	}
+	svc.Start()
+	// The parseable serving line: scripts read the bound address from it.
+	fmt.Printf("serving jobs on http://%s (data %s, %d workers)\n", srv.Addr(), *dataDir, *workers)
+
+	<-ctx.Done()
+	log.Printf("shutting down: interrupting running jobs (they stay queued for the next start)")
+	svc.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -67,6 +68,7 @@ func main() {
 		all          = flag.Bool("all", false, "run everything")
 		quick        = flag.Bool("quick", false, "restrict sweeps to the 8/48 configuration")
 		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
+		submitURL    = flag.String("submit", "", "run -fig3/-fig4 on a vserved daemon at this URL (e.g. http://127.0.0.1:9090) instead of simulating locally")
 		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /healthz, /readyz, /debug/pprof/")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
 		outDir       = flag.String("out", "", "also write results as CSV and JSON into this directory")
@@ -77,6 +79,19 @@ func main() {
 	flag.Parse()
 	if *noTraceCache {
 		harness.SetTraceCaching(false)
+	}
+	if *submitURL != "" {
+		// Remote execution covers the figure sweeps; the ablations aggregate
+		// through local helpers that drive the worker pool directly.
+		unsupported := *table1 || *fig3detail || *latency || *verification || *invalidation ||
+			*resolution || *forwarding || *wakeup || *selection || *predictors || *confsweep ||
+			*scaling || *geometry || *scope || *branchq || *all
+		if unsupported {
+			log.Fatal("-submit supports only -fig3 and -fig4 (with -quick/-scale/-out/-svg)")
+		}
+		if !*fig3 && !*fig4 {
+			log.Fatal("-submit needs -fig3 or -fig4")
+		}
 	}
 	// Live observability: a SharedRegistry fed by the harness progress
 	// tracker, served over HTTP for the duration of the run.
@@ -161,7 +176,19 @@ func main() {
 	if *fig3 {
 		section("Fig. 3: speculative execution models, average speedup (harmonic mean)")
 		t0 := time.Now()
-		cells, err := harness.Fig3(configs, core.Presets(), harness.PaperSettings(), workloads, *scale)
+		var cells []harness.Fig3Cell
+		var err error
+		if *submitURL != "" {
+			sub := newSubmitter(*submitURL)
+			base, runs := harness.Fig3Specs(configs, core.Presets(), harness.PaperSettings(), workloads, *scale)
+			baseResults, rerr := sub.run("fig3 base", base)
+			check(rerr)
+			results, rerr := sub.run("fig3 models", runs)
+			check(rerr)
+			cells, err = harness.Fig3FromResults(baseResults, results)
+		} else {
+			cells, err = harness.Fig3(configs, core.Presets(), harness.PaperSettings(), workloads, *scale)
+		}
 		check(err)
 		save(*outDir, report.Fig3(cells))
 		var bars []textplot.Bar
@@ -207,7 +234,15 @@ func main() {
 
 	if *fig4 {
 		section("Fig. 4: average prediction accuracy (Great model, real confidence)")
-		cells, err := harness.Fig4(configs, workloads, *scale)
+		var cells []harness.Fig4Cell
+		var err error
+		if *submitURL != "" {
+			results, rerr := newSubmitter(*submitURL).run("fig4", harness.Fig4Specs(configs, workloads, *scale))
+			check(rerr)
+			cells, err = harness.Fig4FromResults(results)
+		} else {
+			cells, err = harness.Fig4(configs, workloads, *scale)
+		}
 		check(err)
 		save(*outDir, report.Fig4(cells))
 		for _, c := range cells {
@@ -428,8 +463,20 @@ func save(dir string, t *report.Table) {
 	}
 }
 
+// check exits non-zero on any sweep error. A *harness.BatchError gets its
+// full failure list printed — one line per failed spec, with its label — so
+// a long sweep that lost a handful of specs says exactly which.
 func check(err error) {
-	if err != nil {
-		log.Fatal(err)
+	if err == nil {
+		return
 	}
+	var be *harness.BatchError
+	if errors.As(err, &be) {
+		log.Printf("%d of %d specs failed:", len(be.Failures), be.Total)
+		for _, f := range be.Failures {
+			log.Printf("  spec %d [%s]: %v", f.Index, f.Spec.Label(), f.Err)
+		}
+		os.Exit(1)
+	}
+	log.Fatal(err)
 }

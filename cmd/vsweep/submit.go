@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"valuespec/internal/harness"
+	"valuespec/internal/jobs"
+)
+
+// submitter runs spec batches on a remote vserved daemon instead of the
+// local worker pool: it posts each batch as one job, polls until the job
+// settles, and converts the stored result set back to harness results. The
+// simulator is deterministic, so figures aggregated from remote Stats are
+// identical to locally computed ones.
+type submitter struct {
+	base   string // daemon URL, e.g. http://127.0.0.1:9090
+	client *http.Client
+}
+
+func newSubmitter(url string) *submitter {
+	return &submitter{
+		base:   strings.TrimRight(url, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// run executes one batch remotely, blocking until the job finishes.
+func (s *submitter) run(name string, specs []harness.Spec) ([]harness.Result, error) {
+	req := jobs.Request{Name: name, Specs: make([]jobs.SimSpec, len(specs))}
+	for i, hs := range specs {
+		ss, err := jobs.FromHarness(hs)
+		if err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+		req.Specs[i] = ss
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Post(s.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submitting %s: %w", name, err)
+	}
+	var view jobs.JobView
+	if err := decodeOrError(resp, &view); err != nil {
+		return nil, fmt.Errorf("submitting %s: %w", name, err)
+	}
+	fmt.Printf("submitted %s as job %s (%d specs)\n", name, view.ID, len(specs))
+
+	job, err := s.wait(view.ID)
+	if err != nil {
+		return nil, err
+	}
+	if job.State != jobs.StateDone {
+		return nil, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, name, job.State, job.Error)
+	}
+
+	resp, err = s.client.Get(s.base + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		return nil, fmt.Errorf("fetching result of %s: %w", job.ID, err)
+	}
+	var rs jobs.ResultSet
+	if err := decodeOrError(resp, &rs); err != nil {
+		return nil, fmt.Errorf("fetching result of %s: %w", job.ID, err)
+	}
+	if len(rs.Results) != len(specs) {
+		return nil, fmt.Errorf("job %s returned %d results for %d specs", job.ID, len(rs.Results), len(specs))
+	}
+	out := make([]harness.Result, len(rs.Results))
+	for i, r := range rs.Results {
+		hs, err := r.Spec.ToHarness()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = harness.Result{Spec: hs, Stats: r.Stats}
+	}
+	return out, nil
+}
+
+// wait polls the job until it reaches a terminal state.
+func (s *submitter) wait(id string) (jobs.Job, error) {
+	for {
+		resp, err := s.client.Get(s.base + "/jobs/" + id)
+		if err != nil {
+			return jobs.Job{}, fmt.Errorf("polling job %s: %w", id, err)
+		}
+		var view jobs.JobView
+		if err := decodeOrError(resp, &view); err != nil {
+			return jobs.Job{}, fmt.Errorf("polling job %s: %w", id, err)
+		}
+		if view.State.Terminal() {
+			return view.Job, nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// decodeOrError decodes a 2xx JSON body into v, or surfaces the API's JSON
+// error message.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"valuespec/internal/bench"
 	"valuespec/internal/emu"
@@ -24,23 +25,45 @@ type traceEntry struct {
 	once sync.Once
 	recs []trace.Record
 	err  error
+
+	// Accounting, guarded by the cache mutex.
+	bytes   int64 // 0 until the recording finishes and is sized
+	lastUse int64 // cache clock at the most recent Source call
 }
+
+// recordBytes is the in-memory footprint of one trace.Record, used to charge
+// recordings against the cache's byte budget.
+const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
 
 // TraceCache memoizes the functional emulation of each (workload, scale)
 // pair so a sweep emulates every workload once and replays the recorded
 // stream for all subsequent specs. Safe for concurrent use; each caller gets
-// an independent read cursor over the shared record slice. Hit/miss/record
-// counters are published through an internal obs.Registry.
+// an independent read cursor over the shared record slice.
+// Hit/miss/record/eviction counters are published through an internal
+// obs.Registry.
+//
+// Memory is bounded by an optional byte budget (SetByteBudget): when the
+// held recordings exceed it, least-recently-used entries are dropped until
+// the cache fits again, so a long-lived daemon can serve arbitrarily many
+// (workload, scale) pairs in constant space. Evicted recordings stay valid
+// for readers that already hold a replay cursor — eviction only forgets the
+// cache's reference; the garbage collector reclaims the records once the
+// last cursor drops them.
 type TraceCache struct {
 	mu      sync.Mutex
 	entries map[traceKey]*traceEntry
+	clock   int64 // LRU tick, incremented per Source call
+	bytes   int64 // total held recording bytes
+	budget  int64 // 0 = unbounded
 	reg     *obs.Registry
 	hits    *obs.Counter
 	misses  *obs.Counter
 	records *obs.Counter
+	evicts  *obs.Counter
 }
 
-// NewTraceCache returns an empty cache with a fresh metrics registry.
+// NewTraceCache returns an empty, unbounded cache with a fresh metrics
+// registry.
 func NewTraceCache() *TraceCache {
 	reg := obs.NewRegistry()
 	return &TraceCache{
@@ -49,7 +72,29 @@ func NewTraceCache() *TraceCache {
 		hits:    reg.Counter("trace_cache.hits"),
 		misses:  reg.Counter("trace_cache.misses"),
 		records: reg.Counter("trace_cache.records"),
+		evicts:  reg.Counter("trace_cache.evictions"),
 	}
+}
+
+// SetByteBudget bounds the recordings the cache may hold, in bytes; 0 (the
+// default) removes the bound. Shrinking below the current footprint evicts
+// immediately. A single recording larger than the budget is handed to its
+// caller but not retained.
+func (c *TraceCache) SetByteBudget(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.budget = n
+	c.evictLocked()
+}
+
+// ByteBudget returns the configured budget (0 = unbounded).
+func (c *TraceCache) ByteBudget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
 }
 
 // Source returns a fresh replay cursor over the recorded trace of w at the
@@ -63,12 +108,15 @@ func (c *TraceCache) Source(w bench.Workload, scale int) (trace.Source, error) {
 	}
 	key := traceKey{workload: w.Name, scale: scale}
 	c.mu.Lock()
+	c.clock++
+	now := c.clock
 	e, ok := c.entries[key]
 	if !ok {
-		e = &traceEntry{}
+		e = &traceEntry{lastUse: now}
 		c.entries[key] = e
 		c.misses.Add(1)
 	} else {
+		e.lastUse = now
 		c.hits.Add(1)
 	}
 	c.mu.Unlock()
@@ -81,12 +129,43 @@ func (c *TraceCache) Source(w bench.Workload, scale int) (trace.Source, error) {
 		e.recs = trace.Collect(m, 0)
 		c.mu.Lock()
 		c.records.Add(int64(len(e.recs)))
+		e.bytes = int64(len(e.recs)) * recordBytes
+		c.bytes += e.bytes
+		c.evictLocked()
 		c.mu.Unlock()
 	})
 	if e.err != nil {
 		return nil, e.err
 	}
 	return trace.NewMemorySource(e.recs), nil
+}
+
+// evictLocked drops least-recently-used sized entries until the footprint
+// fits the budget again. Entries still recording (bytes 0) are skipped —
+// they are charged, and considered for eviction, once sized. Caller holds
+// c.mu.
+func (c *TraceCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		var victimKey traceKey
+		var victim *traceEntry
+		for k, e := range c.entries {
+			if e.bytes == 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victimKey)
+		c.bytes -= victim.bytes
+		c.evicts.Add(1)
+	}
 }
 
 // Hits returns how many Source calls were served from an existing recording.
@@ -103,17 +182,33 @@ func (c *TraceCache) Misses() int64 {
 	return c.misses.Value()
 }
 
-// CachedRecords returns the total number of trace records held.
+// CachedRecords returns the total number of trace records ever recorded
+// (a counter; eviction does not decrease it).
 func (c *TraceCache) CachedRecords() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.records.Value()
 }
 
+// CachedBytes returns the in-memory footprint of the recordings currently
+// held.
+func (c *TraceCache) CachedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions returns how many recordings the byte budget has dropped.
+func (c *TraceCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicts.Value()
+}
+
 // Registry exposes the cache's metrics registry (trace_cache.hits,
-// trace_cache.misses, trace_cache.records). The registry itself is not
-// goroutine-safe: read it only while no simulations are in flight, or use
-// the locked accessors above.
+// trace_cache.misses, trace_cache.records, trace_cache.evictions). The
+// registry itself is not goroutine-safe: read it only while no simulations
+// are in flight, or use the locked accessors above.
 func (c *TraceCache) Registry() *obs.Registry { return c.reg }
 
 // defaultTraceCache backs SimulateAll; traceCachingEnabled is the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"valuespec/internal/bench"
@@ -45,14 +46,14 @@ func BenchmarkSimulateAllCached(b *testing.B) {
 	specs := fig3Batch(12)
 	b.Run("uncached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := simulateAll(specs, nil); err != nil {
+			if _, err := simulateAll(context.Background(), specs, nil, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := simulateAll(specs, NewTraceCache()); err != nil {
+			if _, err := simulateAll(context.Background(), specs, NewTraceCache(), nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"testing"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/trace"
+)
+
+// TestTraceCacheByteBudget checks the memory bound of the cache: recordings
+// beyond the budget evict the least-recently-used entry, the eviction counter
+// moves, and an evicted key re-records on its next use.
+func TestTraceCacheByteBudget(t *testing.T) {
+	ws := bench.All()
+	if len(ws) < 3 {
+		t.Fatal("need at least 3 workloads")
+	}
+	c := NewTraceCache()
+
+	// Record two workloads to learn their real footprint, then budget for
+	// exactly those two entries; a third recording must overflow.
+	if _, err := c.Source(ws[0], testScale); err != nil {
+		t.Fatal(err)
+	}
+	if c.CachedBytes() <= 0 {
+		t.Fatalf("CachedBytes = %d after one recording, want > 0", c.CachedBytes())
+	}
+	if _, err := c.Source(ws[1], testScale); err != nil {
+		t.Fatal(err)
+	}
+	c.SetByteBudget(c.CachedBytes())
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions = %d with two entries at budget, want 0", c.Evictions())
+	}
+	// Touch ws[0] so ws[1] is the LRU entry, then overflow with ws[2].
+	if _, err := c.Source(ws[0], testScale); err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.Source(ws[2], testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evictions() == 0 {
+		t.Error("no eviction despite exceeding the byte budget")
+	}
+	if got, budget := c.CachedBytes(), c.ByteBudget(); got > budget {
+		t.Errorf("CachedBytes = %d exceeds budget %d after eviction", got, budget)
+	}
+	// The replay cursor handed out for the overflowing entry stays usable.
+	if _, ok := src.Next(); !ok {
+		t.Error("replay cursor empty after eviction pass")
+	}
+
+	// The evicted (LRU) key re-records: a fresh miss, not a hit.
+	misses := c.Misses()
+	if _, err := c.Source(ws[1], testScale); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses() != misses+1 {
+		t.Errorf("misses = %d after re-requesting the evicted key, want %d", c.Misses(), misses+1)
+	}
+
+	// A budget smaller than any single recording serves but retains nothing.
+	c.SetByteBudget(1)
+	if c.CachedBytes() > 1 {
+		t.Errorf("CachedBytes = %d after shrinking budget to 1", c.CachedBytes())
+	}
+	src, err = c.Source(ws[0], testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Next(); !ok {
+		t.Error("oversized recording not served to its caller")
+	}
+	if c.CachedBytes() > 1 {
+		t.Errorf("oversized recording retained: CachedBytes = %d", c.CachedBytes())
+	}
+}
+
+// TestTraceCacheBudgetReplayIdentical checks that eviction never corrupts
+// replays: with a budget forcing constant eviction, replayed streams stay
+// identical to a fresh recording.
+func TestTraceCacheBudgetReplayIdentical(t *testing.T) {
+	w := bench.All()[0]
+	c := NewTraceCache()
+	c.SetByteBudget(1) // every recording evicts immediately after use
+	src, err := c.Source(w, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(src, 0)
+	ref, err := NewTraceCache().Source(w, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Collect(ref, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replay under eviction has %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs under eviction: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -11,8 +11,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +89,20 @@ type Spec struct {
 	// Phases enables the wall-time per-stage profile; the breakdown is
 	// returned in Result.Phases.
 	Phases bool
+}
+
+// Label renders the spec compactly for error listings and job views:
+// "workload@scale width/window model setting" ("base" when no model).
+func (s Spec) Label() string {
+	scale := s.Scale
+	if scale <= 0 {
+		scale = s.Workload.DefaultScale
+	}
+	model := "base"
+	if s.Model != nil {
+		model = s.Model.Name + " " + s.Setting.String()
+	}
+	return fmt.Sprintf("%s@%d %s %s", s.Workload.Name, scale, ConfigName(s.Config), model)
 }
 
 // Result is the outcome of one simulation.
@@ -176,44 +192,96 @@ func simulate(spec Spec, cache *TraceCache) (Result, error) {
 	return res, nil
 }
 
+// SpecFailure is one failed spec of a batch: its input position, the spec
+// itself, and the error it produced.
+type SpecFailure struct {
+	Index int
+	Spec  Spec
+	Err   error
+}
+
+// BatchError aggregates every spec failure of one SimulateAll batch, so
+// callers can report the complete failed-spec list (and exit non-zero)
+// rather than only the first error. Failures are ordered by input index.
+type BatchError struct {
+	Total    int // specs in the batch
+	Failures []SpecFailure
+}
+
+func (e *BatchError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: %d of %d specs failed:", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  spec %d [%s]: %v", f.Index, f.Spec.Label(), f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the first failure for errors.Is/As chains.
+func (e *BatchError) Unwrap() error {
+	if len(e.Failures) == 0 {
+		return nil
+	}
+	return e.Failures[0].Err
+}
+
 // SimulateAll runs the given specs on a fixed pool of GOMAXPROCS workers and
 // returns results in input order. Each workload is emulated at most once per
 // (workload, scale): subsequent specs replay the recorded trace through the
 // process-wide TraceCache (disable with SetTraceCaching(false), the
-// -no-trace-cache flag in cmd/vsweep). The first error cancels the batch —
-// workers stop claiming new specs and the error is returned once in-flight
-// simulations drain.
+// -no-trace-cache flag in cmd/vsweep). A failing spec does not abort the
+// batch: every spec runs, and all failures come back together as a
+// *BatchError (alongside the partial results of the specs that succeeded).
 func SimulateAll(specs []Spec) ([]Result, error) {
+	return SimulateAllCtx(context.Background(), specs)
+}
+
+// SimulateAllCtx is SimulateAll bounded by a context: when ctx is cancelled
+// (or its deadline passes) workers stop claiming new specs, in-flight
+// simulations drain, and the context's error is returned. Cancellation
+// granularity is one spec — an individual simulation is bounded by its
+// Config.MaxCycles, not by ctx.
+func SimulateAllCtx(ctx context.Context, specs []Spec) ([]Result, error) {
 	var cache *TraceCache
 	if TraceCaching() {
 		cache = defaultTraceCache
 	}
-	return simulateAll(specs, cache)
+	return simulateAll(ctx, specs, cache, ActiveProgress())
 }
 
-func simulateAll(specs []Spec, cache *TraceCache) ([]Result, error) {
+// SimulateBatch runs one batch with an explicit per-batch progress tracker
+// (nil disables tracking) instead of the process-wide one installed with
+// SetProgress. The jobs service uses this to give every job its own live
+// Progress snapshot while many jobs run concurrently.
+func SimulateBatch(ctx context.Context, specs []Spec, progress *Progress) ([]Result, error) {
+	var cache *TraceCache
+	if TraceCaching() {
+		cache = defaultTraceCache
+	}
+	return simulateAll(ctx, specs, cache, progress)
+}
+
+func simulateAll(ctx context.Context, specs []Spec, cache *TraceCache, progress *Progress) ([]Result, error) {
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	// Live progress tracking, when cmd-level code installed a tracker. The
-	// worker loop reports spec starts, completions and failures as they
-	// happen; specs never claimed after a cancellation stay visibly pending.
-	progress := ActiveProgress()
+	// Live progress tracking, when a tracker is attached. The worker loop
+	// reports spec starts, completions and failures as they happen; specs
+	// never claimed after a cancellation stay visibly pending.
 	if progress != nil {
 		progress.setCache(cache)
 		progress.BatchStart(len(specs))
 	}
 	var next atomic.Int64
-	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(specs) {
 					return
@@ -229,19 +297,28 @@ func simulateAll(specs []Spec, cache *TraceCache) ([]Result, error) {
 				}
 				if err != nil {
 					errs[i] = err
-					failed.Store(true)
-					return
+					continue
 				}
 				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
-	// Report the earliest error in input order for determinism.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: batch aborted: %w", err)
+	}
+	var batchErr *BatchError
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		if batchErr == nil {
+			batchErr = &BatchError{Total: len(specs)}
+		}
+		batchErr.Failures = append(batchErr.Failures, SpecFailure{Index: i, Spec: specs[i], Err: err})
+	}
+	if batchErr != nil {
+		return results, batchErr
 	}
 	return results, nil
 }
@@ -290,29 +367,34 @@ type Fig3Cell struct {
 // (configuration, then setting, then model). scale <= 0 selects workload
 // defaults.
 func Fig3(configs []cpu.Config, models []core.Model, settings []Setting, workloads []bench.Workload, scale int) ([]Fig3Cell, error) {
-	// Base runs: one per (config, workload).
-	var baseSpecs []Spec
-	for _, cfg := range configs {
-		for _, w := range workloads {
-			baseSpecs = append(baseSpecs, Spec{Workload: w, Scale: scale, Config: cfg})
-		}
-	}
+	baseSpecs, runSpecs := Fig3Specs(configs, models, settings, workloads, scale)
 	baseResults, err := SimulateAll(baseSpecs)
 	if err != nil {
 		return nil, err
 	}
-	baseIPC := make(map[string]float64, len(baseResults))
-	for _, r := range baseResults {
-		baseIPC[ConfigName(r.Spec.Config)+"|"+r.Spec.Workload.Name] = r.IPC()
+	results, err := SimulateAll(runSpecs)
+	if err != nil {
+		return nil, err
 	}
+	return Fig3FromResults(baseResults, results)
+}
 
-	// Speculative runs.
-	var specs []Spec
+// Fig3Specs expands the Fig. 3 sweep into its simulation plan: the base runs
+// (one per config x workload) and the speculative runs (config x setting x
+// model x workload). Running both spec lists — locally through SimulateAll
+// or remotely through the jobs service — and handing the results to
+// Fig3FromResults reproduces Fig3 exactly.
+func Fig3Specs(configs []cpu.Config, models []core.Model, settings []Setting, workloads []bench.Workload, scale int) (base, runs []Spec) {
+	for _, cfg := range configs {
+		for _, w := range workloads {
+			base = append(base, Spec{Workload: w, Scale: scale, Config: cfg})
+		}
+	}
 	for _, cfg := range configs {
 		for _, set := range settings {
 			for i := range models {
 				for _, w := range workloads {
-					specs = append(specs, Spec{
+					runs = append(runs, Spec{
 						Workload: w, Scale: scale, Config: cfg,
 						Model: &models[i], Setting: set,
 					})
@@ -320,9 +402,15 @@ func Fig3(configs []cpu.Config, models []core.Model, settings []Setting, workloa
 			}
 		}
 	}
-	results, err := SimulateAll(specs)
-	if err != nil {
-		return nil, err
+	return base, runs
+}
+
+// Fig3FromResults aggregates pre-computed simulation results (in the order
+// Fig3Specs produced them) into the Fig. 3 cells.
+func Fig3FromResults(baseResults, results []Result) ([]Fig3Cell, error) {
+	baseIPC := make(map[string]float64, len(baseResults))
+	for _, r := range baseResults {
+		baseIPC[ConfigName(r.Spec.Config)+"|"+r.Spec.Workload.Name] = r.IPC()
 	}
 
 	cells := make(map[string]*Fig3Cell)
@@ -378,6 +466,16 @@ type Fig4Cell struct {
 // runs for each configuration and update timing, averaging the per-benchmark
 // fractions arithmetically as the paper does.
 func Fig4(configs []cpu.Config, workloads []bench.Workload, scale int) ([]Fig4Cell, error) {
+	results, err := SimulateAll(Fig4Specs(configs, workloads, scale))
+	if err != nil {
+		return nil, err
+	}
+	return Fig4FromResults(results)
+}
+
+// Fig4Specs expands the Fig. 4 sweep into its simulation plan: the
+// real-confidence Great-model runs for each configuration and update timing.
+func Fig4Specs(configs []cpu.Config, workloads []bench.Workload, scale int) []Spec {
 	great := core.Great()
 	var specs []Spec
 	for _, cfg := range configs {
@@ -390,10 +488,12 @@ func Fig4(configs []cpu.Config, workloads []bench.Workload, scale int) ([]Fig4Ce
 			}
 		}
 	}
-	results, err := SimulateAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	return specs
+}
+
+// Fig4FromResults aggregates pre-computed simulation results (in Fig4Specs
+// order) into the Fig. 4 cells.
+func Fig4FromResults(results []Result) ([]Fig4Cell, error) {
 	type acc struct {
 		cell Fig4Cell
 		n    int

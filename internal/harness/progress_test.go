@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"valuespec/internal/bench"
@@ -31,7 +33,7 @@ func TestProgressTracksSimulateAll(t *testing.T) {
 	defer SetProgress(nil)
 
 	cache := NewTraceCache()
-	results, err := simulateAll(specs, cache)
+	results, err := simulateAll(context.Background(), specs, cache, pr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +80,9 @@ func TestProgressTracksSimulateAll(t *testing.T) {
 	}
 }
 
-// TestProgressFailurePath checks the cancellation accounting: a failing spec
-// counts as failed, the batch total still covers every accepted spec, and
-// unclaimed specs remain visibly pending (total > completed + failed is
-// allowed; completed never exceeds the successes).
+// TestProgressFailurePath checks the failure accounting: a failing spec
+// counts as failed while the rest of the batch runs to completion, and the
+// batch total covers every accepted spec.
 func TestProgressFailurePath(t *testing.T) {
 	w, err := bench.ByName("compress")
 	if err != nil {
@@ -94,7 +95,7 @@ func TestProgressFailurePath(t *testing.T) {
 	SetProgress(pr)
 	defer SetProgress(nil)
 
-	if _, err := simulateAll([]Spec{bad, good, good, good}, nil); err == nil {
+	if _, err := simulateAll(context.Background(), []Spec{bad, good, good, good}, nil, pr); err == nil {
 		t.Fatal("expected an error from the invalid config")
 	}
 	snap := pr.Snapshot()
@@ -113,6 +114,74 @@ func TestProgressFailurePath(t *testing.T) {
 	}
 	if got := shared.Snapshot().Counter(MetricSpecsFailed).Value(); got != 1 {
 		t.Errorf("published failed = %d, want 1", got)
+	}
+}
+
+// TestProgressSpecDoneError drives the failure path directly: SpecDone with
+// an error counts the spec as failed and contributes nothing to the run
+// totals, the EWMA, or the per-spec cycle histogram — a failed simulation
+// has no cycles worth averaging.
+func TestProgressSpecDoneError(t *testing.T) {
+	shared := obs.NewSharedRegistry()
+	pr := NewProgress(shared)
+	pr.BatchStart(2)
+	pr.SpecStart()
+	pr.SpecDone(nil, errors.New("boom"), 5_000_000_000)
+	snap := pr.Snapshot()
+	if snap.SpecsFailed != 1 || snap.SpecsCompleted != 0 || snap.SpecsInFlight != 0 {
+		t.Errorf("failed/completed/inflight = %d/%d/%d, want 1/0/0",
+			snap.SpecsFailed, snap.SpecsCompleted, snap.SpecsInFlight)
+	}
+	if snap.CyclesTotal != 0 || snap.Retired != 0 {
+		t.Errorf("failed spec leaked totals: cycles %d retired %d", snap.CyclesTotal, snap.Retired)
+	}
+	if snap.SpecSecEWMA != 0 {
+		t.Errorf("failed spec fed the EWMA: %g", snap.SpecSecEWMA)
+	}
+	reg := shared.Snapshot()
+	if got := reg.Counter(MetricSpecsFailed).Value(); got != 1 {
+		t.Errorf("published failed = %d, want 1", got)
+	}
+	if got := reg.Histogram(MetricSpecCycles).Count(); got != 0 {
+		t.Errorf("failed spec sampled the cycle histogram: %d", got)
+	}
+
+	// Stats attached to an errored spec are ignored too (a partial run).
+	pr.SpecStart()
+	pr.SpecDone(&cpu.Stats{Cycles: 100, Retired: 50}, errors.New("late failure"), 0)
+	if snap = pr.Snapshot(); snap.CyclesTotal != 0 || snap.SpecsFailed != 2 {
+		t.Errorf("errored spec with stats: cycles %d failed %d, want 0/2", snap.CyclesTotal, snap.SpecsFailed)
+	}
+}
+
+// TestProgressETABeforeCompletion pins the estimate before any spec has
+// finished: with no duration samples there is nothing to extrapolate from,
+// so the ETA reads zero (unknown) rather than a fabricated number — even
+// with work queued and in flight.
+func TestProgressETABeforeCompletion(t *testing.T) {
+	pr := NewProgress(obs.NewSharedRegistry())
+	pr.BatchStart(100)
+	pr.SpecStart()
+	snap := pr.Snapshot()
+	if snap.ETASeconds != 0 {
+		t.Errorf("ETA = %g before any completion, want 0", snap.ETASeconds)
+	}
+	if snap.Done {
+		t.Error("Done before Finish")
+	}
+	if snap.SpecsInFlight != 1 || snap.SpecsTotal != 100 {
+		t.Errorf("inflight/total = %d/%d, want 1/100", snap.SpecsInFlight, snap.SpecsTotal)
+	}
+	// Failures alone still leave the ETA unknown: no successful duration.
+	pr.SpecDone(nil, errors.New("boom"), 1_000_000_000)
+	if eta := pr.Snapshot().ETASeconds; eta != 0 {
+		t.Errorf("ETA = %g after only failures, want 0", eta)
+	}
+	// The first success turns the estimate on.
+	pr.SpecStart()
+	pr.SpecDone(&cpu.Stats{}, nil, 1_000_000_000)
+	if eta := pr.Snapshot().ETASeconds; eta <= 0 {
+		t.Errorf("ETA = %g after a completion, want > 0", eta)
 	}
 }
 

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"valuespec/internal/bench"
@@ -66,18 +68,47 @@ func TestReplayMatchesExecuteDriven(t *testing.T) {
 	}
 }
 
-// TestSimulateAllCancelsOnError checks the worker-pool cancellation path: a
-// failing spec early in a large batch must abort it without running every
-// remaining spec.
-func TestSimulateAllCancelsOnError(t *testing.T) {
+// TestSimulateAllCollectsErrors checks the error-collection path: every
+// failing spec of a batch is reported (with its input index) through one
+// *BatchError, and the surviving specs still produce results.
+func TestSimulateAllCollectsErrors(t *testing.T) {
 	w := bench.All()[0]
-	specs := make([]Spec, 64)
+	specs := make([]Spec, 8)
 	for i := range specs {
 		specs[i] = Spec{Workload: w, Scale: 1, Config: cpu.Config4x24()}
 	}
-	// An invalid configuration fails in cpu.New before any cycles run.
+	// Invalid configurations fail in cpu.New before any cycles run.
 	specs[1].Config = cpu.Config{IssueWidth: 0, WindowSize: 0}
-	if _, err := SimulateAll(specs); err == nil {
-		t.Fatal("SimulateAll returned nil error for an invalid spec")
+	specs[5].Config = cpu.Config{IssueWidth: 0, WindowSize: 0}
+	results, err := SimulateAll(specs)
+	if err == nil {
+		t.Fatal("SimulateAll returned nil error for invalid specs")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError: %v", err, err)
+	}
+	if be.Total != len(specs) || len(be.Failures) != 2 {
+		t.Fatalf("BatchError reports %d failures of %d, want 2 of %d", len(be.Failures), be.Total, len(specs))
+	}
+	if be.Failures[0].Index != 1 || be.Failures[1].Index != 5 {
+		t.Errorf("failure indices = %d, %d; want 1, 5", be.Failures[0].Index, be.Failures[1].Index)
+	}
+	for _, i := range []int{0, 2, 3, 4, 6, 7} {
+		if results[i].Stats == nil {
+			t.Errorf("spec %d has no result despite succeeding", i)
+		}
+	}
+}
+
+// TestSimulateAllCtxCancelled checks the context path: a cancelled context
+// aborts the batch with the context's error instead of a BatchError.
+func TestSimulateAllCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := bench.All()[0]
+	specs := []Spec{{Workload: w, Scale: 1, Config: cpu.Config4x24()}}
+	if _, err := SimulateAllCtx(ctx, specs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,146 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"valuespec/internal/harness"
+)
+
+// JobView is a Job as the HTTP API serves it: the durable record plus, for a
+// running job, its live progress snapshot.
+type JobView struct {
+	Job
+	Progress *harness.ProgressSnapshot `json:"progress,omitempty"`
+}
+
+// Handler returns the job API as an http.Handler rooted at /jobs, ready to
+// mount into the obsweb server (or any mux):
+//
+//	POST   /jobs              submit a Request; 202 and the job record
+//	                          (200 when answered from the result store)
+//	GET    /jobs              list every job, oldest first
+//	GET    /jobs/{id}         one job, with live progress while running
+//	GET    /jobs/{id}/result  the stored Stats; ?format=csv for CSV
+//	DELETE /jobs/{id}         cancel a queued or running job
+//
+// Every response is JSON except the CSV result form; errors are JSON
+// {"error": "..."} with the usual status codes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v indented with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// view decorates a job with its live progress, when it has any.
+func (s *Service) view(job Job) JobView {
+	v := JobView{Job: job}
+	if snap, ok := s.Progress(job.ID); ok {
+		v.Progress = &snap
+	}
+	return v
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, deduped, err := s.Submit(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.view(job))
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobsList := s.Jobs()
+	views := make([]JobView, len(jobsList))
+	for i, j := range jobsList {
+		views[i] = s.view(j)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{views})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(job))
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if job.State != StateDone {
+		httpError(w, http.StatusConflict, "job %s is %s, not done", id, job.State)
+		return
+	}
+	rs, err := s.Result(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if strings.EqualFold(r.URL.Query().Get("format"), "csv") {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = rs.WriteCSV(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rs)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, s.view(job))
+	case errors.Is(err, ErrFinished):
+		httpError(w, http.StatusConflict, "job %s already finished as %s", id, job.State)
+	case strings.Contains(err.Error(), "unknown job"):
+		httpError(w, http.StatusNotFound, "%v", err)
+	default:
+		httpError(w, http.StatusConflict, "%v", err)
+	}
+}

@@ -1,0 +1,385 @@
+package jobs
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued and Running are the live states a restarted daemon
+// re-queues; the other three are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one queued unit of work and its durable record: everything here is
+// what <data>/jobs/<id>.json holds.
+type Job struct {
+	ID  string `json:"id"`
+	Seq int64  `json:"seq"`
+	// Request is the submitted batch, verbatim.
+	Request Request `json:"request"`
+	// SpecHash is the canonical content address of Request's spec list; the
+	// result store is keyed by it.
+	SpecHash string `json:"spec_hash"`
+	State    State  `json:"state"`
+	// Attempts counts execution attempts so far (retries included).
+	Attempts int `json:"attempts"`
+	// Error holds the most recent failure, kept across a retry so observers
+	// can see why a job is back in the queue.
+	Error string `json:"error,omitempty"`
+	// Deduped marks a job answered from the result store without running.
+	Deduped     bool      `json:"deduped,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// jobHeap orders pending jobs by priority (higher first), then submission
+// sequence (FIFO).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Request.Priority != h[j].Request.Priority {
+		return h[i].Request.Priority > h[j].Request.Priority
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Queue is the durable job queue: every job lives as one JSON file under
+// its directory, rewritten atomically on every state change, so the
+// in-memory picture can be rebuilt exactly after a crash. Pop blocks until
+// work is available (or the queue closes), which is what the service's
+// workers park on. Safe for concurrent use.
+type Queue struct {
+	dir string
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	pending   jobHeap
+	nextSeq   int64
+	closed    bool
+	recovered int
+}
+
+// OpenQueue opens (creating if needed) the queue rooted at dir and recovers
+// its jobs: records found queued or running — a running job at open time
+// means the previous process died mid-run — go back to the pending queue,
+// terminal records are kept for listing and result serving.
+func OpenQueue(dir string) (*Queue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: queue: %w", err)
+	}
+	q := &Queue{dir: dir, jobs: make(map[string]*Job), nextSeq: 1}
+	q.cond = sync.NewCond(&q.mu)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: queue: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: queue: %w", err)
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("jobs: queue: %s: %w", e.Name(), err)
+		}
+		if j.ID == "" || q.jobs[j.ID] != nil {
+			return nil, fmt.Errorf("jobs: queue: %s: bad or duplicate job id %q", e.Name(), j.ID)
+		}
+		if j.State == StateQueued || j.State == StateRunning {
+			j.State = StateQueued
+			q.recovered++
+			if err := q.persistLocked(&j); err != nil {
+				return nil, err
+			}
+			heap.Push(&q.pending, &j)
+		}
+		q.jobs[j.ID] = &j
+		if j.Seq >= q.nextSeq {
+			q.nextSeq = j.Seq + 1
+		}
+	}
+	heap.Init(&q.pending)
+	return q, nil
+}
+
+// Recovered returns how many jobs the open re-queued after a restart.
+func (q *Queue) Recovered() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.recovered
+}
+
+// persistLocked writes j's record atomically. Caller holds q.mu (or, during
+// open, exclusive access).
+func (q *Queue) persistLocked(j *Job) error {
+	data, err := json.MarshalIndent(j, "", " ")
+	if err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join(q.dir, j.ID+".json")
+	tmp, err := os.CreateTemp(q.dir, "job-*")
+	if err != nil {
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: queue: %w", err)
+	}
+	return nil
+}
+
+// Submit durably enqueues a new job for req and wakes a waiting worker.
+func (q *Queue) Submit(req Request, hash string) (Job, error) {
+	return q.submit(req, hash, StateQueued)
+}
+
+// SubmitCompleted durably records a job that is already answered by the
+// result store (a dedup hit): it is born done and never queued.
+func (q *Queue) SubmitCompleted(req Request, hash string) (Job, error) {
+	return q.submit(req, hash, StateDone)
+}
+
+func (q *Queue) submit(req Request, hash string, state State) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, fmt.Errorf("jobs: queue closed")
+	}
+	j := &Job{
+		ID:          fmt.Sprintf("j%06d", q.nextSeq),
+		Seq:         q.nextSeq,
+		Request:     req,
+		SpecHash:    hash,
+		State:       state,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if state == StateDone {
+		j.Deduped = true
+		j.FinishedAt = j.SubmittedAt
+	}
+	if err := q.persistLocked(j); err != nil {
+		return Job{}, err
+	}
+	q.nextSeq++
+	q.jobs[j.ID] = j
+	if state == StateQueued {
+		heap.Push(&q.pending, j)
+		q.cond.Signal()
+	}
+	return *j, nil
+}
+
+// Pop blocks until a job is available, marks it running (charging one
+// attempt) and returns a copy; ok is false once the queue is closed —
+// closing wakes every blocked Pop, and jobs still pending stay durably
+// queued for the next open to recover.
+func (q *Queue) Pop() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return Job{}, false
+		}
+		// Skip entries cancelled while pending.
+		for q.pending.Len() > 0 && q.pending[0].State != StateQueued {
+			heap.Pop(&q.pending)
+		}
+		if q.pending.Len() > 0 {
+			j := heap.Pop(&q.pending).(*Job)
+			j.State = StateRunning
+			j.Attempts++
+			j.StartedAt = time.Now().UTC()
+			// A persist failure is survivable here: the record on disk
+			// still says queued, which only errs towards re-running after
+			// a crash.
+			_ = q.persistLocked(j)
+			return *j, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// update applies mutate to the named job under the lock and persists it.
+func (q *Queue) update(id string, mutate func(*Job) error) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if err := mutate(j); err != nil {
+		return *j, err
+	}
+	if err := q.persistLocked(j); err != nil {
+		return *j, err
+	}
+	return *j, nil
+}
+
+// Complete marks a running job done.
+func (q *Queue) Complete(id string) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		j.State = StateDone
+		j.Error = ""
+		j.FinishedAt = time.Now().UTC()
+		return nil
+	})
+}
+
+// Fail marks a running job failed permanently.
+func (q *Queue) Fail(id string, cause error) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		j.State = StateFailed
+		j.Error = cause.Error()
+		j.FinishedAt = time.Now().UTC()
+		return nil
+	})
+}
+
+// Requeue puts a running job back in the pending queue (after a transient
+// failure, or at shutdown so a restart resumes it), recording the cause.
+func (q *Queue) Requeue(id string, cause error) (Job, error) {
+	j, err := q.Park(id, cause)
+	if err != nil {
+		return j, err
+	}
+	q.Release(id)
+	return j, nil
+}
+
+// Park marks a running job queued on disk without making it poppable yet;
+// Release later re-admits it. The retry-backoff path uses the pair so that
+// a crash during the backoff window recovers the job, while live workers
+// don't pick it up early.
+func (q *Queue) Park(id string, cause error) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		j.State = StateQueued
+		if cause != nil {
+			j.Error = cause.Error()
+		}
+		return nil
+	})
+}
+
+// Release re-admits a parked (queued but unlisted) job to the pending heap.
+// A job cancelled while parked stays out.
+func (q *Queue) Release(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateQueued {
+		return
+	}
+	for _, p := range q.pending {
+		if p == j {
+			return
+		}
+	}
+	heap.Push(&q.pending, j)
+	q.cond.Signal()
+}
+
+// Cancel marks a queued or parked job canceled; running or terminal jobs
+// are refused (the service cancels running jobs through their context).
+func (q *Queue) Cancel(id string) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		if j.State != StateQueued {
+			return fmt.Errorf("jobs: job %s is %s, not queued", id, j.State)
+		}
+		j.State = StateCanceled
+		j.FinishedAt = time.Now().UTC()
+		return nil
+	})
+}
+
+// MarkCanceled marks a running job canceled (its context was cancelled).
+func (q *Queue) MarkCanceled(id string) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		j.State = StateCanceled
+		j.FinishedAt = time.Now().UTC()
+		return nil
+	})
+}
+
+// Get returns a copy of the named job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns copies of every job, oldest first.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
+	return out
+}
+
+// Depth returns how many jobs are poppable right now.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.pending {
+		if j.State == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// Close rejects further submissions and wakes every blocked Pop.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

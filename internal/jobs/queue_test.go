@@ -1,0 +1,192 @@
+package jobs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testRequest(name string, priority int) Request {
+	return Request{Name: name, Priority: priority, Specs: []SimSpec{{Workload: "compress"}}}
+}
+
+func hashFor(t *testing.T, req Request) string {
+	t.Helper()
+	h, err := req.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestQueuePriorityFIFO(t *testing.T) {
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// Two priority levels, interleaved; higher priority first, FIFO within.
+	order := []struct {
+		name string
+		prio int
+	}{{"a", 0}, {"b", 5}, {"c", 0}, {"d", 5}}
+	for _, o := range order {
+		req := testRequest(o.name, o.prio)
+		if _, err := q.Submit(req, hashFor(t, req)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, j.Request.Name)
+		if j.State != StateRunning || j.Attempts != 1 {
+			t.Errorf("popped job %s: state %s attempts %d", j.ID, j.State, j.Attempts)
+		}
+	}
+	if want := "b,d,a,c"; strings.Join(got, ",") != want {
+		t.Errorf("pop order %v, want %s", got, want)
+	}
+}
+
+// TestQueueRecovery is the kill-and-restart property at the queue level:
+// queued and running jobs reappear queued after a reopen, terminal jobs keep
+// their state, and new submissions never reuse an id.
+func TestQueueRecovery(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqA, reqB, reqC := testRequest("a", 0), testRequest("b", 0), testRequest("c", 0)
+	ja, _ := q.Submit(reqA, hashFor(t, reqA))
+	if _, err := q.Submit(reqB, hashFor(t, reqB)); err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := q.Submit(reqC, hashFor(t, reqC))
+	// a completes; b stays queued; c is mid-run when the process "dies".
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, err := q.Complete(ja.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Pop(); !ok { // b running
+		t.Fatal("pop failed")
+	}
+	// No Close: simulate a crash by just reopening from the same directory.
+
+	q2, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if q2.Recovered() != 2 {
+		t.Errorf("recovered %d jobs, want 2 (the queued and the running one)", q2.Recovered())
+	}
+	a, _ := q2.Get(ja.ID)
+	if a.State != StateDone {
+		t.Errorf("completed job recovered as %s", a.State)
+	}
+	if q2.Depth() != 2 {
+		t.Errorf("depth after recovery = %d, want 2", q2.Depth())
+	}
+	j1, _ := q2.Pop()
+	j2, _ := q2.Pop()
+	if j1.Request.Name != "b" || j2.Request.Name != "c" {
+		t.Errorf("recovered pop order %s,%s want b,c", j1.Request.Name, j2.Request.Name)
+	}
+	// The recovered running job keeps its attempt count and charges another.
+	if j1.Attempts != 2 {
+		t.Errorf("re-run job attempts = %d, want 2", j1.Attempts)
+	}
+	req := testRequest("d", 0)
+	jd, err := q2.Submit(req, hashFor(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd.ID == ja.ID || jd.ID == jc.ID || jd.Seq <= jc.Seq {
+		t.Errorf("new job %s/%d collides with recovered ids", jd.ID, jd.Seq)
+	}
+}
+
+func TestQueueCancelAndParkRelease(t *testing.T) {
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	reqA, reqB := testRequest("a", 0), testRequest("b", 0)
+	ja, _ := q.Submit(reqA, hashFor(t, reqA))
+	jb, _ := q.Submit(reqB, hashFor(t, reqB))
+
+	// Cancel a while queued: Pop must skip it.
+	if _, err := q.Cancel(ja.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Cancel(ja.ID); err == nil {
+		t.Error("second cancel succeeded, want error")
+	}
+	j, ok := q.Pop()
+	if !ok || j.ID != jb.ID {
+		t.Fatalf("pop skipped to %v, want %s", j.ID, jb.ID)
+	}
+
+	// Park b (retry backoff): durable as queued, but not poppable.
+	if _, err := q.Park(jb.ID, errors.New("transient")); err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 0 {
+		t.Errorf("parked job counted in depth %d", q.Depth())
+	}
+	got, _ := q.Get(jb.ID)
+	if got.State != StateQueued || got.Error != "transient" {
+		t.Errorf("parked job state %s error %q", got.State, got.Error)
+	}
+	q.Release(jb.ID)
+	q.Release(jb.ID) // idempotent: no double entry
+	if q.Depth() != 1 {
+		t.Errorf("depth after release = %d, want 1", q.Depth())
+	}
+	if j, ok = q.Pop(); !ok || j.ID != jb.ID || j.Attempts != 2 {
+		t.Errorf("released pop = %v ok=%v attempts=%d", j.ID, ok, j.Attempts)
+	}
+	// Pop blocks on an empty queue, so "popped exactly once" shows as an
+	// empty pending set rather than a second Pop.
+	if q.Depth() != 0 {
+		t.Errorf("depth after re-pop = %d, want 0", q.Depth())
+	}
+}
+
+// TestQueueClosePreservesPending checks the shutdown contract Pop gives the
+// service: after Close, Pop returns immediately with ok=false and pending
+// jobs stay durably queued for the next open.
+func TestQueueClosePreservesPending(t *testing.T) {
+	dir := t.TempDir()
+	q, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest("a", 0)
+	if _, err := q.Submit(req, hashFor(t, req)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop handed out work after Close")
+	}
+	if _, err := q.Submit(req, hashFor(t, req)); err == nil {
+		t.Fatal("Submit accepted after Close")
+	}
+	q2, err := OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if q2.Depth() != 1 {
+		t.Errorf("pending job lost across close/reopen: depth %d", q2.Depth())
+	}
+}

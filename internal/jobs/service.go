@@ -1,0 +1,460 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"valuespec/internal/harness"
+	"valuespec/internal/obs"
+)
+
+// Metric names the service publishes into its SharedRegistry; the obsweb
+// /metrics endpoint exposes them with the usual valuespec_ prefix.
+const (
+	MetricSubmitted    = "jobs.submitted"     // counter: jobs accepted (dedup hits included)
+	MetricDedup        = "jobs.dedup_hits"    // counter: submissions answered from the result store
+	MetricCompleted    = "jobs.completed"     // counter: jobs that finished successfully
+	MetricFailed       = "jobs.failed"        // counter: jobs that exhausted their retries
+	MetricCanceled     = "jobs.canceled"      // counter: jobs cancelled by a client
+	MetricRetries      = "jobs.retries"       // counter: re-queues after a transient failure
+	MetricQueueDepth   = "jobs.queue_depth"   // gauge: jobs waiting for a worker
+	MetricInflight     = "jobs.inflight"      // gauge: jobs executing right now
+	MetricStoreEntries = "jobs.store_entries" // gauge: result sets in the store
+	MetricStoreBytes   = "jobs.store_bytes"   // gauge: on-disk bytes of the store
+)
+
+// SimulateFunc runs one batch; the default is harness.SimulateBatch. Tests
+// substitute it to script failures, hangs and timings.
+type SimulateFunc func(ctx context.Context, specs []harness.Spec, progress *harness.Progress) ([]harness.Result, error)
+
+// Config configures a Service.
+type Config struct {
+	// DataDir roots the durable state: jobs under <DataDir>/jobs, results
+	// under <DataDir>/results.
+	DataDir string
+	// Workers is the number of jobs executed concurrently; each job's specs
+	// additionally fan out over harness.SimulateBatch's GOMAXPROCS pool. 0
+	// accepts and serves jobs without executing any (useful to stage work
+	// for a later daemon, and in tests).
+	Workers int
+	// JobTimeout bounds one execution attempt; 0 means no bound. A request
+	// with TimeoutSeconds > 0 overrides it for that job.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is re-queued before the
+	// job fails for good.
+	MaxRetries int
+	// RetryBackoff delays the first retry, doubling per attempt; 0 selects
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Metrics, when non-nil, receives the jobs.* counters and gauges.
+	Metrics *obs.SharedRegistry
+	// Simulate overrides the batch executor; nil selects
+	// harness.SimulateBatch.
+	Simulate SimulateFunc
+}
+
+// DefaultRetryBackoff is the first-retry delay when Config leaves it zero.
+const DefaultRetryBackoff = 500 * time.Millisecond
+
+// ErrFinished is returned by Cancel for jobs already in a terminal state.
+var ErrFinished = errors.New("jobs: job already finished")
+
+// Service glues the queue, the store and the workers together. Open it,
+// Start it, submit Requests (directly or over HTTP via Handler), Close it.
+type Service struct {
+	cfg   Config
+	queue *Queue
+	store *Store
+
+	mu      sync.Mutex
+	running map[string]*runningJob
+	timers  map[string]*time.Timer // parked retries, by job id
+	closing bool
+
+	wg sync.WaitGroup
+}
+
+// runningJob is the volatile side of an executing job.
+type runningJob struct {
+	cancel     context.CancelFunc
+	progress   *harness.Progress
+	userCancel bool
+}
+
+// Open opens the durable state under cfg.DataDir and recovers interrupted
+// jobs into the queue; call Start to begin executing.
+func Open(cfg Config) (*Service, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("jobs: Config.DataDir is required")
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.Simulate == nil {
+		cfg.Simulate = harness.SimulateBatch
+	}
+	queue, err := OpenQueue(cfg.DataDir + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(cfg.DataDir + "/results")
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		queue:   queue,
+		store:   store,
+		running: make(map[string]*runningJob),
+		timers:  make(map[string]*time.Timer),
+	}
+	s.publish()
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				job, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Close stops the service: no new submissions, running jobs are interrupted
+// and re-queued durably (a later Open resumes them), parked retries stay
+// queued on disk, and the workers drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closing = true
+	for _, r := range s.running {
+		r.cancel()
+	}
+	for id, t := range s.timers {
+		t.Stop()
+		delete(s.timers, id)
+	}
+	s.mu.Unlock()
+	s.queue.Close()
+	s.wg.Wait()
+}
+
+// Recovered returns how many jobs the open re-queued after a restart.
+func (s *Service) Recovered() int { return s.queue.Recovered() }
+
+// Store exposes the result store (read-mostly: the smoke tooling inspects
+// its size).
+func (s *Service) Store() *Store { return s.store }
+
+// Submit validates and durably enqueues req. When the result store already
+// holds the request's canonical hash, the job is answered immediately
+// without simulating: it is born done with Deduped set, and the second
+// return is true.
+func (s *Service) Submit(req Request) (Job, bool, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, false, err
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		return Job{}, false, err
+	}
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		return Job{}, false, errors.New("jobs: service is shutting down")
+	}
+	if s.store.Has(hash) {
+		job, err := s.queue.SubmitCompleted(req, hash)
+		if err != nil {
+			return Job{}, false, err
+		}
+		s.count(MetricSubmitted, 1)
+		s.count(MetricDedup, 1)
+		s.publish()
+		return job, true, nil
+	}
+	job, err := s.queue.Submit(req, hash)
+	if err != nil {
+		return Job{}, false, err
+	}
+	s.count(MetricSubmitted, 1)
+	s.publish()
+	return job, false, nil
+}
+
+// Job returns a copy of the named job.
+func (s *Service) Job(id string) (Job, bool) { return s.queue.Get(id) }
+
+// Jobs returns every job, oldest first.
+func (s *Service) Jobs() []Job { return s.queue.List() }
+
+// Progress returns the live per-job progress snapshot of a running job.
+func (s *Service) Progress(id string) (harness.ProgressSnapshot, bool) {
+	s.mu.Lock()
+	r, ok := s.running[id]
+	s.mu.Unlock()
+	if !ok || r.progress == nil {
+		return harness.ProgressSnapshot{}, false
+	}
+	return r.progress.Snapshot(), true
+}
+
+// Result loads the stored result set of a done job.
+func (s *Service) Result(id string) (*ResultSet, error) {
+	job, ok := s.queue.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if job.State != StateDone {
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", id, job.State)
+	}
+	rs, ok, err := s.store.Get(job.SpecHash)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("jobs: job %s is done but its result %s is missing from the store", id, job.SpecHash)
+	}
+	return rs, nil
+}
+
+// Cancel cancels a job: queued (or parked for retry) jobs are marked
+// canceled directly, running jobs have their context cancelled and settle
+// to canceled once the in-flight specs drain. Terminal jobs return
+// ErrFinished.
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	if r, ok := s.running[id]; ok {
+		r.userCancel = true
+		r.cancel()
+		if t, ok := s.timers[id]; ok {
+			t.Stop()
+			delete(s.timers, id)
+		}
+		s.mu.Unlock()
+		job, _ := s.queue.Get(id)
+		return job, nil
+	}
+	if t, ok := s.timers[id]; ok {
+		t.Stop()
+		delete(s.timers, id)
+	}
+	s.mu.Unlock()
+	job, ok := s.queue.Get(id)
+	if !ok {
+		return Job{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if job.State.Terminal() {
+		return job, ErrFinished
+	}
+	job, err := s.queue.Cancel(id)
+	if err != nil {
+		return job, err
+	}
+	s.count(MetricCanceled, 1)
+	s.publish()
+	return job, nil
+}
+
+// runJob executes one popped job to a terminal state (or back into the
+// queue, for retries and shutdown).
+func (s *Service) runJob(job Job) {
+	progress := harness.NewProgress(obs.NewSharedRegistry())
+	timeout := s.cfg.JobTimeout
+	if job.Request.TimeoutSeconds > 0 {
+		timeout = time.Duration(job.Request.TimeoutSeconds) * time.Second
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.mu.Lock()
+	if s.closing {
+		// Shutdown raced the pop: put the job straight back.
+		s.mu.Unlock()
+		cancel()
+		_, _ = s.queue.Park(job.ID, nil)
+		return
+	}
+	s.running[job.ID] = &runningJob{cancel: cancel, progress: progress}
+	s.mu.Unlock()
+	s.publish()
+
+	results, runErr := s.execute(ctx, job, progress)
+
+	s.mu.Lock()
+	r := s.running[job.ID]
+	delete(s.running, job.ID)
+	userCancel := r != nil && r.userCancel
+	closing := s.closing
+	s.mu.Unlock()
+	cancel()
+
+	switch {
+	case runErr == nil:
+		rs := &ResultSet{SpecHash: job.SpecHash, Results: results}
+		if err := s.store.Put(rs); err != nil {
+			runErr = err
+			break
+		}
+		_, _ = s.queue.Complete(job.ID)
+		s.count(MetricCompleted, 1)
+		s.publish()
+		return
+	case userCancel:
+		_, _ = s.queue.MarkCanceled(job.ID)
+		s.count(MetricCanceled, 1)
+		s.publish()
+		return
+	case closing:
+		// Interrupted by shutdown: back to the queue, attempt not wasted.
+		_, _ = s.queue.Park(job.ID, runErr)
+		return
+	}
+	s.settleFailure(job, runErr)
+}
+
+// settleFailure retries a failed attempt with exponential backoff until the
+// retry budget runs out, then fails the job for good.
+func (s *Service) settleFailure(job Job, cause error) {
+	if job.Attempts <= s.cfg.MaxRetries {
+		// Park durably now (a crash during backoff recovers the job),
+		// release into the pending heap when the backoff elapses.
+		if _, err := s.queue.Park(job.ID, cause); err == nil {
+			delay := s.cfg.RetryBackoff << (job.Attempts - 1)
+			s.mu.Lock()
+			if s.closing {
+				s.mu.Unlock()
+				return
+			}
+			s.timers[job.ID] = time.AfterFunc(delay, func() {
+				s.mu.Lock()
+				delete(s.timers, job.ID)
+				s.mu.Unlock()
+				s.queue.Release(job.ID)
+				s.publish()
+			})
+			s.mu.Unlock()
+			s.count(MetricRetries, 1)
+			s.publish()
+			return
+		}
+	}
+	_, _ = s.queue.Fail(job.ID, cause)
+	s.count(MetricFailed, 1)
+	s.publish()
+}
+
+// execute runs the job's specs through the configured executor. Context
+// errors win over per-spec errors so timeouts and cancellations are
+// reported as such.
+func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progress) ([]SpecResult, error) {
+	specs, err := job.Request.HarnessSpecs()
+	if err != nil {
+		return nil, err
+	}
+	results, err := s.cfg.Simulate(ctx, specs, progress)
+	progress.Finish()
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	if len(results) != len(job.Request.Specs) {
+		return nil, fmt.Errorf("jobs: executor returned %d results for %d specs", len(results), len(job.Request.Specs))
+	}
+	out := make([]SpecResult, len(results))
+	for i, r := range results {
+		out[i] = SpecResult{Spec: job.Request.Specs[i], Stats: r.Stats}
+	}
+	return out, nil
+}
+
+// Snapshot is the service-level live picture: what /progress serves when a
+// daemon (rather than a sweep) owns the obsweb server.
+type Snapshot struct {
+	QueueDepth   int   `json:"queue_depth"`
+	Inflight     int   `json:"inflight"`
+	JobsTotal    int   `json:"jobs_total"`
+	StoreEntries int   `json:"store_entries"`
+	StoreBytes   int64 `json:"store_bytes"`
+	Recovered    int   `json:"recovered"`
+	// States counts every job by state.
+	States map[State]int `json:"states"`
+}
+
+// Snapshot returns a consistent-enough live view for dashboards; each field
+// is individually consistent.
+func (s *Service) Snapshot() Snapshot {
+	jobsList := s.queue.List()
+	states := make(map[State]int)
+	for _, j := range jobsList {
+		states[j.State]++
+	}
+	s.mu.Lock()
+	inflight := len(s.running)
+	recovered := s.queue.Recovered()
+	s.mu.Unlock()
+	return Snapshot{
+		QueueDepth:   s.queue.Depth(),
+		Inflight:     inflight,
+		JobsTotal:    len(jobsList),
+		StoreEntries: s.store.Len(),
+		StoreBytes:   s.store.Bytes(),
+		Recovered:    recovered,
+		States:       states,
+	}
+}
+
+// count bumps a service counter, when metrics are attached.
+func (s *Service) count(name string, n int64) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Add(name, n)
+	}
+}
+
+// publish refreshes the service gauges, when metrics are attached.
+func (s *Service) publish() {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.mu.Lock()
+	inflight := len(s.running)
+	s.mu.Unlock()
+	depth := s.queue.Depth()
+	entries, bytes := s.store.Len(), s.store.Bytes()
+	s.cfg.Metrics.Do(func(r *obs.Registry) {
+		r.Counter(MetricSubmitted)
+		r.Counter(MetricDedup)
+		r.Counter(MetricCompleted)
+		r.Counter(MetricFailed)
+		r.Counter(MetricCanceled)
+		r.Counter(MetricRetries)
+		r.Gauge(MetricQueueDepth).Set(float64(depth))
+		r.Gauge(MetricInflight).Set(float64(inflight))
+		r.Gauge(MetricStoreEntries).Set(float64(entries))
+		r.Gauge(MetricStoreBytes).Set(float64(bytes))
+	})
+}

@@ -1,0 +1,166 @@
+package jobs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+	"valuespec/internal/harness"
+	"valuespec/internal/vpred"
+)
+
+// nullObserver marks a spec as carrying a non-serializable attachment.
+type nullObserver struct{}
+
+func (nullObserver) Observe(cpu.Event) {}
+
+// testWorkload is the suite's first workload; scale 2 keeps runs instant.
+func testWorkload(t *testing.T) bench.Workload {
+	t.Helper()
+	return bench.All()[0]
+}
+
+func TestSimSpecValidate(t *testing.T) {
+	w := testWorkload(t)
+	good := SimSpec{Workload: w.Name, Scale: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []SimSpec{
+		{Workload: "nope"},
+		{Workload: w.Name, Update: "X"},
+		{Workload: w.Name, Model: &core.Model{}}, // unnamed model
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("spec %+v validated, want error", c)
+		}
+	}
+}
+
+// TestRequestHashCanonical checks the content address: equivalent spellings
+// of the same simulation hash identically, different simulations differ, and
+// the scheduling fields never contribute.
+func TestRequestHashCanonical(t *testing.T) {
+	w := testWorkload(t)
+	base := Request{Specs: []SimSpec{{Workload: w.Name, Scale: w.DefaultScale}}}
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1) != 64 || !validHash(h1) {
+		t.Fatalf("hash %q is not 64 hex chars", h1)
+	}
+
+	// Default scale spelled implicitly, config spelled with explicit
+	// defaults, scheduling fields set: all the same address.
+	same := []Request{
+		{Specs: []SimSpec{{Workload: w.Name}}},
+		{Specs: []SimSpec{{Workload: w.Name, Config: cpu.Config8x48()}}},
+		{Specs: []SimSpec{{Workload: w.Name, Config: resolveConfig(cpu.Config{})}}},
+		{Name: "named", Priority: 9, TimeoutSeconds: 60,
+			Specs: []SimSpec{{Workload: w.Name}}},
+	}
+	for i, r := range same {
+		h, err := r.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != h1 {
+			t.Errorf("equivalent request %d hashes to %s, want %s", i, h, h1)
+		}
+	}
+
+	model := core.Super()
+	different := []Request{
+		{Specs: []SimSpec{{Workload: w.Name, Scale: w.DefaultScale + 1}}},
+		{Specs: []SimSpec{{Workload: w.Name, Model: &model}}},
+		{Specs: []SimSpec{{Workload: w.Name}, {Workload: w.Name}}},
+	}
+	for i, r := range different {
+		h, err := r.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == h1 {
+			t.Errorf("distinct request %d collides with the base hash", i)
+		}
+	}
+
+	// "I" and "" are the same update timing; "D" is not.
+	mi := Request{Specs: []SimSpec{{Workload: w.Name, Model: &model}}}
+	mI := Request{Specs: []SimSpec{{Workload: w.Name, Model: &model, Update: "I"}}}
+	mD := Request{Specs: []SimSpec{{Workload: w.Name, Model: &model, Update: "D"}}}
+	hi, _ := mi.Hash()
+	hI, _ := mI.Hash()
+	hD, _ := mD.Hash()
+	if hi != hI {
+		t.Error("implicit and explicit immediate update hash differently")
+	}
+	if hi == hD {
+		t.Error("immediate and delayed update collide")
+	}
+}
+
+func TestSimSpecHarnessRoundTrip(t *testing.T) {
+	w := testWorkload(t)
+	model := core.Great()
+	s := SimSpec{Workload: w.Name, Scale: 3, Model: &model, Update: "D", Oracle: true}
+	hs, err := s.ToHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromHarness(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != s.Workload || back.Scale != s.Scale ||
+		back.Update != "D" || !back.Oracle || back.Model == nil ||
+		back.Model.Name != "great" {
+		t.Errorf("round trip mangled the spec: %+v", back)
+	}
+
+	// Non-serializable specs are refused, not silently dropped.
+	bad := hs
+	bad.Observer = nullObserver{}
+	if _, err := FromHarness(bad); err == nil {
+		t.Error("spec with an observer serialized, want error")
+	}
+	bad = hs
+	bad.NewPredictor = func() vpred.Predictor { return nil }
+	if _, err := FromHarness(bad); err == nil {
+		t.Error("spec with a predictor factory serialized, want error")
+	}
+}
+
+func TestResultSetWriteCSV(t *testing.T) {
+	w := testWorkload(t)
+	res, err := harness.SimulateAll([]harness.Spec{{Workload: w, Scale: 2, Config: cpu.Config8x48()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &ResultSet{
+		SpecHash: strings.Repeat("a", 64),
+		Results:  []SpecResult{{Spec: SimSpec{Workload: w.Name, Scale: 2}, Stats: res[0].Stats}},
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,scale,config,model,setting,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], w.Name+",2,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if got, want := strings.Count(lines[1], ","), strings.Count(lines[0], ","); got != want {
+		t.Errorf("row has %d columns, header has %d", got+1, want+1)
+	}
+}

@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is the content-addressed result store: one JSON file per canonical
+// spec hash under its directory. Writes are atomic (temp file + rename), so
+// a crash mid-Put never leaves a truncated result behind; a Get only ever
+// sees complete sets. Identical requests — whoever submits them, whenever —
+// address the same entry, which is what makes deduplication a lookup.
+// Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	sizes map[string]int64 // hash -> file bytes
+	bytes int64
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir and indexes
+// the results already on disk.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: store: %w", err)
+	}
+	s := &Store{dir: dir, sizes: make(map[string]int64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		hash := strings.TrimSuffix(name, ".json")
+		if !validHash(hash) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.sizes[hash] = info.Size()
+		s.bytes += info.Size()
+	}
+	return s, nil
+}
+
+// validHash accepts exactly the hex SHA-256 form Request.Hash produces, so
+// hashes taken from URLs can never escape the store directory.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, c := range h {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// Has reports whether a result for hash is stored.
+func (s *Store) Has(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sizes[hash]
+	return ok
+}
+
+// Get loads the result set stored under hash; ok is false when none exists.
+func (s *Store) Get(hash string) (*ResultSet, bool, error) {
+	if !validHash(hash) {
+		return nil, false, fmt.Errorf("jobs: store: malformed hash %q", hash)
+	}
+	if !s.Has(hash) {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil, false, fmt.Errorf("jobs: store: %w", err)
+	}
+	var rs ResultSet
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, false, fmt.Errorf("jobs: store: %s: %w", hash, err)
+	}
+	return &rs, true, nil
+}
+
+// Put stores rs under its spec hash, atomically. Re-putting an existing
+// hash rewrites it in place (the simulator is deterministic, so the bytes
+// can only match).
+func (s *Store) Put(rs *ResultSet) error {
+	if !validHash(rs.SpecHash) {
+		return fmt.Errorf("jobs: store: malformed hash %q", rs.SpecHash)
+	}
+	data, err := json.MarshalIndent(rs, "", " ")
+	if err != nil {
+		return fmt.Errorf("jobs: store: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("jobs: store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(rs.SpecHash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytes += int64(len(data)) - s.sizes[rs.SpecHash]
+	s.sizes[rs.SpecHash] = int64(len(data))
+	return nil
+}
+
+// Len returns the number of stored result sets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes)
+}
+
+// Bytes returns the total on-disk size of the stored results.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -56,6 +56,9 @@ type Config struct {
 	// StreamInterval is the SSE push period; <= 0 means
 	// DefaultStreamInterval.
 	StreamInterval time.Duration
+	// Jobs, when non-nil, is mounted at /jobs — the simulation job API of
+	// internal/jobs (cmd/vserved wires it up).
+	Jobs http.Handler
 }
 
 // Server is the live observability HTTP server. Create with New, expose
@@ -97,6 +100,12 @@ func New(cfg Config) *Server {
 	if cfg.Progress != nil {
 		s.mux.HandleFunc("/progress", s.handleProgress)
 		s.mux.HandleFunc("/progress/stream", s.handleStream)
+	}
+	if cfg.Jobs != nil {
+		// The jobs handler's own patterns are rooted at /jobs, so it mounts
+		// without a prefix strip.
+		s.mux.Handle("/jobs", cfg.Jobs)
+		s.mux.Handle("/jobs/", cfg.Jobs)
 	}
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -189,6 +198,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /progress         sweep progress snapshot (JSON)\n"+
 		"  /progress/stream  sweep progress stream (SSE)\n"+
 		"  /debug/pprof/     runtime profiles\n")
+	if s.cfg.Jobs != nil {
+		fmt.Fprintf(w, "  /jobs             simulation job API "+
+			"(POST submit, GET list; /jobs/{id}, /jobs/{id}/result, DELETE cancel)\n")
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -185,6 +186,78 @@ func TestBroadcasterSlowClient(t *testing.T) {
 	b.unsubscribe(fast)
 	if b.empty() {
 		t.Error("empty with one subscriber left")
+	}
+}
+
+// TestSSESlowClientDropsFrames drives the drop policy over a real HTTP
+// connection: a subscriber that never reads lets the socket and its one-
+// frame channel buffer fill, after which the broadcast loop evicts stale
+// frames and the obsweb.sse_dropped_frames counter climbs in the shared
+// registry — the exposition reports its own streaming health.
+func TestSSESlowClientDropsFrames(t *testing.T) {
+	shared := obs.NewSharedRegistry()
+	// Large frames fill the kernel socket buffers in a handful of pushes, so
+	// the handler goroutine blocks on Write and stops draining its channel.
+	payload := strings.Repeat("x", 256<<10)
+	s := New(Config{
+		Metrics:        shared,
+		Progress:       func() any { return map[string]string{"pad": payload} },
+		StreamInterval: time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	// A raw client that sends the request and then never reads a byte.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET /progress/stream HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if shared.Snapshot().Counter(MetricSSEDropped).Value() > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sse_dropped_frames never incremented; dropped=%d", s.bc.droppedTotal())
+}
+
+// TestJobsHandlerMounted checks the Config.Jobs mount: requests under /jobs
+// reach the supplied handler with their full path, and the index advertises
+// the API.
+func TestJobsHandlerMounted(t *testing.T) {
+	var gotPath string
+	s := New(Config{
+		Jobs: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			gotPath = r.URL.Path
+			w.WriteHeader(http.StatusTeapot)
+		}),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	if code, _, _ := get(t, ts.URL+"/jobs/j000001/result"); code != http.StatusTeapot {
+		t.Errorf("GET /jobs/j000001/result = %d, want to reach the jobs handler", code)
+	}
+	if gotPath != "/jobs/j000001/result" {
+		t.Errorf("jobs handler saw path %q, want the unstripped /jobs path", gotPath)
+	}
+	if code, body, _ := get(t, ts.URL+"/"); code != 200 || !strings.Contains(body, "/jobs") {
+		t.Errorf("index = %d %q, want a /jobs line", code, body)
 	}
 }
 

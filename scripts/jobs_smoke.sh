@@ -1,0 +1,114 @@
+#!/bin/sh
+# Smoke-test the simulation job service end-to-end: stage a job on a vserved
+# daemon with no workers, kill the daemon, restart it with workers and watch
+# the job recover and complete (durability), re-submit the same spec and
+# require a dedup hit answered from the result store, then run a real
+# vsweep -submit sweep and diff its CSV against a locally simulated run
+# (byte-identical results). Nonzero exit on any failure.
+#
+# Usage: scripts/jobs_smoke.sh [workdir]
+set -eu
+
+dir=${1:-$(mktemp -d)}
+mkdir -p "$dir"
+log="$dir/vserved.log"
+data="$dir/data"
+served="$dir/vserved"
+sweep="$dir/vsweep"
+pid=
+
+fail() {
+	echo "jobs_smoke: FAIL: $*" >&2
+	echo "jobs_smoke: ---- daemon log ----" >&2
+	cat "$log" >&2 || true
+	exit 1
+}
+
+# start_daemon <workers>: launch vserved on an ephemeral port against $data
+# and set $addr from its serving line.
+start_daemon() {
+	"$served" -addr 127.0.0.1:0 -data "$data" -workers "$1" >"$log" 2>&1 &
+	pid=$!
+	addr=
+	i=0
+	while [ $i -lt 100 ]; do
+		addr=$(sed -n 's|^serving jobs on http://\([^ ]*\).*|\1|p' "$log")
+		[ -n "$addr" ] && break
+		kill -0 "$pid" 2>/dev/null || fail "vserved exited before serving"
+		sleep 0.1
+		i=$((i + 1))
+	done
+	[ -n "$addr" ] || fail "no 'serving jobs' line within 10s"
+}
+
+stop_daemon() {
+	kill "$pid" 2>/dev/null || true
+	wait "$pid" 2>/dev/null || true
+	pid=
+}
+
+go build -o "$served" ./cmd/vserved
+go build -o "$sweep" ./cmd/vsweep
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# --- durability: stage a job with zero workers, restart with workers ------
+start_daemon 0
+echo "jobs_smoke: daemon (stage-only) at http://$addr"
+
+req='{"name":"smoke","specs":[{"workload":"compress","scale":2}]}'
+code=$(curl -s -o "$dir/submit.json" -w '%{http_code}' \
+	-X POST -H 'Content-Type: application/json' -d "$req" "http://$addr/jobs") ||
+	fail "POST /jobs unreachable"
+[ "$code" = "202" ] || fail "POST /jobs = HTTP $code, want 202 (body: $(cat "$dir/submit.json"))"
+id=$(sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$dir/submit.json" | head -1)
+[ -n "$id" ] || fail "no job id in $(cat "$dir/submit.json")"
+grep -q '"state": "queued"' "$dir/submit.json" ||
+	fail "staged job not queued: $(cat "$dir/submit.json")"
+
+stop_daemon
+echo "jobs_smoke: daemon killed with $id pending; restarting with workers"
+
+start_daemon 2
+i=0
+state=
+while [ $i -lt 240 ]; do
+	curl -fsS "http://$addr/jobs/$id" >"$dir/job.json" || fail "GET /jobs/$id unreachable"
+	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$dir/job.json" | head -1)
+	case $state in
+	done) break ;;
+	failed | canceled) fail "$id finished $state: $(cat "$dir/job.json")" ;;
+	esac
+	sleep 0.5
+	i=$((i + 1))
+done
+[ "$state" = "done" ] || fail "$id not done after restart (state '$state')"
+echo "jobs_smoke: $id recovered and completed after restart"
+
+curl -fsS "http://$addr/jobs/$id/result" | grep -q '"stats"' ||
+	fail "result JSON missing stats"
+curl -fsS "http://$addr/jobs/$id/result?format=csv" | head -1 |
+	grep -q '^workload,scale,config' || fail "result CSV missing header"
+
+# --- dedup: the same spec again is answered from the result store ---------
+code=$(curl -s -o "$dir/dup.json" -w '%{http_code}' \
+	-X POST -H 'Content-Type: application/json' -d "$req" "http://$addr/jobs") ||
+	fail "duplicate POST unreachable"
+[ "$code" = "200" ] || fail "duplicate POST = HTTP $code, want 200 (body: $(cat "$dir/dup.json"))"
+grep -q '"deduped": true' "$dir/dup.json" ||
+	fail "duplicate submit not deduped: $(cat "$dir/dup.json")"
+curl -fsS "http://$addr/metrics" | grep '^valuespec_jobs_dedup_hits_total' |
+	grep -qv ' 0$' || fail "/metrics jobs_dedup_hits_total did not increment"
+echo "jobs_smoke: duplicate submit deduped from the result store"
+
+# --- equivalence: remote sweep results match a local simulation -----------
+"$sweep" -fig4 -quick -scale 2 -out "$dir/local" >"$dir/local.log" 2>&1 ||
+	fail "local vsweep run failed: $(cat "$dir/local.log")"
+"$sweep" -fig4 -quick -scale 2 -submit "http://$addr" -out "$dir/remote" >"$dir/remote.log" 2>&1 ||
+	fail "vsweep -submit run failed: $(cat "$dir/remote.log")"
+cmp -s "$dir/local/fig4.csv" "$dir/remote/fig4.csv" ||
+	fail "remote fig4.csv differs from local run"
+echo "jobs_smoke: vsweep -submit results byte-identical to local run"
+
+stop_daemon
+trap - EXIT INT TERM
+echo "jobs_smoke: OK (durable restart + dedup + remote/local equivalence)"
