@@ -15,8 +15,13 @@
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status, with live progress while running
 //	GET    /jobs/{id}/result  stored Stats as JSON (?format=csv for CSV)
+//	GET    /jobs/{id}/trace   the job's span timeline (?format=chrome)
 //	DELETE /jobs/{id}         cancel
-//	GET    /metrics /progress /healthz /readyz /debug/pprof/
+//	GET    /metrics /progress /trace /healthz /readyz /buildz /debug/pprof/
+//
+// Logs are structured (log/slog) with job/spec_hash attributes; tune them
+// with -log-level and -log-format. Tracing keeps the newest -trace-spans
+// spans in memory (0 disables it and removes all tracing overhead).
 //
 // Submit sweeps from the command line with "vsweep -fig3 -submit URL".
 package main
@@ -25,7 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -37,8 +42,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vserved: ")
 	var (
 		addr        = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free one)")
 		dataDir     = flag.String("data", "vserved-data", "durable state directory (jobs and results)")
@@ -46,48 +49,70 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded; a request's timeout_seconds overrides)")
 		maxRetries  = flag.Int("max-retries", 2, "re-queues of a failing job before it fails for good")
 		cacheBudget = flag.Int64("trace-cache-budget", 0, "byte budget of the shared trace cache (0 = unbounded)")
+		traceSpans  = flag.Int("trace-spans", obs.DefaultTracerSpans, "span-ring capacity for job tracing (0 disables tracing)")
+		tracePhases = flag.Bool("trace-phases", false, "record per-pipeline-phase wall time on every run span (adds per-cycle clock reads)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vserved:", err)
+		os.Exit(2)
+	}
 	if *cacheBudget > 0 {
 		harness.DefaultTraceCache().SetByteBudget(*cacheBudget)
+	}
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans)
 	}
 
 	reg := obs.NewSharedRegistry()
 	svc, err := jobs.Open(jobs.Config{
-		DataDir:    *dataDir,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		MaxRetries: *maxRetries,
-		Metrics:    reg,
+		DataDir:     *dataDir,
+		Workers:     *workers,
+		JobTimeout:  *jobTimeout,
+		MaxRetries:  *maxRetries,
+		Metrics:     reg,
+		Tracer:      tracer,
+		Logger:      logger,
+		TracePhases: *tracePhases,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("opening job service", "err", err)
+		os.Exit(1)
 	}
 	if n := svc.Recovered(); n > 0 {
-		log.Printf("recovered %d interrupted job(s) from %s", n, *dataDir)
+		logger.Info("recovered interrupted jobs", "jobs", n, "data", *dataDir)
 	}
 
 	srv := obsweb.New(obsweb.Config{
 		Metrics:  reg,
 		Progress: func() any { return svc.Snapshot() },
 		Jobs:     svc.Handler(),
+		Tracer:   tracer,
+		Logger:   logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := srv.Start(nil, *addr); err != nil {
-		log.Fatal(err)
+		logger.Error("listening", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	svc.Start()
 	// The parseable serving line: scripts read the bound address from it.
 	fmt.Printf("serving jobs on http://%s (data %s, %d workers)\n", srv.Addr(), *dataDir, *workers)
+	logger.Info("serving jobs", "addr", srv.Addr(), "data", *dataDir,
+		"workers", *workers, "tracing", tracer.Enabled(), "trace_phases", *tracePhases)
 
 	<-ctx.Done()
-	log.Printf("shutting down: interrupting running jobs (they stay queued for the next start)")
+	logger.Info("shutting down: interrupting running jobs (they stay queued for the next start)")
 	svc.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 }

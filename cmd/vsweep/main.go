@@ -93,6 +93,12 @@ func main() {
 			log.Fatal("-submit needs -fig3 or -fig4")
 		}
 	}
+	// One submitter for the whole run, so the final summary covers every
+	// remotely executed batch.
+	var sub *submitter
+	if *submitURL != "" {
+		sub = newSubmitter(*submitURL)
+	}
 	// Live observability: a SharedRegistry fed by the harness progress
 	// tracker, served over HTTP for the duration of the run.
 	var progress *harness.Progress
@@ -178,8 +184,7 @@ func main() {
 		t0 := time.Now()
 		var cells []harness.Fig3Cell
 		var err error
-		if *submitURL != "" {
-			sub := newSubmitter(*submitURL)
+		if sub != nil {
 			base, runs := harness.Fig3Specs(configs, core.Presets(), harness.PaperSettings(), workloads, *scale)
 			baseResults, rerr := sub.run("fig3 base", base)
 			check(rerr)
@@ -236,8 +241,8 @@ func main() {
 		section("Fig. 4: average prediction accuracy (Great model, real confidence)")
 		var cells []harness.Fig4Cell
 		var err error
-		if *submitURL != "" {
-			results, rerr := newSubmitter(*submitURL).run("fig4", harness.Fig4Specs(configs, workloads, *scale))
+		if sub != nil {
+			results, rerr := sub.run("fig4", harness.Fig4Specs(configs, workloads, *scale))
 			check(rerr)
 			cells, err = harness.Fig4FromResults(results)
 		} else {
@@ -397,6 +402,10 @@ func main() {
 	if c := harness.DefaultTraceCache(); harness.TraceCaching() && c.Hits()+c.Misses() > 0 {
 		fmt.Printf("\ntrace cache: %d hits, %d misses, %d records cached\n",
 			c.Hits(), c.Misses(), c.CachedRecords())
+	}
+
+	if sub != nil {
+		sub.summary()
 	}
 
 	if progress != nil {

@@ -11,16 +11,35 @@ import (
 
 	"valuespec/internal/harness"
 	"valuespec/internal/jobs"
+	"valuespec/internal/textplot"
 )
 
 // submitter runs spec batches on a remote vserved daemon instead of the
 // local worker pool: it posts each batch as one job, polls until the job
 // settles, and converts the stored result set back to harness results. The
 // simulator is deterministic, so figures aggregated from remote Stats are
-// identical to locally computed ones.
+// identical to locally computed ones. After each job it pulls the server-
+// side span timeline from /jobs/{id}/trace, so the final summary can say
+// where every job's wall time went without shelling into the daemon.
 type submitter struct {
 	base   string // daemon URL, e.g. http://127.0.0.1:9090
 	client *http.Client
+
+	breakdowns []jobBreakdown // one per completed job, submission order
+}
+
+// jobBreakdown is one job's server-side timing, read from its trace. A
+// daemon running without tracing leaves the durations zero and Traced
+// false.
+type jobBreakdown struct {
+	Name      string // batch label ("fig3 base")
+	JobID     string
+	Specs     int
+	Traced    bool
+	QueueWait time.Duration
+	Run       time.Duration
+	Store     time.Duration
+	Total     time.Duration // whole lifecycle (submit -> terminal)
 }
 
 func newSubmitter(url string) *submitter {
@@ -62,6 +81,8 @@ func (s *submitter) run(name string, specs []harness.Spec) ([]harness.Result, er
 		return nil, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, name, job.State, job.Error)
 	}
 
+	s.breakdowns = append(s.breakdowns, s.fetchBreakdown(name, job.ID, len(specs)))
+
 	resp, err = s.client.Get(s.base + "/jobs/" + job.ID + "/result")
 	if err != nil {
 		return nil, fmt.Errorf("fetching result of %s: %w", job.ID, err)
@@ -99,6 +120,73 @@ func (s *submitter) wait(id string) (jobs.Job, error) {
 			return view.Job, nil
 		}
 		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// fetchBreakdown reads a finished job's span timeline from the daemon. Any
+// failure (tracing disabled, old daemon, spans already evicted from the
+// ring) degrades to an untraced breakdown instead of failing the sweep.
+func (s *submitter) fetchBreakdown(name, id string, specs int) jobBreakdown {
+	b := jobBreakdown{Name: name, JobID: id, Specs: specs}
+	resp, err := s.client.Get(s.base + "/jobs/" + id + "/trace")
+	if err != nil {
+		return b
+	}
+	var view struct {
+		Spans []struct {
+			Name       string  `json:"name"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"spans"`
+	}
+	if err := decodeOrError(resp, &view); err != nil {
+		return b
+	}
+	for _, sp := range view.Spans {
+		d := time.Duration(sp.DurationMS * float64(time.Millisecond))
+		switch sp.Name {
+		case "queue_wait":
+			b.QueueWait += d
+		case "run":
+			b.Run += d // retries sum
+		case "store":
+			b.Store += d
+		case "job":
+			b.Total = d
+		default:
+			continue
+		}
+		b.Traced = true
+	}
+	return b
+}
+
+// summary prints the per-job server-side breakdown gathered from the trace
+// endpoint; it is the last thing a -submit sweep writes.
+func (s *submitter) summary() {
+	if len(s.breakdowns) == 0 {
+		return
+	}
+	section("Remote job breakdown (server-side, from /jobs/{id}/trace)")
+	traced := false
+	var rows [][]string
+	for _, b := range s.breakdowns {
+		if !b.Traced {
+			rows = append(rows, []string{b.Name, b.JobID, fmt.Sprint(b.Specs), "-", "-", "-", "-"})
+			continue
+		}
+		traced = true
+		rows = append(rows, []string{
+			b.Name, b.JobID, fmt.Sprint(b.Specs),
+			b.QueueWait.Round(time.Millisecond).String(),
+			b.Run.Round(time.Millisecond).String(),
+			b.Store.Round(time.Millisecond).String(),
+			b.Total.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"Batch", "Job", "Specs", "Queue wait", "Run", "Store", "Total"}, rows))
+	if !traced {
+		fmt.Println("(daemon reported no spans; start vserved with tracing enabled for timings)")
 	}
 }
 

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
+	"time"
 
 	"valuespec/internal/harness"
+	"valuespec/internal/obs"
 )
 
 // JobView is a Job as the HTTP API serves it: the durable record plus, for a
@@ -35,8 +38,74 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	return mux
+}
+
+// SpanView is one recorded span as GET /jobs/{id}/trace serves it.
+type SpanView struct {
+	Name        string            `json:"name"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	EndUnixNS   int64             `json:"end_unix_ns"`
+	DurationMS  float64           `json:"duration_ms"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceView is the JSON body of GET /jobs/{id}/trace: the job's recorded
+// spans, oldest start first.
+type TraceView struct {
+	Job   string     `json:"job"`
+	State State      `json:"state"`
+	Spans []SpanView `json:"spans"`
+}
+
+// spanViews shapes spans for JSON, sorted by start time (ties broken by
+// emission order, so queue_wait precedes the job span it nests inside).
+func spanViews(spans []obs.Span) []SpanView {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	views := make([]SpanView, len(spans))
+	for i, sp := range spans {
+		v := SpanView{
+			Name:        sp.Name,
+			StartUnixNS: sp.Start,
+			EndUnixNS:   sp.End,
+			DurationMS:  float64(sp.Duration()) / float64(time.Millisecond),
+		}
+		if attrs := sp.Attrs(); len(attrs) > 0 {
+			v.Attrs = make(map[string]string, len(attrs))
+			for _, a := range attrs {
+				v.Attrs[a.Key] = a.Value
+			}
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// handleTrace serves a job's span timeline. The tracer is a bounded ring,
+// so a long-finished job's spans may have been overwritten; the endpoint
+// then returns an empty span list rather than an error. ?format=chrome
+// renders the timeline as Chrome trace JSON for Perfetto.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	tracer := s.cfg.Tracer
+	if tracer == nil {
+		httpError(w, http.StatusNotImplemented, "tracing is disabled on this daemon")
+		return
+	}
+	spans := tracer.Spans(id)
+	if strings.EqualFold(r.URL.Query().Get("format"), "chrome") {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceView{Job: id, State: job.State, Spans: spanViews(spans)})
 }
 
 // httpError writes a JSON error body with the given status.

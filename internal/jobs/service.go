@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,6 +26,22 @@ const (
 	MetricInflight     = "jobs.inflight"      // gauge: jobs executing right now
 	MetricStoreEntries = "jobs.store_entries" // gauge: result sets in the store
 	MetricStoreBytes   = "jobs.store_bytes"   // gauge: on-disk bytes of the store
+
+	// SLO metrics: the latency distributions a soak harness gates on.
+	MetricQueueWaitMS   = "jobs.queue_wait_ms"  // histogram: submit -> first lease, ms
+	MetricRunMS         = "jobs.run_ms"         // histogram: one execution attempt, ms
+	MetricE2EMS         = "jobs.e2e_ms"         // histogram: submit -> done, ms
+	MetricAttemptErrors = "jobs.attempt_errors" // counter: execution attempts that errored
+)
+
+// Span names the service emits on each job's track (the job ID). Together
+// they form the submit -> store timeline served by GET /jobs/{id}/trace.
+const (
+	SpanSubmit    = "submit"     // HTTP submit: validate, hash, durably enqueue
+	SpanQueueWait = "queue_wait" // waiting for a worker (first attempt only)
+	SpanRun       = "run"        // one execution attempt over the worker pool
+	SpanStore     = "store"      // persisting the result set
+	SpanJob       = "job"        // the whole lifecycle, submit -> terminal
 )
 
 // SimulateFunc runs one batch; the default is harness.SimulateBatch. Tests
@@ -51,6 +69,17 @@ type Config struct {
 	RetryBackoff time.Duration
 	// Metrics, when non-nil, receives the jobs.* counters and gauges.
 	Metrics *obs.SharedRegistry
+	// Tracer, when non-nil, records one span per lifecycle stage of every
+	// job (track = job ID): submit, queue_wait, run, store, job. nil keeps
+	// the service span-free at zero cost.
+	Tracer *obs.Tracer
+	// Logger receives structured job-lifecycle logs with job/spec_hash
+	// attributes; nil discards them.
+	Logger *slog.Logger
+	// TracePhases turns on the per-pipeline-stage wall-time breakdown for
+	// every executed spec and attaches it to the run span. It costs several
+	// clock reads per simulated cycle, so it is opt-in.
+	TracePhases bool
 	// Simulate overrides the batch executor; nil selects
 	// harness.SimulateBatch.
 	Simulate SimulateFunc
@@ -101,6 +130,9 @@ func Open(cfg Config) (*Service, error) {
 	}
 	if cfg.Simulate == nil {
 		cfg.Simulate = harness.SimulateBatch
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	queue, err := OpenQueue(cfg.DataDir + "/jobs")
 	if err != nil {
@@ -163,11 +195,16 @@ func (s *Service) Recovered() int { return s.queue.Recovered() }
 // its size).
 func (s *Service) Store() *Store { return s.store }
 
+// Tracer exposes the service's span recorder (nil when tracing is off); the
+// HTTP trace endpoints read through it.
+func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
 // Submit validates and durably enqueues req. When the result store already
 // holds the request's canonical hash, the job is answered immediately
 // without simulating: it is born done with Deduped set, and the second
 // return is true.
 func (s *Service) Submit(req Request) (Job, bool, error) {
+	began := time.Now()
 	if err := req.Validate(); err != nil {
 		return Job{}, false, err
 	}
@@ -189,6 +226,13 @@ func (s *Service) Submit(req Request) (Job, bool, error) {
 		s.count(MetricSubmitted, 1)
 		s.count(MetricDedup, 1)
 		s.publish()
+		s.cfg.Tracer.Emit(job.ID, SpanSubmit, began, time.Now(),
+			obs.SpanAttr{Key: "spec_hash", Value: job.SpecHash},
+			obs.SpanAttr{Key: "specs", Value: fmt.Sprint(len(req.Specs))},
+			obs.SpanAttr{Key: "deduped", Value: "true"})
+		s.cfg.Logger.Info("job submitted",
+			"job", job.ID, "spec_hash", job.SpecHash,
+			"specs", len(req.Specs), "deduped", true)
 		return job, true, nil
 	}
 	job, err := s.queue.Submit(req, hash)
@@ -197,6 +241,12 @@ func (s *Service) Submit(req Request) (Job, bool, error) {
 	}
 	s.count(MetricSubmitted, 1)
 	s.publish()
+	s.cfg.Tracer.Emit(job.ID, SpanSubmit, began, time.Now(),
+		obs.SpanAttr{Key: "spec_hash", Value: job.SpecHash},
+		obs.SpanAttr{Key: "specs", Value: fmt.Sprint(len(req.Specs))})
+	s.cfg.Logger.Info("job submitted",
+		"job", job.ID, "spec_hash", job.SpecHash,
+		"specs", len(req.Specs), "deduped", false)
 	return job, false, nil
 }
 
@@ -271,6 +321,9 @@ func (s *Service) Cancel(id string) (Job, error) {
 	}
 	s.count(MetricCanceled, 1)
 	s.publish()
+	s.finishJob(job, "canceled")
+	s.cfg.Logger.Warn("job canceled before running",
+		"job", job.ID, "spec_hash", job.SpecHash)
 	return job, nil
 }
 
@@ -301,7 +354,43 @@ func (s *Service) runJob(job Job) {
 	s.mu.Unlock()
 	s.publish()
 
-	results, runErr := s.execute(ctx, job, progress)
+	// The first lease closes the queue-wait interval; retries re-enter the
+	// queue through Park without a recorded park time, so only the initial
+	// wait is attributed.
+	if job.Attempts == 1 {
+		wait := job.StartedAt.Sub(job.SubmittedAt)
+		s.observe(MetricQueueWaitMS, wait.Milliseconds())
+		s.cfg.Tracer.Emit(job.ID, SpanQueueWait, job.SubmittedAt, job.StartedAt,
+			obs.SpanAttr{Key: "spec_hash", Value: job.SpecHash})
+	}
+	s.cfg.Logger.Info("job started",
+		"job", job.ID, "spec_hash", job.SpecHash,
+		"attempt", job.Attempts, "specs", len(job.Request.Specs))
+
+	// Cache counters are process-global, so under concurrent jobs the delta
+	// is approximate; it still separates warm reruns from cold decodes.
+	cacheHits0 := harness.DefaultTraceCache().Hits()
+	cacheMiss0 := harness.DefaultTraceCache().Misses()
+	run := s.cfg.Tracer.Start(job.ID, SpanRun)
+	run.Attr("spec_hash", job.SpecHash)
+	run.Attr("attempt", fmt.Sprint(job.Attempts))
+	run.Attr("specs", fmt.Sprint(len(job.Request.Specs)))
+	runBegan := time.Now()
+
+	results, phases, runErr := s.execute(ctx, job, progress)
+
+	snap := progress.Snapshot()
+	run.Attr("cycles", fmt.Sprint(snap.CyclesTotal))
+	run.Attr("cache_hits", fmt.Sprint(harness.DefaultTraceCache().Hits()-cacheHits0))
+	run.Attr("cache_misses", fmt.Sprint(harness.DefaultTraceCache().Misses()-cacheMiss0))
+	if phases != "" {
+		run.Attr("phases", phases)
+	}
+	if runErr != nil {
+		run.Attr("error", runErr.Error())
+	}
+	run.End()
+	s.observe(MetricRunMS, time.Since(runBegan).Milliseconds())
 
 	s.mu.Lock()
 	r := s.running[job.ID]
@@ -314,25 +403,55 @@ func (s *Service) runJob(job Job) {
 	switch {
 	case runErr == nil:
 		rs := &ResultSet{SpecHash: job.SpecHash, Results: results}
-		if err := s.store.Put(rs); err != nil {
+		st := s.cfg.Tracer.Start(job.ID, SpanStore)
+		st.Attr("spec_hash", job.SpecHash)
+		err := s.store.Put(rs)
+		st.End()
+		if err != nil {
 			runErr = err
 			break
 		}
-		_, _ = s.queue.Complete(job.ID)
+		done, _ := s.queue.Complete(job.ID)
 		s.count(MetricCompleted, 1)
 		s.publish()
+		s.finishJob(done, "done")
+		s.cfg.Logger.Info("job done",
+			"job", job.ID, "spec_hash", job.SpecHash,
+			"attempt", job.Attempts, "elapsed", time.Since(runBegan))
 		return
 	case userCancel:
-		_, _ = s.queue.MarkCanceled(job.ID)
+		done, _ := s.queue.MarkCanceled(job.ID)
 		s.count(MetricCanceled, 1)
 		s.publish()
+		s.finishJob(done, "canceled")
+		s.cfg.Logger.Warn("job canceled",
+			"job", job.ID, "spec_hash", job.SpecHash, "attempt", job.Attempts)
 		return
 	case closing:
 		// Interrupted by shutdown: back to the queue, attempt not wasted.
 		_, _ = s.queue.Park(job.ID, runErr)
+		s.cfg.Logger.Warn("job interrupted by shutdown, requeued",
+			"job", job.ID, "spec_hash", job.SpecHash)
 		return
 	}
+	s.count(MetricAttemptErrors, 1)
 	s.settleFailure(job, runErr)
+}
+
+// finishJob closes a job's timeline: one whole-lifecycle span plus the
+// end-to-end latency observation. done is the terminal job record as the
+// queue returned it (zero timestamps are skipped defensively).
+func (s *Service) finishJob(done Job, state string) {
+	if done.SubmittedAt.IsZero() || done.FinishedAt.IsZero() {
+		return
+	}
+	if state == "done" {
+		s.observe(MetricE2EMS, done.FinishedAt.Sub(done.SubmittedAt).Milliseconds())
+	}
+	s.cfg.Tracer.Emit(done.ID, SpanJob, done.SubmittedAt, done.FinishedAt,
+		obs.SpanAttr{Key: "spec_hash", Value: done.SpecHash},
+		obs.SpanAttr{Key: "state", Value: state},
+		obs.SpanAttr{Key: "attempts", Value: fmt.Sprint(done.Attempts)})
 }
 
 // settleFailure retries a failed attempt with exponential backoff until the
@@ -358,38 +477,75 @@ func (s *Service) settleFailure(job Job, cause error) {
 			s.mu.Unlock()
 			s.count(MetricRetries, 1)
 			s.publish()
+			s.cfg.Logger.Warn("job attempt failed, retrying",
+				"job", job.ID, "spec_hash", job.SpecHash,
+				"attempt", job.Attempts, "backoff", delay, "err", cause)
 			return
 		}
 	}
-	_, _ = s.queue.Fail(job.ID, cause)
+	done, _ := s.queue.Fail(job.ID, cause)
 	s.count(MetricFailed, 1)
 	s.publish()
+	s.finishJob(done, "failed")
+	s.cfg.Logger.Error("job failed",
+		"job", job.ID, "spec_hash", job.SpecHash,
+		"attempts", job.Attempts, "err", cause)
 }
 
 // execute runs the job's specs through the configured executor. Context
 // errors win over per-spec errors so timeouts and cancellations are
-// reported as such.
-func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progress) ([]SpecResult, error) {
+// reported as such. The second return is the aggregated per-phase wall-time
+// breakdown (empty unless Config.TracePhases is set).
+func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progress) ([]SpecResult, string, error) {
 	specs, err := job.Request.HarnessSpecs()
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	if s.cfg.TracePhases {
+		for i := range specs {
+			specs[i].Phases = true
+		}
 	}
 	results, err := s.cfg.Simulate(ctx, specs, progress)
 	progress.Finish()
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
+			return nil, "", ctxErr
 		}
-		return nil, err
+		return nil, "", err
 	}
 	if len(results) != len(job.Request.Specs) {
-		return nil, fmt.Errorf("jobs: executor returned %d results for %d specs", len(results), len(job.Request.Specs))
+		return nil, "", fmt.Errorf("jobs: executor returned %d results for %d specs", len(results), len(job.Request.Specs))
 	}
 	out := make([]SpecResult, len(results))
 	for i, r := range results {
 		out[i] = SpecResult{Spec: job.Request.Specs[i], Stats: r.Stats}
 	}
-	return out, nil
+	return out, phaseSummary(results), nil
+}
+
+// phaseSummary sums each pipeline phase's wall time across the job's specs
+// and renders a compact "name=dur" list for the run span. Empty when no
+// result carries a phase breakdown.
+func phaseSummary(results []harness.Result) string {
+	totals := make(map[string]time.Duration)
+	var order []string
+	for _, r := range results {
+		for _, ph := range r.Phases {
+			if _, ok := totals[ph.Name]; !ok {
+				order = append(order, ph.Name)
+			}
+			totals[ph.Name] += ph.Total
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	parts := make([]string, len(order))
+	for i, name := range order {
+		parts[i] = fmt.Sprintf("%s=%s", name, totals[name].Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
 }
 
 // Snapshot is the service-level live picture: what /progress serves when a
@@ -435,6 +591,18 @@ func (s *Service) count(name string, n int64) {
 	}
 }
 
+// observe records one latency sample, when metrics are attached. Negative
+// samples (clock skew across a restart) are clamped to zero.
+func (s *Service) observe(name string, ms int64) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	if ms < 0 {
+		ms = 0
+	}
+	s.cfg.Metrics.Observe(name, ms)
+}
+
 // publish refreshes the service gauges, when metrics are attached.
 func (s *Service) publish() {
 	if s.cfg.Metrics == nil {
@@ -452,6 +620,10 @@ func (s *Service) publish() {
 		r.Counter(MetricFailed)
 		r.Counter(MetricCanceled)
 		r.Counter(MetricRetries)
+		r.Counter(MetricAttemptErrors)
+		r.Histogram(MetricQueueWaitMS)
+		r.Histogram(MetricRunMS)
+		r.Histogram(MetricE2EMS)
 		r.Gauge(MetricQueueDepth).Set(float64(depth))
 		r.Gauge(MetricInflight).Set(float64(inflight))
 		r.Gauge(MetricStoreEntries).Set(float64(entries))

@@ -9,8 +9,9 @@ import (
 
 // TestPromExpositionGolden pins the exposition output byte-for-byte for a
 // fixed registry: three counters (one already carrying the _total suffix,
-// which must not be doubled), a gauge, and a histogram whose samples cover
-// the exact low buckets, a mid octave, and a wide octave.
+// which must not be doubled), a gauge, a histogram whose samples cover the
+// exact low buckets, a mid octave, and a wide octave, and the obsweb
+// middleware's dotted http.* names, whose sanitized forms dashboards key on.
 func TestPromExpositionGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("retired").Set(12345)
@@ -21,6 +22,9 @@ func TestPromExpositionGolden(t *testing.T) {
 	for _, v := range []int64{0, 3, 17, 1000} {
 		h.Observe(v)
 	}
+	r.Gauge("http.inflight").Set(1)
+	r.Counter("http.responses.metrics.2xx").Set(3)
+	r.Histogram("http.request_us.metrics").Observe(17)
 
 	const want = `# TYPE valuespec_retired_total counter
 valuespec_retired_total 12345
@@ -38,6 +42,15 @@ valuespec_sweep_spec_cycles_bucket{le="1023"} 4
 valuespec_sweep_spec_cycles_bucket{le="+Inf"} 4
 valuespec_sweep_spec_cycles_sum 1020
 valuespec_sweep_spec_cycles_count 4
+# TYPE valuespec_http_inflight gauge
+valuespec_http_inflight 1
+# TYPE valuespec_http_responses_metrics_2xx_total counter
+valuespec_http_responses_metrics_2xx_total 3
+# TYPE valuespec_http_request_us_metrics histogram
+valuespec_http_request_us_metrics_bucket{le="19"} 1
+valuespec_http_request_us_metrics_bucket{le="+Inf"} 1
+valuespec_http_request_us_metrics_sum 17
+valuespec_http_request_us_metrics_count 1
 `
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, r, "valuespec"); err != nil {

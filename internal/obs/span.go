@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// spanAttrCap is how many attributes one span can carry. Attributes beyond
+// the capacity are counted, not stored, so emitting never allocates.
+const spanAttrCap = 8
+
+// DefaultTracerSpans is the ring capacity NewTracer uses for n <= 0.
+const DefaultTracerSpans = 4096
+
+// SpanAttr is one key/value annotation on a span (a job id, a spec hash, a
+// phase breakdown). Values are plain strings so recording one never
+// allocates beyond what the caller already holds.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed timed interval of a request's lifecycle: a named
+// [Start, End) window on a track (the correlation key — a job id, a route).
+// Spans are plain values; the Tracer hands out copies, never ring-internal
+// pointers.
+type Span struct {
+	ID    uint64 // emission sequence number, 1-based, monotonic per tracer
+	Track string // correlation key: spans with equal tracks form one timeline
+	Name  string
+	Start int64 // Unix nanoseconds
+	End   int64 // Unix nanoseconds
+
+	attrs     [spanAttrCap]SpanAttr
+	nattrs    uint8
+	truncated uint8 // attributes dropped beyond spanAttrCap
+}
+
+// Duration returns the span's length.
+func (s *Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Attrs returns the span's attributes in the order they were set. The slice
+// aliases the span's fixed storage; copy it to keep it past the span.
+func (s *Span) Attrs() []SpanAttr { return s.attrs[:s.nattrs] }
+
+// Attr returns the value of the named attribute, if set.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.attrs[:s.nattrs] {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// TruncatedAttrs returns how many attributes were dropped because the span's
+// fixed attribute storage was full.
+func (s *Span) TruncatedAttrs() int { return int(s.truncated) }
+
+// Tracer is a bounded, goroutine-safe recorder of completed spans: a
+// fixed-capacity ring that the newest span overwrites when full, so a
+// long-running daemon holds the most recent window of activity in constant
+// memory. A nil *Tracer is valid everywhere and records nothing — Start and
+// Emit on a nil tracer cost one branch and zero allocations, the same
+// contract as the pipeline's nil-observer fast path.
+type Tracer struct {
+	mu      sync.Mutex
+	now     func() int64 // injectable clock (Unix nanoseconds), for tests
+	buf     []Span
+	head    int // next write position
+	n       int // valid spans, <= len(buf)
+	nextID  uint64
+	dropped int64
+}
+
+// NewTracer returns a tracer keeping the newest capacity spans (<= 0 selects
+// DefaultTracerSpans). The ring is allocated up front; recording allocates
+// nothing.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerSpans
+	}
+	return &Tracer{
+		now: func() int64 { return time.Now().UnixNano() },
+		buf: make([]Span, capacity),
+	}
+}
+
+// Enabled reports whether the tracer records anything; false for nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SpanRef is an in-progress span started by Tracer.Start. It is a plain
+// stack value: annotate it with Attr and close it with End, which records
+// the completed span. The zero SpanRef (from a nil tracer) is inert.
+type SpanRef struct {
+	span Span
+	t    *Tracer
+}
+
+// Start opens a span on track with the tracer's clock. On a nil tracer it
+// returns an inert ref.
+func (t *Tracer) Start(track, name string) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	return SpanRef{t: t, span: Span{Track: track, Name: name, Start: t.now()}}
+}
+
+// Attr annotates the span; attributes beyond the fixed capacity are counted
+// as truncated rather than stored. No-op on an inert ref.
+func (s *SpanRef) Attr(key, value string) {
+	if s.t == nil {
+		return
+	}
+	if int(s.span.nattrs) == spanAttrCap {
+		s.span.truncated++
+		return
+	}
+	s.span.attrs[s.span.nattrs] = SpanAttr{Key: key, Value: value}
+	s.span.nattrs++
+}
+
+// End closes the span at the tracer's clock and records it.
+func (s *SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	s.span.End = s.t.now()
+	s.t.record(&s.span)
+	s.t = nil // a second End is a no-op
+}
+
+// Emit records one pre-measured span directly, for intervals whose
+// boundaries were observed elsewhere (a job's queue wait between its
+// persisted submit and start timestamps). Attributes beyond the span
+// capacity are counted as truncated. No-op on a nil tracer.
+func (t *Tracer) Emit(track, name string, start, end time.Time, attrs ...SpanAttr) {
+	if t == nil {
+		return
+	}
+	sp := Span{Track: track, Name: name, Start: start.UnixNano(), End: end.UnixNano()}
+	for _, a := range attrs {
+		if int(sp.nattrs) == spanAttrCap {
+			sp.truncated++
+			continue
+		}
+		sp.attrs[sp.nattrs] = a
+		sp.nattrs++
+	}
+	t.record(&sp)
+}
+
+// record stamps an id on the completed span and writes it into the ring.
+func (t *Tracer) record(sp *Span) {
+	t.mu.Lock()
+	t.nextID++
+	sp.ID = t.nextID
+	t.buf[t.head] = *sp
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+	}
+	if t.n < len(t.buf) {
+		t.n++
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len returns how many spans the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many spans the ring has overwritten since creation.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns copies of the buffered spans in emission order (oldest
+// first), restricted to one track when track is non-empty. A nil tracer
+// returns nil.
+func (t *Tracer) Spans(track string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		sp := &t.buf[(start+i)%len(t.buf)]
+		if track != "" && sp.Track != track {
+			continue
+		}
+		out = append(out, *sp)
+	}
+	return out
+}
+
+// ChromeTrace converts completed spans into a Chrome trace: one process
+// ("valuespec spans"), one thread per distinct track (tids in order of first
+// appearance), one complete slice per span with its attributes as args.
+// Timestamps are rebased to the earliest span start and expressed in
+// microseconds, so the viewer's axis starts at zero. The output depends only
+// on the spans, making the export golden-testable.
+func ChromeTrace(spans []Span) *Trace {
+	tr := &Trace{}
+	if len(spans) == 0 {
+		return tr
+	}
+	base := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start < base {
+			base = sp.Start
+		}
+	}
+	const pid = 1
+	tr.ProcessName(pid, "valuespec spans")
+	tids := make(map[string]int)
+	for _, sp := range spans {
+		if _, ok := tids[sp.Track]; !ok {
+			tid := len(tids) + 1
+			tids[sp.Track] = tid
+			tr.ThreadName(pid, tid, sp.Track)
+		}
+	}
+	for i := range spans {
+		sp := &spans[i]
+		var args map[string]any
+		if sp.nattrs > 0 {
+			args = make(map[string]any, sp.nattrs)
+			for _, a := range sp.Attrs() {
+				args[a.Key] = a.Value
+			}
+		}
+		tr.Complete(pid, tids[sp.Track], sp.Name,
+			(sp.Start-base)/1000, (sp.End-sp.Start)/1000, args)
+	}
+	return tr
+}
+
+// WriteChromeTrace writes spans as Chrome trace JSON, ready for Perfetto or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return ChromeTrace(spans).WriteJSON(w)
+}

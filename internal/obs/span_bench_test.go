@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanEmitDisabled pins the disabled-tracer fast path: starting,
+// annotating, and ending a span against a nil tracer must stay at 0
+// allocs/op (benchcheck gates it), so leaving tracing off costs the job
+// service nothing but a few branches.
+func BenchmarkSpanEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("j000001", "run")
+		sp.Attr("spec_hash", "cafe")
+		sp.Attr("attempt", "1")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEmitEnabled measures the live recording path: one mutex-held
+// ring write per span, no allocations after the ring itself.
+func BenchmarkSpanEmitEnabled(b *testing.B) {
+	tr := NewTracer(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("j000001", "run")
+		sp.Attr("spec_hash", "cafe")
+		sp.Attr("attempt", "1")
+		sp.End()
+	}
+}
+
+// BenchmarkTraceExport measures rendering a full ring (1024 spans with
+// attributes) to Chrome trace JSON — the cost of one GET /trace.
+func BenchmarkTraceExport(b *testing.B) {
+	tr := NewTracer(1024)
+	base := time.Unix(0, 0)
+	for i := 0; i < 1024; i++ {
+		tr.Emit("j000001", "run",
+			base.Add(time.Duration(i)*time.Millisecond),
+			base.Add(time.Duration(i+1)*time.Millisecond),
+			SpanAttr{Key: "spec_hash", Value: "cafe"},
+			SpanAttr{Key: "attempt", Value: "1"})
+	}
+	spans := tr.Spans("")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteChromeTrace(io.Discard, spans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

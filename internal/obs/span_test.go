@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files instead of comparing")
+
+// scriptedTracer returns a tracer whose clock advances step nanoseconds per
+// reading, starting at base, so recorded timestamps are deterministic.
+func scriptedTracer(capacity int, base, step int64) *Tracer {
+	t := NewTracer(capacity)
+	now := base - step
+	t.now = func() int64 {
+		now += step
+		return now
+	}
+	return t
+}
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := scriptedTracer(16, 1000, 100)
+	sp := tr.Start("j000001", "run")
+	sp.Attr("spec_hash", "abc")
+	sp.Attr("attempt", "1")
+	sp.End()
+	tr.Emit("j000001", "queue_wait",
+		time.Unix(0, 100), time.Unix(0, 400),
+		SpanAttr{Key: "spec_hash", Value: "abc"})
+
+	spans := tr.Spans("")
+	if len(spans) != 2 {
+		t.Fatalf("Spans() = %d spans, want 2", len(spans))
+	}
+	run := spans[0]
+	if run.Name != "run" || run.Track != "j000001" {
+		t.Errorf("span 0 = %s on %s, want run on j000001", run.Name, run.Track)
+	}
+	if run.Start != 1000 || run.End != 1100 {
+		t.Errorf("run span [%d, %d], want [1000, 1100]", run.Start, run.End)
+	}
+	if run.Duration() != 100*time.Nanosecond {
+		t.Errorf("run duration = %v, want 100ns", run.Duration())
+	}
+	if v, ok := run.Attr("spec_hash"); !ok || v != "abc" {
+		t.Errorf("run spec_hash = %q/%v, want abc", v, ok)
+	}
+	if got := len(run.Attrs()); got != 2 {
+		t.Errorf("run has %d attrs, want 2", got)
+	}
+	qw := spans[1]
+	if qw.Name != "queue_wait" || qw.Start != 100 || qw.End != 400 {
+		t.Errorf("emit span = %s [%d, %d], want queue_wait [100, 400]", qw.Name, qw.Start, qw.End)
+	}
+	if run.ID != 1 || qw.ID != 2 {
+		t.Errorf("span ids = %d, %d, want 1, 2", run.ID, qw.ID)
+	}
+}
+
+func TestTracerTrackFilter(t *testing.T) {
+	tr := scriptedTracer(16, 0, 10)
+	for i := 0; i < 3; i++ {
+		sp := tr.Start(fmt.Sprintf("j%06d", i%2), "run")
+		sp.End()
+	}
+	if got := len(tr.Spans("j000000")); got != 2 {
+		t.Errorf("Spans(j000000) = %d, want 2", got)
+	}
+	if got := len(tr.Spans("j000001")); got != 1 {
+		t.Errorf("Spans(j000001) = %d, want 1", got)
+	}
+	if got := len(tr.Spans("j000009")); got != 0 {
+		t.Errorf("Spans(j000009) = %d, want 0", got)
+	}
+}
+
+// TestTracerRingWrap pins the bounded-memory contract: the ring keeps the
+// newest capacity spans, counts the overwritten ones, and Spans still
+// returns them oldest first.
+func TestTracerRingWrap(t *testing.T) {
+	tr := scriptedTracer(4, 0, 1)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("t", fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	spans := tr.Spans("")
+	if len(spans) != 4 {
+		t.Fatalf("Spans = %d, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%d", i+2); sp.Name != want {
+			t.Errorf("span %d = %s, want %s (oldest-first after wrap)", i, sp.Name, want)
+		}
+	}
+}
+
+func TestSpanAttrTruncation(t *testing.T) {
+	tr := scriptedTracer(4, 0, 1)
+	sp := tr.Start("t", "many")
+	for i := 0; i < spanAttrCap+3; i++ {
+		sp.Attr(fmt.Sprintf("k%d", i), "v")
+	}
+	sp.End()
+
+	attrs := make([]SpanAttr, spanAttrCap+2)
+	for i := range attrs {
+		attrs[i] = SpanAttr{Key: fmt.Sprintf("e%d", i), Value: "v"}
+	}
+	tr.Emit("t", "emitted", time.Unix(0, 1), time.Unix(0, 2), attrs...)
+
+	spans := tr.Spans("")
+	if got := len(spans[0].Attrs()); got != spanAttrCap {
+		t.Errorf("started span kept %d attrs, want %d", got, spanAttrCap)
+	}
+	if got := spans[0].TruncatedAttrs(); got != 3 {
+		t.Errorf("started span truncated %d, want 3", got)
+	}
+	if got := len(spans[1].Attrs()); got != spanAttrCap {
+		t.Errorf("emitted span kept %d attrs, want %d", got, spanAttrCap)
+	}
+	if got := spans[1].TruncatedAttrs(); got != 2 {
+		t.Errorf("emitted span truncated %d, want 2", got)
+	}
+}
+
+// TestNilTracer pins the disabled fast path: every method is safe and inert
+// on a nil tracer, matching the nil-observer contract of the pipeline.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	sp := tr.Start("t", "x")
+	sp.Attr("k", "v")
+	sp.End()
+	tr.Emit("t", "y", time.Unix(0, 1), time.Unix(0, 2))
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans("") != nil {
+		t.Error("nil tracer recorded something")
+	}
+}
+
+func TestSpanRefDoubleEnd(t *testing.T) {
+	tr := scriptedTracer(4, 0, 1)
+	sp := tr.Start("t", "once")
+	sp.End()
+	sp.End()
+	if got := tr.Len(); got != 1 {
+		t.Errorf("double End recorded %d spans, want 1", got)
+	}
+}
+
+// TestChromeTraceGolden pins the span export byte-for-byte: a two-track
+// timeline (one job plus an http route) with attributes, scripted
+// timestamps, and out-of-order starts. Regenerate with -update-golden.
+func TestChromeTraceGolden(t *testing.T) {
+	base := time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC)
+	at := func(ms int64) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	tr := NewTracer(16)
+	tr.Emit("j000001", "submit", at(0), at(2),
+		SpanAttr{Key: "spec_hash", Value: "cafe"},
+		SpanAttr{Key: "specs", Value: "4"})
+	tr.Emit("j000001", "queue_wait", at(2), at(10),
+		SpanAttr{Key: "spec_hash", Value: "cafe"})
+	tr.Emit("j000001", "run", at(10), at(150),
+		SpanAttr{Key: "attempt", Value: "1"},
+		SpanAttr{Key: "cycles", Value: "123456"})
+	tr.Emit("j000001", "store", at(150), at(151))
+	tr.Emit("http", "metrics", at(40), at(41))
+	tr.Emit("j000001", "job", at(0), at(151),
+		SpanAttr{Key: "state", Value: "done"},
+		SpanAttr{Key: "attempts", Value: "1"})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans("")); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "span_trace.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from %s (-update-golden to accept):\n--- got ---\n%s--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+	if buf.String() != want {
+		t.Errorf("empty trace = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestTracerConcurrent exercises the ring under the race detector.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start(fmt.Sprintf("g%d", g), "work")
+				sp.Attr("i", "x")
+				sp.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := tr.Len(); got != 64 {
+		t.Errorf("Len = %d, want full ring 64", got)
+	}
+	if got := tr.Dropped(); got != 4*200-64 {
+		t.Errorf("Dropped = %d, want %d", got, 4*200-64)
+	}
+}

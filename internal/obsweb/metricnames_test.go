@@ -1,0 +1,75 @@
+package obsweb
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+
+	"valuespec/internal/cpu"
+	"valuespec/internal/harness"
+	"valuespec/internal/jobs"
+	"valuespec/internal/obs"
+)
+
+// metricNamePattern is the repo's raw-name convention: lowercase, dotted
+// namespaces, underscores inside words. Names matching it sanitize into
+// valid Prometheus identifiers (promName maps '.' to '_') without ever
+// producing surprise characters, so /metrics cannot drift silently.
+var metricNamePattern = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+
+// TestMetricNameLint walks every metric name the codebase registers — the
+// sweep progress tracker, the jobs service, the obsweb middleware and SSE
+// counter, the trace cache, and the pipeline's cpu counters — and asserts
+// each obeys the naming convention and that no two distinct names collide
+// once sanitized for the exposition.
+func TestMetricNameLint(t *testing.T) {
+	reg := obs.NewSharedRegistry()
+
+	// Sweep progress: NewProgress pre-registers the full sweep.* set.
+	harness.NewProgress(reg)
+
+	// Jobs service: Open's first publish pre-registers the jobs.* set.
+	svc, err := jobs.Open(jobs.Config{DataDir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// obsweb: the middleware pre-registers http.*; the SSE drop counter and
+	// the per-route status-class counters register on first use, so seed
+	// them all explicitly.
+	srv := New(Config{Metrics: reg})
+	defer srv.Shutdown(context.Background())
+	reg.SetCounter(MetricSSEDropped, 0)
+	for _, route := range instrumentedRoutes {
+		for _, class := range []string{"2xx", "3xx", "4xx", "5xx", "other"} {
+			reg.Add(HTTPResponseMetric(route, class), 0)
+		}
+	}
+
+	names := reg.Snapshot().Names()
+	names = append(names, harness.DefaultTraceCache().Registry().Names()...)
+	var st cpu.Stats
+	for _, c := range st.Counters() {
+		names = append(names, c.Name)
+	}
+	if len(names) < 40 {
+		t.Fatalf("collected only %d names; a registration path went missing", len(names))
+	}
+
+	sanitized := make(map[string]string, len(names))
+	for _, name := range names {
+		if !metricNamePattern.MatchString(name) {
+			t.Errorf("metric %q violates naming convention %s", name, metricNamePattern)
+		}
+		if strings.Contains(name, "..") || strings.HasSuffix(name, ".") {
+			t.Errorf("metric %q has empty namespace segments", name)
+		}
+		flat := strings.ReplaceAll(name, ".", "_")
+		if prev, ok := sanitized[flat]; ok && prev != name {
+			t.Errorf("metrics %q and %q collide as %q in the exposition", prev, name, flat)
+		}
+		sanitized[flat] = name
+	}
+}

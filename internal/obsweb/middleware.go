@@ -1,0 +1,119 @@
+package obsweb
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// Service-level HTTP metric names (shared-registry keys; the exposition
+// prefixes the namespace and sanitizes dots to underscores).
+const (
+	// MetricHTTPInflight gauges requests currently being served, across all
+	// routes.
+	MetricHTTPInflight = "http.inflight"
+	// metricHTTPLatencyPrefix + route is the per-route latency histogram, in
+	// microseconds.
+	metricHTTPLatencyPrefix = "http.request_us."
+	// metricHTTPResponsePrefix + route + "." + class counts responses per
+	// route and status class ("2xx" ... "5xx").
+	metricHTTPResponsePrefix = "http.responses."
+)
+
+// HTTPLatencyMetric returns the shared-registry key of one route's latency
+// histogram (e.g. "http.request_us.metrics").
+func HTTPLatencyMetric(route string) string { return metricHTTPLatencyPrefix + route }
+
+// HTTPResponseMetric returns the shared-registry key of one route+class
+// response counter (e.g. "http.responses.metrics.2xx").
+func HTTPResponseMetric(route, class string) string {
+	return metricHTTPResponsePrefix + route + "." + class
+}
+
+// instrumentedRoutes is every route name the middleware can emit, used to
+// pre-register the latency histograms so /metrics carries the full set from
+// the first scrape. Go 1.22 muxes don't expose the matched pattern, so each
+// handler is wrapped with its name at registration time.
+var instrumentedRoutes = []string{
+	"index", "metrics", "healthz", "readyz",
+	"progress", "progress_stream", "jobs", "trace", "buildz", "pprof",
+}
+
+// statusWriter captures the response status for the middleware. It passes
+// Flush through so the SSE handler still streams, and defaults the status
+// to 200 for handlers that never call WriteHeader.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// statusClass folds a status code into its Prometheus-friendly class label.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// instrument wraps a handler with the service-level measurements: in-flight
+// gauge, per-route latency histogram (µs), per-route status-class counter,
+// and a debug-level access log. With no metrics registry configured it
+// returns the handler untouched, keeping the bare-Config path zero-cost.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Metrics == nil {
+		return h
+	}
+	latency := HTTPLatencyMetric(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := time.Now()
+		s.cfg.Metrics.SetGauge(MetricHTTPInflight, float64(s.inflight.Add(1)))
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			s.cfg.Metrics.SetGauge(MetricHTTPInflight, float64(s.inflight.Add(-1)))
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			elapsed := time.Since(began)
+			s.cfg.Metrics.Observe(latency, elapsed.Microseconds())
+			s.cfg.Metrics.Add(HTTPResponseMetric(route, statusClass(sw.status)), 1)
+			s.cfg.Logger.Debug("http request",
+				"route", route, "method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "elapsed", elapsed)
+		}()
+		h(sw, r)
+	}
+}
+
+// preregisterHTTPMetrics creates the in-flight gauge and every route's
+// latency histogram up front, so dashboards see stable series at zero
+// before the first request arrives.
+func (s *Server) preregisterHTTPMetrics() {
+	s.cfg.Metrics.Do(func(r *obs.Registry) {
+		r.Gauge(MetricHTTPInflight)
+		for _, route := range instrumentedRoutes {
+			r.Histogram(HTTPLatencyMetric(route))
+		}
+	})
+}

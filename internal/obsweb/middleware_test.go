@@ -1,0 +1,200 @@
+package obsweb
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// newHTTPTestServer mounts an already-built Server in an httptest listener
+// and returns its base URL.
+func newHTTPTestServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return ts.URL
+}
+
+// TestMiddlewareMetrics drives a few requests through the instrumented mux
+// and pins the exposition lines a dashboard would alert on: per-route
+// status-class counters, per-route latency histograms, and the in-flight
+// gauge — all fed back into the same /metrics the server scrapes from.
+func TestMiddlewareMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/nope")    // unmatched path: the index route answers 404
+	get(t, ts.URL+"/metrics") // first scrape; counted by the time of the next one
+
+	_, body, _ := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"valuespec_http_responses_healthz_2xx_total 2",
+		"valuespec_http_responses_index_4xx_total 1",
+		"valuespec_http_responses_metrics_2xx_total 1",
+		"valuespec_http_request_us_healthz_count 2",
+		`valuespec_http_request_us_healthz_bucket{le="+Inf"} 2`,
+		// In-flight is sampled outside any handler here, so it reads 1: the
+		// scrape serving this body is itself in flight.
+		"valuespec_http_inflight 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestMiddlewarePreregistered checks every route's latency histogram is in
+// the exposition before any request has hit it, so scrapes see a stable
+// series set from the first instant.
+func TestMiddlewarePreregistered(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	_, body, _ := get(t, ts.URL+"/metrics")
+	for _, route := range instrumentedRoutes {
+		want := "valuespec_http_request_us_" + route + "_count"
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing pre-registered %q", want)
+		}
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for _, tc := range []struct {
+		code int
+		want string
+	}{
+		{200, "2xx"}, {204, "2xx"}, {301, "3xx"}, {404, "4xx"}, {503, "5xx"}, {42, "other"},
+	} {
+		if got := statusClass(tc.code); got != tc.want {
+			t.Errorf("statusClass(%d) = %q, want %q", tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestBuildz(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	code, body, hdr := get(t, ts.URL+"/buildz")
+	if code != 200 {
+		t.Fatalf("/buildz = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Errorf("go_version = %q, want a go toolchain version", info.GoVersion)
+	}
+	if info.Path == "" {
+		t.Errorf("path empty in %q", body)
+	}
+}
+
+// TestTraceEndpoint checks the whole-service span export: every buffered
+// span renders as Chrome trace JSON, and ?track narrows to one timeline.
+func TestTraceEndpoint(t *testing.T) {
+	tracer := obs.NewTracer(16)
+	t0 := time.Unix(0, 0)
+	tracer.Emit("j000001", "run", t0, t0.Add(time.Millisecond))
+	tracer.Emit("j000002", "run", t0, t0.Add(2*time.Millisecond))
+	s := New(Config{Metrics: obs.NewSharedRegistry(), Tracer: tracer})
+	ts := newHTTPTestServer(t, s)
+
+	code, body, hdr := get(t, ts+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(body, `"traceEvents"`) ||
+		!strings.Contains(body, "j000001") || !strings.Contains(body, "j000002") {
+		t.Errorf("/trace body missing events or tracks:\n%s", body)
+	}
+
+	_, filtered, _ := get(t, ts+"/trace?track=j000001")
+	if !strings.Contains(filtered, "j000001") || strings.Contains(filtered, "j000002") {
+		t.Errorf("?track=j000001 not filtering:\n%s", filtered)
+	}
+
+	if code, idx, _ := get(t, ts+"/"); code != 200 || !strings.Contains(idx, "/trace") {
+		t.Errorf("index does not advertise /trace: %q", idx)
+	}
+}
+
+// TestTraceEndpointAbsentWithoutTracer: a tracerless server keeps its old
+// route table, so /trace falls through to the index 404.
+func TestTraceEndpointAbsentWithoutTracer(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	if code, _, _ := get(t, ts.URL+"/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without a tracer = %d, want 404", code)
+	}
+}
+
+// TestShutdownWithActiveSSEClients pins graceful shutdown under load: with
+// streaming clients mid-read on a real listener, Shutdown must close every
+// stream and return within its context, not hang on the open connections.
+func TestShutdownWithActiveSSEClients(t *testing.T) {
+	s := New(Config{
+		Metrics:        obs.NewSharedRegistry(),
+		Progress:       func() any { return testProgress{Completed: 1} },
+		StreamInterval: 5 * time.Millisecond,
+	})
+	if err := s.Start(nil, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := "http://" + s.Addr()
+
+	type client struct {
+		resp *http.Response
+		done chan error
+	}
+	var clients []client
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(addr + "/progress/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := client{resp: resp, done: make(chan error, 1)}
+		go func() {
+			// Drain until the server ends the stream; a hung shutdown keeps
+			// this read blocked forever.
+			_, err := io.Copy(io.Discard, c.resp.Body)
+			c.done <- err
+		}()
+		clients = append(clients, c)
+	}
+	// Let every client receive at least the initial frame.
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	began := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with active SSE clients: %v", err)
+	}
+	if elapsed := time.Since(began); elapsed > 3*time.Second {
+		t.Errorf("Shutdown took %v with streaming clients", elapsed)
+	}
+	for i, c := range clients {
+		select {
+		case <-c.done: // EOF or reset — either way the stream ended
+		case <-time.After(5 * time.Second):
+			t.Fatalf("client %d still streaming after Shutdown", i)
+		}
+		c.resp.Body.Close()
+	}
+}

@@ -17,16 +17,25 @@
 //	GET /progress         one progress snapshot as JSON
 //	GET /progress/stream  SSE: one "data:" frame per interval; slow clients
 //	                      skip to the newest frame instead of blocking anyone
+//	GET /trace            every buffered span as Chrome trace JSON
+//	GET /buildz           build/VCS identity of the running binary
 //	GET /debug/pprof/*    net/http/pprof (profile, heap, trace, ...)
+//
+// Every route passes through lightweight middleware that feeds the
+// service-level http.* metrics (per-route latency histograms, status-class
+// counters, an in-flight gauge) back into the same exposition the server
+// scrapes from.
 package obsweb
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +68,12 @@ type Config struct {
 	// Jobs, when non-nil, is mounted at /jobs — the simulation job API of
 	// internal/jobs (cmd/vserved wires it up).
 	Jobs http.Handler
+	// Tracer, when non-nil, backs GET /trace: the whole buffered span window
+	// exported as Chrome trace JSON.
+	Tracer *obs.Tracer
+	// Logger receives the middleware's debug-level access log; nil discards
+	// it.
+	Logger *slog.Logger
 }
 
 // Server is the live observability HTTP server. Create with New, expose
@@ -71,6 +86,8 @@ type Server struct {
 	srv   *http.Server
 	ln    net.Listener
 	ready atomic.Bool
+
+	inflight atomic.Int64 // live requests, behind the http.inflight gauge
 
 	bc       *broadcaster
 	stop     chan struct{}
@@ -88,30 +105,43 @@ func New(cfg Config) *Server {
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = DefaultStreamInterval
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	s := &Server{
 		cfg:  cfg,
 		mux:  http.NewServeMux(),
 		stop: make(chan struct{}),
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	if cfg.Metrics != nil {
+		s.preregisterHTTPMetrics()
+	}
+	// Go 1.22 muxes don't expose the matched pattern to handlers, so each
+	// route is wrapped with its instrumentation name here.
+	s.mux.HandleFunc("/", s.instrument("index", s.handleIndex))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("/buildz", s.instrument("buildz", s.handleBuildz))
 	if cfg.Progress != nil {
-		s.mux.HandleFunc("/progress", s.handleProgress)
-		s.mux.HandleFunc("/progress/stream", s.handleStream)
+		s.mux.HandleFunc("/progress", s.instrument("progress", s.handleProgress))
+		s.mux.HandleFunc("/progress/stream", s.instrument("progress_stream", s.handleStream))
+	}
+	if cfg.Tracer != nil {
+		s.mux.HandleFunc("/trace", s.instrument("trace", s.handleTrace))
 	}
 	if cfg.Jobs != nil {
 		// The jobs handler's own patterns are rooted at /jobs, so it mounts
 		// without a prefix strip.
-		s.mux.Handle("/jobs", cfg.Jobs)
-		s.mux.Handle("/jobs/", cfg.Jobs)
+		jobs := s.instrument("jobs", cfg.Jobs.ServeHTTP)
+		s.mux.Handle("/jobs", jobs)
+		s.mux.Handle("/jobs/", jobs)
 	}
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.HandleFunc("/debug/pprof/", s.instrument("pprof", pprof.Index))
+	s.mux.HandleFunc("/debug/pprof/cmdline", s.instrument("pprof", pprof.Cmdline))
+	s.mux.HandleFunc("/debug/pprof/profile", s.instrument("pprof", pprof.Profile))
+	s.mux.HandleFunc("/debug/pprof/symbol", s.instrument("pprof", pprof.Symbol))
+	s.mux.HandleFunc("/debug/pprof/trace", s.instrument("pprof", pprof.Trace))
 	if cfg.Progress != nil {
 		s.bc = newBroadcaster(s.onDroppedFrame)
 		s.wg.Add(1)
@@ -195,13 +225,63 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /metrics          Prometheus text exposition\n"+
 		"  /healthz          liveness probe\n"+
 		"  /readyz           readiness probe\n"+
+		"  /buildz           build and VCS identity (JSON)\n"+
 		"  /progress         sweep progress snapshot (JSON)\n"+
 		"  /progress/stream  sweep progress stream (SSE)\n"+
 		"  /debug/pprof/     runtime profiles\n")
+	if s.cfg.Tracer != nil {
+		fmt.Fprintf(w, "  /trace            buffered spans as Chrome trace JSON\n")
+	}
 	if s.cfg.Jobs != nil {
 		fmt.Fprintf(w, "  /jobs             simulation job API "+
-			"(POST submit, GET list; /jobs/{id}, /jobs/{id}/result, DELETE cancel)\n")
+			"(POST submit, GET list; /jobs/{id}, /jobs/{id}/result, "+
+			"/jobs/{id}/trace, DELETE cancel)\n")
 	}
+}
+
+// BuildInfo is the /buildz body: enough identity to tell which binary a
+// fleet member is running without shelling into its host.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// handleBuildz reports the running binary's build identity from the info
+// the Go linker already stamped into it.
+func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
+	info := BuildInfo{GoVersion: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.GoVersion = bi.GoVersion
+		info.Path = bi.Path
+		info.Version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.VCSRevision = kv.Value
+			case "vcs.time":
+				info.VCSTime = kv.Value
+			case "vcs.modified":
+				info.VCSModified = kv.Value == "true"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+// handleTrace exports every buffered span as Chrome trace JSON, optionally
+// restricted to one track (?track=j000001). Load the result in Perfetto or
+// chrome://tracing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.cfg.Tracer.Spans(r.URL.Query().Get("track"))
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

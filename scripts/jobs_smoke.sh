@@ -100,6 +100,50 @@ curl -fsS "http://$addr/metrics" | grep '^valuespec_jobs_dedup_hits_total' |
 	grep -qv ' 0$' || fail "/metrics jobs_dedup_hits_total did not increment"
 echo "jobs_smoke: duplicate submit deduped from the result store"
 
+# --- tracing: a fresh job leaves a complete submit->store span timeline ---
+# (the recovered job predates this daemon's in-memory span ring, so a newly
+# submitted spec is the one that must carry the full lifecycle)
+treq='{"name":"smoke-trace","specs":[{"workload":"compress","scale":3}]}'
+code=$(curl -s -o "$dir/trace_submit.json" -w '%{http_code}' \
+	-X POST -H 'Content-Type: application/json' -d "$treq" "http://$addr/jobs") ||
+	fail "trace POST /jobs unreachable"
+[ "$code" = "202" ] || fail "trace POST /jobs = HTTP $code (body: $(cat "$dir/trace_submit.json"))"
+tid=$(sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$dir/trace_submit.json" | head -1)
+[ -n "$tid" ] || fail "no job id in $(cat "$dir/trace_submit.json")"
+i=0
+state=
+while [ $i -lt 240 ]; do
+	curl -fsS "http://$addr/jobs/$tid" >"$dir/trace_job.json" ||
+		fail "GET /jobs/$tid unreachable"
+	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$dir/trace_job.json" | head -1)
+	[ "$state" = "done" ] && break
+	case $state in failed | canceled) fail "trace job finished $state" ;; esac
+	sleep 0.5
+	i=$((i + 1))
+done
+[ "$state" = "done" ] || fail "trace job $tid not done (state '$state')"
+# The terminal job span lands moments after the state flips; poll briefly.
+i=0
+while [ $i -lt 40 ]; do
+	curl -fsS "http://$addr/jobs/$tid/trace" >"$dir/trace.json" ||
+		fail "GET /jobs/$tid/trace unreachable"
+	grep -q '"name": "job"' "$dir/trace.json" && break
+	sleep 0.25
+	i=$((i + 1))
+done
+for span in submit queue_wait run store job; do
+	grep -q "\"name\": \"$span\"" "$dir/trace.json" ||
+		fail "trace timeline missing '$span' span: $(cat "$dir/trace.json")"
+done
+grep -q "\"spec_hash\"" "$dir/trace.json" || fail "trace spans missing spec_hash attr"
+curl -fsS "http://$addr/jobs/$tid/trace?format=chrome" | grep -q '"traceEvents"' ||
+	fail "chrome trace export missing traceEvents"
+curl -fsS "http://$addr/trace?track=$tid" | grep -q '"traceEvents"' ||
+	fail "whole-service /trace export missing traceEvents"
+curl -fsS "http://$addr/metrics" | grep -q '^valuespec_jobs_e2e_ms_count' ||
+	fail "/metrics missing jobs_e2e_ms histogram"
+echo "jobs_smoke: $tid has a complete submit->store->job span timeline"
+
 # --- equivalence: remote sweep results match a local simulation -----------
 "$sweep" -fig4 -quick -scale 2 -out "$dir/local" >"$dir/local.log" 2>&1 ||
 	fail "local vsweep run failed: $(cat "$dir/local.log")"
@@ -111,4 +155,4 @@ echo "jobs_smoke: vsweep -submit results byte-identical to local run"
 
 stop_daemon
 trap - EXIT INT TERM
-echo "jobs_smoke: OK (durable restart + dedup + remote/local equivalence)"
+echo "jobs_smoke: OK (durable restart + dedup + span timeline + remote/local equivalence)"

@@ -57,6 +57,14 @@ done
 curl -fsS "http://$addr/progress" | grep -q '"specs_total"' ||
 	fail "/progress missing specs_total"
 
+curl -fsS "http://$addr/buildz" >"$dir/buildz.json" || fail "/buildz unreachable"
+grep -q '"go_version": "go' "$dir/buildz.json" ||
+	fail "/buildz missing go_version: $(cat "$dir/buildz.json")"
+
+# The middleware feeds its own scrapes back into the exposition.
+curl -fsS "http://$addr/metrics" | grep -q '^valuespec_http_request_us_metrics_count' ||
+	fail "/metrics missing http middleware latency histogram"
+
 # Let the sweep finish so the final summary path runs too.
 wait "$pid" || fail "vsweep exited nonzero"
 trap - EXIT INT TERM
