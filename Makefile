@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke jobs-smoke reproduce experiments clean
+.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke jobs-smoke load-smoke reproduce experiments clean
 
 all: build test
 
@@ -43,7 +43,7 @@ check:
 # worker pool plus the observability stack it publishes through), for quick
 # iteration; `make check` runs the whole suite under -race.
 race-harness:
-	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs
+	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/load
 
 # End-to-end smoke test of the live observability server: a quick sweep
 # with -serve, probed over HTTP while it runs.
@@ -54,6 +54,13 @@ serve-smoke:
 # kill/restart, result-store dedup, and vsweep -submit equivalence.
 jobs-smoke:
 	sh scripts/jobs_smoke.sh
+
+# End-to-end soak of the load/chaos harness: an SLO-gated 10s hotkey soak at
+# 500 submissions/sec, a kill-restart chaos pass proving exactly-once
+# execution, and negative legs (impossible SLO, fabricated manifest entry)
+# proving the gates can fail.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

@@ -39,6 +39,9 @@ var targets = []struct{ pkg, pattern string }{
 	// checked-in ns/op baselines are hand-slackened above any observed run —
 	// a gross-regression gate; their allocation budgets are the tight gate.
 	{"./internal/jobs", "^(BenchmarkJobStorePutGet|BenchmarkQueueSubmitDrain)$"},
+	// BenchmarkLoadRecorder gates the soak harness's concurrent latency
+	// histogram: one lock-free Observe per recorded sample, zero allocations.
+	{"./internal/load", "^BenchmarkLoadRecorder$"},
 	// BenchmarkSpanEmitDisabled gates the tracing-off fast path at 0
 	// allocs/op, the same contract as BenchmarkEmitNilObserver.
 	{"./internal/obs", "^(BenchmarkSharedRegistrySnapshot|BenchmarkPromExposition|BenchmarkSpanEmitDisabled|BenchmarkSpanEmitEnabled|BenchmarkTraceExport)$"},

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	var errb bytes.Buffer
+	o, err := parseOptions([]string{"-url", "http://127.0.0.1:9090"}, &errb)
+	if err != nil {
+		t.Fatalf("minimal args rejected: %v (%s)", err, errb.String())
+	}
+	if o.dist != "hotkey" || o.rate != 500 || o.conc != 8 || o.duration != 10*time.Second {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.hasSLO {
+		t.Fatalf("SLO present without -slo")
+	}
+	if !o.verify {
+		t.Fatalf("result verification should default on")
+	}
+}
+
+func TestParseOptionsUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"neither url nor spawn":  {"-dist", "uniform"},
+		"both url and spawn":     {"-url", "http://x", "-spawn", "vserved"},
+		"unknown dist":           {"-url", "http://x", "-dist", "zipf"},
+		"chaos without spawn":    {"-url", "http://x", "-chaos"},
+		"chaos with count":       {"-spawn", "vserved", "-chaos", "-count", "10"},
+		"negative rate":          {"-url", "http://x", "-rate", "-1"},
+		"negative count":         {"-url", "http://x", "-count", "-5"},
+		"zero duration":          {"-url", "http://x", "-duration", "0s"},
+		"hotkeys below one":      {"-url", "http://x", "-hotkeys", "0"},
+		"scale below one":        {"-url", "http://x", "-scale", "0"},
+		"chaos-at out of range":  {"-spawn", "vserved", "-chaos", "-chaos-at", "1.5"},
+		"unknown workload":       {"-url", "http://x", "-workload", "nope"},
+		"reconcile w/o manifest": {"-reconcile", "-url", "http://x"},
+		"reconcile w/o url":      {"-reconcile", "-manifest", "m.json"},
+		"reconcile with spawn":   {"-reconcile", "-manifest", "m.json", "-url", "http://x", "-spawn", "vserved"},
+		"positional junk":        {"-url", "http://x", "extra"},
+		"unknown flag":           {"-url", "http://x", "-zap"},
+	}
+	for name, args := range cases {
+		var errb bytes.Buffer
+		if _, err := parseOptions(args, &errb); err == nil {
+			t.Errorf("%s accepted: %v", name, args)
+		}
+	}
+}
+
+func TestParseOptionsSLOFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(good, []byte(`{"max_lost": 0, "min_writes_per_sec": 10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errb bytes.Buffer
+	o, err := parseOptions([]string{"-url", "http://x", "-slo", good}, &errb)
+	if err != nil {
+		t.Fatalf("valid SLO rejected: %v", err)
+	}
+	if !o.hasSLO || o.slo.MaxLost == nil || *o.slo.MaxLost != 0 {
+		t.Fatalf("SLO not loaded: %+v", o.slo)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"max_p99": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseOptions([]string{"-url", "http://x", "-slo", bad}, &errb); err == nil {
+		t.Fatalf("SLO with unknown field accepted")
+	}
+	if _, err := parseOptions([]string{"-url", "http://x", "-slo", filepath.Join(dir, "missing.json")}, &errb); err == nil {
+		t.Fatalf("missing SLO file accepted")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+
+	// Usage errors are exit 2 with the message on stderr.
+	if code := run([]string{"-dist", "zipf", "-url", "http://x"}, &out, &errb); code != 2 {
+		t.Fatalf("usage error exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "zipf") {
+		t.Fatalf("usage error not reported: %q", errb.String())
+	}
+
+	// -h is help, not an error.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-dist") {
+		t.Fatalf("help text missing flags: %q", errb.String())
+	}
+
+	// An unreachable daemon is a runtime failure: exit 1.
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-url", "http://127.0.0.1:1", "-count", "1", "-duration", "1s"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("unreachable daemon exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unreachable") {
+		t.Fatalf("unreachable daemon not diagnosed: %q", errb.String())
+	}
+
+	// Reconcile against an unreachable daemon likewise.
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(manifest, []byte(`{"entries":[{"id":"j1","spec_hash":"ab"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-reconcile", "-manifest", manifest, "-url", "http://127.0.0.1:1"}, &out, &errb); code != 1 {
+		t.Fatalf("reconcile against dead daemon exited %d, want 1", code)
+	}
+
+	// A missing manifest is a runtime failure too.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-reconcile", "-manifest", filepath.Join(dir, "missing.json"), "-url", "http://127.0.0.1:1"}, &out, &errb); code != 1 {
+		t.Fatalf("missing manifest exited %d, want 1", code)
+	}
+}

@@ -20,12 +20,46 @@ type JobView struct {
 	Progress *harness.ProgressSnapshot `json:"progress,omitempty"`
 }
 
+// JobSummary is the compact listing form of a job: the lifecycle record
+// without the request payload, so polling a listing of thousands of jobs —
+// which is what the load harness's drain loop does — costs bytes
+// proportional to the job count, not to the submitted spec matrices.
+type JobSummary struct {
+	ID          string    `json:"id"`
+	Seq         int64     `json:"seq"`
+	State       State     `json:"state"`
+	SpecHash    string    `json:"spec_hash"`
+	Attempts    int       `json:"attempts"`
+	Deduped     bool      `json:"deduped,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// Summary shrinks a job to its listing form.
+func (j Job) Summary() JobSummary {
+	return JobSummary{
+		ID:          j.ID,
+		Seq:         j.Seq,
+		State:       j.State,
+		SpecHash:    j.SpecHash,
+		Attempts:    j.Attempts,
+		Deduped:     j.Deduped,
+		Error:       j.Error,
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   j.StartedAt,
+		FinishedAt:  j.FinishedAt,
+	}
+}
+
 // Handler returns the job API as an http.Handler rooted at /jobs, ready to
 // mount into the obsweb server (or any mux):
 //
 //	POST   /jobs              submit a Request; 202 and the job record
 //	                          (200 when answered from the result store)
 //	GET    /jobs              list every job, oldest first
+//	                          (?view=summary for the compact form)
 //	GET    /jobs/{id}         one job, with live progress while running
 //	GET    /jobs/{id}/result  the stored Stats; ?format=csv for CSV
 //	DELETE /jobs/{id}         cancel a queued or running job
@@ -154,8 +188,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, s.view(job))
 }
 
-func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	jobsList := s.Jobs()
+	if strings.EqualFold(r.URL.Query().Get("view"), "summary") {
+		sums := make([]JobSummary, len(jobsList))
+		for i, j := range jobsList {
+			sums[i] = j.Summary()
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobSummary `json:"jobs"`
+		}{sums})
+		return
+	}
 	views := make([]JobView, len(jobsList))
 	for i, j := range jobsList {
 		views[i] = s.view(j)

@@ -1,0 +1,140 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosRestartExactlyOnce is the in-process version of the vsload chaos
+// pass: kill the whole daemon stack mid-soak (interrupting running jobs),
+// bring it back over the same data directory on a new port, and prove every
+// acknowledged job still terminates exactly once. Submissions that land in
+// the dark window surface as rejections, never as losses.
+func TestChaosRestartExactlyOnce(t *testing.T) {
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = time.Second
+	}
+	d := startFakeDaemon(t, t.TempDir(), 4, slowSim(5*time.Millisecond))
+	r, err := NewRunner(Config{
+		Client:         NewClient(d.URL()),
+		Source:         Uniform("compress", 1),
+		Rate:           150,
+		Concurrency:    4,
+		Duration:       dur,
+		SampleInterval: 100 * time.Millisecond,
+		DrainTimeout:   60 * time.Second,
+		PollInterval:   20 * time.Millisecond,
+		VerifyResults:  true,
+		Chaos:          &Chaos{At: 0.5, Restart: d.Restart},
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.ChaosRestarts != 1 {
+		t.Fatalf("chaos restarts = %d, want 1", rep.ChaosRestarts)
+	}
+	if rep.Acked == 0 {
+		t.Fatalf("chaos soak acked nothing")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("exactly-once broken across restart: %v", rep.Violations)
+	}
+	if rep.Lost != 0 || rep.Unfinished != 0 {
+		t.Fatalf("lost %d / unfinished %d jobs across restart", rep.Lost, rep.Unfinished)
+	}
+	// Nothing cancels or fails in this harness; recovery must re-queue the
+	// interrupted jobs, so every ack ends done.
+	if rep.Done != rep.Acked || rep.Failed != 0 || rep.Canceled != 0 {
+		t.Fatalf("outcome = %+v, want all %d acked jobs done", rep.Outcome, rep.Acked)
+	}
+}
+
+// TestReconcileDetectsLostJob tampers with a soak's manifest: an entry the
+// daemon never saw must be reported as lost, push reconciliation into
+// violation, and keep the ledger arithmetic consistent. This is what the
+// negative leg of scripts/load_smoke.sh relies on.
+func TestReconcileDetectsLostJob(t *testing.T) {
+	n := testCount(40, 10)
+	d := startFakeDaemon(t, t.TempDir(), 2, instantSim)
+	client := NewClient(d.URL())
+	r, err := NewRunner(Config{
+		Client:         client,
+		Source:         Uniform("compress", 1),
+		Count:          n,
+		SampleInterval: -1,
+		DrainTimeout:   30 * time.Second,
+		PollInterval:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	m := Manifest{Entries: append(r.Entries(), Entry{
+		ID:       "j999999",
+		SpecHash: strings.Repeat("0", 64),
+	})}
+	out, err := Reconcile(context.Background(), client, m, 5*time.Second, true, nil)
+	if err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	if out.Lost != 1 {
+		t.Fatalf("lost = %d, want the fabricated job flagged", out.Lost)
+	}
+	if len(out.Violations) == 0 {
+		t.Fatalf("lost job produced no violation")
+	}
+	if out.Done+out.Failed+out.Canceled+out.Lost+out.Unfinished != n+1 {
+		t.Fatalf("ledger arithmetic broken: %+v over %d entries", out, n+1)
+	}
+}
+
+// TestReconcileFlagsDoubleAck feeds reconciliation a manifest where one job
+// id appears twice — a service acking an id twice would break exactly-once,
+// so the defensive dedup must flag it rather than double-count.
+func TestReconcileFlagsDoubleAck(t *testing.T) {
+	d := startFakeDaemon(t, t.TempDir(), 2, instantSim)
+	client := NewClient(d.URL())
+	r, err := NewRunner(Config{
+		Client:         client,
+		Source:         Uniform("compress", 1),
+		Count:          1,
+		SampleInterval: -1,
+		DrainTimeout:   10 * time.Second,
+		PollInterval:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries := r.Entries()
+	m := Manifest{Entries: append(entries, entries[0])}
+	out, err := Reconcile(context.Background(), client, m, 5*time.Second, false, nil)
+	if err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+	found := false
+	for _, v := range out.Violations {
+		if strings.Contains(v, "acknowledged twice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double ack not flagged: %v", out.Violations)
+	}
+	if out.Done != 1 {
+		t.Fatalf("double ack double-counted: done = %d, want 1", out.Done)
+	}
+}

@@ -1,0 +1,154 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+)
+
+// servingLine matches the parseable address line vserved prints on startup.
+var servingLine = regexp.MustCompile(`serving jobs on http://(\S+)`)
+
+// Daemon manages a vserved process the harness owns: chaos mode kills it
+// with SIGKILL (a crash, not a shutdown — the queue's durability is exactly
+// what is under test) and starts a fresh process over the same data
+// directory, re-reading the serving line because an ephemeral -addr moves
+// ports across restarts.
+type Daemon struct {
+	args    []string
+	logPath string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	base string
+	log  *os.File
+}
+
+// StartDaemon launches cmdline (split on whitespace; the first field is the
+// binary) with stdout+stderr appended to logPath, waits up to timeout for
+// the serving line, and returns the managed process. timeout <= 0 selects
+// 30s.
+func StartDaemon(cmdline, logPath string, timeout time.Duration) (*Daemon, error) {
+	args := strings.Fields(cmdline)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("load: empty daemon command line")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	d := &Daemon{args: args, logPath: logPath, timeout: timeout}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// start spawns one daemon process and scans its output for the serving
+// line. Caller holds no lock (initial start) or d.mu (restart).
+func (d *Daemon) start() error {
+	logf, err := os.OpenFile(d.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("load: daemon log: %w", err)
+	}
+	cmd := exec.Command(d.args[0], d.args[1:]...)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		logf.Close()
+		return fmt.Errorf("load: daemon pipe: %w", err)
+	}
+	cmd.Stdout = pw
+	cmd.Stderr = pw
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		pr.Close()
+		pw.Close()
+		return fmt.Errorf("load: starting daemon: %w", err)
+	}
+	pw.Close() // the child holds the write end now
+
+	// Tee the child's output into the log file, capturing the first serving
+	// line; the scanner goroutine lives until the child exits and closes the
+	// pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logf, line)
+			if m := servingLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+		io.Copy(logf, pr)
+		pr.Close()
+		logf.Close()
+	}()
+
+	select {
+	case addr := <-addrCh:
+		d.cmd = cmd
+		d.base = "http://" + addr
+		d.log = logf
+		return nil
+	case <-time.After(d.timeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("load: daemon printed no serving line within %s (log: %s)", d.timeout, d.logPath)
+	}
+}
+
+// Base returns the daemon's current base URL.
+func (d *Daemon) Base() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base
+}
+
+// Kill terminates the daemon ungracefully (SIGKILL) and reaps it.
+func (d *Daemon) Kill() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.killLocked()
+}
+
+func (d *Daemon) killLocked() error {
+	if d.cmd == nil {
+		return nil
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("load: killing daemon: %w", err)
+	}
+	d.cmd.Wait()
+	d.cmd = nil
+	return nil
+}
+
+// Restart is the chaos step: SIGKILL the running daemon, start a fresh
+// process with the identical command line, and return the new base URL.
+func (d *Daemon) Restart() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.killLocked(); err != nil {
+		return "", err
+	}
+	if err := d.start(); err != nil {
+		return "", err
+	}
+	return d.base, nil
+}
+
+// Stop shuts the daemon down at the end of a run (same SIGKILL; the data
+// directory is disposable by then). Safe to call twice.
+func (d *Daemon) Stop() {
+	d.Kill()
+}

@@ -1,0 +1,146 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"valuespec/internal/cpu"
+	"valuespec/internal/harness"
+	"valuespec/internal/jobs"
+	"valuespec/internal/obs"
+	"valuespec/internal/obsweb"
+)
+
+// instantSim is the fastest possible executor: every spec "simulates" to a
+// fixed one-cycle Stats immediately. The harness tests gate on invariants
+// (counts, conservation, hashes), never on how long this takes.
+func instantSim(_ context.Context, specs []harness.Spec, _ *harness.Progress) ([]harness.Result, error) {
+	out := make([]harness.Result, len(specs))
+	for i := range specs {
+		out[i] = harness.Result{Stats: &cpu.Stats{Cycles: 1, Retired: 1}}
+	}
+	return out, nil
+}
+
+// slowSim sleeps briefly per spec (respecting cancellation), so a chaos
+// restart reliably catches jobs in flight.
+func slowSim(d time.Duration) jobs.SimulateFunc {
+	return func(ctx context.Context, specs []harness.Spec, p *harness.Progress) ([]harness.Result, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return instantSim(ctx, specs, p)
+	}
+}
+
+// fakeDaemon is an in-process vserved: a jobs.Service mounted into an
+// obsweb handler behind httptest, sharing one durable data directory across
+// restarts.
+type fakeDaemon struct {
+	t       *testing.T
+	dir     string
+	workers int
+	sim     jobs.SimulateFunc
+
+	mu  sync.Mutex
+	svc *jobs.Service
+	web *obsweb.Server
+	srv *httptest.Server
+}
+
+// startFakeDaemon opens a service over dir and serves it.
+func startFakeDaemon(t *testing.T, dir string, workers int, sim jobs.SimulateFunc) *fakeDaemon {
+	t.Helper()
+	d := &fakeDaemon{t: t, dir: dir, workers: workers, sim: sim}
+	if err := d.open(); err != nil {
+		t.Fatalf("starting fake daemon: %v", err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+func (d *fakeDaemon) open() error {
+	svc, err := jobs.Open(jobs.Config{
+		DataDir:  d.dir,
+		Workers:  d.workers,
+		Metrics:  obs.NewSharedRegistry(),
+		Simulate: d.sim,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Start()
+	web := obsweb.New(obsweb.Config{
+		Progress: func() any { return svc.Snapshot() },
+		Jobs:     svc.Handler(),
+	})
+	d.svc = svc
+	d.web = web
+	d.srv = httptest.NewServer(web.Handler())
+	return nil
+}
+
+// URL returns the current base URL.
+func (d *fakeDaemon) URL() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.srv.URL
+}
+
+// Service returns the current service instance (for store-level asserts).
+func (d *fakeDaemon) Service() *jobs.Service {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.svc
+}
+
+// Restart is the in-process chaos step: tear the whole stack down
+// (interrupting running jobs, which the durable queue re-queues) and bring
+// it back over the same data directory on a fresh port.
+func (d *fakeDaemon) Restart() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closeLocked()
+	if err := d.open(); err != nil {
+		return "", err
+	}
+	return d.srv.URL, nil
+}
+
+func (d *fakeDaemon) closeLocked() {
+	if d.srv != nil {
+		d.srv.Close()
+		d.srv = nil
+	}
+	if d.svc != nil {
+		d.svc.Close()
+		d.svc = nil
+	}
+	if d.web != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		d.web.Shutdown(ctx)
+		cancel()
+		d.web = nil
+	}
+}
+
+// Stop tears the daemon down for good. Safe to call twice.
+func (d *fakeDaemon) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closeLocked()
+}
+
+// testCount scales a submission count down under -short, keeping
+// `go test ./...` inside the tier-1 budget.
+func testCount(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}

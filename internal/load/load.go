@@ -1,0 +1,226 @@
+// Package load is the load-generation, soak and chaos harness for the
+// simulation job service: the empirical counterpart of the service layer's
+// durability and latency claims, just as the paper validates its analytical
+// model against simulation rather than trusting it by construction.
+//
+// The pieces compose as cmd/vsload wires them:
+//
+//   - SpecSource generates tiny synthetic simulation requests in two
+//     distributions: Hotkey (a small pool of duplicate-heavy specs, driving
+//     the content-addressed result store's dedup path under contention) and
+//     Uniform (every submission unique, driving the durable queue and the
+//     worker pool).
+//   - Recorder is a concurrent HDR-style latency histogram (log-bucketed,
+//     16 sub-buckets per octave, <=6.25% relative quantile error) that the
+//     submitters feed from many goroutines without locks.
+//   - Runner paces submissions against a running vserved at a target rate
+//     and concurrency, samples queue depth over time, then drains: every
+//     acknowledged job must reach a terminal state within the deadline.
+//   - Reconcile verifies exactly-once execution against the daemon's
+//     durable /jobs listing: no acknowledged job lost, none duplicated,
+//     every completed job's result present under the expected content hash.
+//     Chaos soaks (Daemon kill -9 + restart mid-run) reuse the same check.
+//   - SLO is a declarative threshold spec (SLO_BASELINE.json) evaluated
+//     over the final Report; violations make vsload exit nonzero, the same
+//     contract cmd/benchcheck enforces for the simulator hot paths.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"valuespec/internal/jobs"
+)
+
+// SubmitAck is the accepted-submission record the daemon returns: everything
+// reconciliation later needs to hold the service to its exactly-once claim.
+type SubmitAck struct {
+	ID       string     `json:"id"`
+	SpecHash string     `json:"spec_hash"`
+	State    jobs.State `json:"state"`
+	Deduped  bool       `json:"deduped,omitempty"`
+}
+
+// progressView is the subset of the daemon's /progress snapshot the sampler
+// reads (jobs.Snapshot as served by vserved).
+type progressView struct {
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+}
+
+// Client is a minimal HTTP client for the vserved job API. The base URL is
+// swappable at runtime, which is how a chaos restart redirects in-flight
+// submitters to the reborn daemon's new ephemeral port. Safe for concurrent
+// use.
+type Client struct {
+	http *http.Client
+
+	mu   sync.RWMutex
+	base string
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:9090").
+func NewClient(base string) *Client {
+	return &Client{
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				// Keep connections alive across thousands of submissions per
+				// second; the default of 2 idle conns per host would churn
+				// through ephemeral ports.
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+			},
+		},
+		base: base,
+	}
+}
+
+// Base returns the current base URL.
+func (c *Client) Base() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// SetBase atomically redirects the client to a new base URL (a restarted
+// daemon's address).
+func (c *Client) SetBase(base string) {
+	c.mu.Lock()
+	c.base = base
+	c.mu.Unlock()
+}
+
+// Healthy probes GET /healthz; any error means the daemon is unreachable.
+func (c *Client) Healthy() error {
+	resp, err := c.http.Get(c.Base() + "/healthz")
+	if err != nil {
+		return fmt.Errorf("load: daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: /healthz returned HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Submit POSTs one request to /jobs and returns the daemon's acknowledgment.
+func (c *Client) Submit(req jobs.Request) (SubmitAck, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitAck{}, fmt.Errorf("load: encoding request: %w", err)
+	}
+	resp, err := c.http.Post(c.Base()+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SubmitAck{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return SubmitAck{}, fmt.Errorf("load: POST /jobs: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var ack SubmitAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return SubmitAck{}, fmt.Errorf("load: decoding submit response: %w", err)
+	}
+	if ack.ID == "" {
+		return SubmitAck{}, errors.New("load: submit response has no job id")
+	}
+	return ack, nil
+}
+
+// Summaries fetches the compact job listing (GET /jobs?view=summary): every
+// job's state without the request payloads, so a drain loop over thousands
+// of jobs stays cheap.
+func (c *Client) Summaries() ([]jobs.JobSummary, error) {
+	resp, err := c.http.Get(c.Base() + "/jobs?view=summary")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: GET /jobs?view=summary: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []jobs.JobSummary `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("load: decoding job summaries: %w", err)
+	}
+	return out.Jobs, nil
+}
+
+// ResultHash fetches a done job's stored result and returns its content
+// hash, verifying the result actually exists and parses.
+func (c *Client) ResultHash(id string) (string, error) {
+	resp, err := c.http.Get(c.Base() + "/jobs/" + id + "/result")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("load: GET /jobs/%s/result: HTTP %d", id, resp.StatusCode)
+	}
+	var rs struct {
+		SpecHash string `json:"spec_hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return "", fmt.Errorf("load: decoding result of %s: %w", id, err)
+	}
+	return rs.SpecHash, nil
+}
+
+// QueueDepth samples the daemon's /progress snapshot; ok is false when the
+// endpoint is unreachable or not serving a daemon snapshot (e.g. mid
+// chaos-restart), which the sampler simply skips.
+func (c *Client) QueueDepth() (depth, inflight int, ok bool) {
+	resp, err := c.http.Get(c.Base() + "/progress")
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false
+	}
+	var v progressView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, 0, false
+	}
+	return v.QueueDepth, v.Inflight, true
+}
+
+// Metric fetches one counter's value from the Prometheus exposition, for
+// smoke-level consistency checks against jobs.* metrics (single daemon life
+// only: the registry is in-memory and resets on restart).
+func (c *Client) Metric(name string) (float64, error) {
+	resp, err := c.http.Get(c.Base() + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("load: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		fields := bytes.Fields(line)
+		if len(fields) == 2 && string(fields[0]) == name {
+			var v float64
+			if _, err := fmt.Sscanf(string(fields[1]), "%g", &v); err != nil {
+				return 0, fmt.Errorf("load: parsing metric %s: %w", name, err)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("load: metric %s not in exposition", name)
+}

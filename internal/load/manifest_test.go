@@ -1,0 +1,49 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestManifestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	in := Manifest{
+		Base: "http://127.0.0.1:9999",
+		Entries: []Entry{
+			{ID: "j1", SpecHash: "aaaa", Deduped: false},
+			{ID: "j2", SpecHash: "aaaa", Deduped: true},
+			{ID: "j3", SpecHash: "bbbb"},
+		},
+	}
+	if err := WriteManifest(path, in); err != nil {
+		t.Fatalf("writing: %v", err)
+	}
+	out, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("reading: %v", err)
+	}
+	if out.Base != in.Base || len(out.Entries) != len(in.Entries) {
+		t.Fatalf("roundtrip mismatch: %+v", out)
+	}
+	for i := range in.Entries {
+		if out.Entries[i] != in.Entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, out.Entries[i], in.Entries[i])
+		}
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing manifest accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil {
+		t.Fatalf("malformed manifest accepted")
+	}
+}

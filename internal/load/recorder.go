@@ -1,0 +1,186 @@
+package load
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is a concurrent HDR-style latency histogram: fixed log-bucketed
+// storage (each power-of-two octave split into 16 linear sub-buckets, so
+// quantile estimates carry at most 1/16 = 6.25% relative error) over
+// non-negative integer samples, microseconds by convention. Every cell is an
+// atomic counter, so many submitter goroutines Observe without locks or
+// allocation; Snapshot copies the cells out for quantile math. Compare
+// obs.Histogram, which serves the single-writer simulator hot path with 4
+// sub-buckets; the recorder trades a little memory for concurrent writers
+// and tighter tails, which is what a p99 gate needs.
+//
+// The zero value is ready to use.
+type Recorder struct {
+	counts [numRecBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // offset by +1 so the zero value means "empty"
+	max    atomic.Int64 // offset by +1
+}
+
+// recSubBits is log2 of the sub-buckets per octave.
+const recSubBits = 4
+
+// numRecBuckets covers int64: 16 exact unit buckets for 0..15, then 16
+// sub-buckets per octave 2^4 .. 2^62.
+const numRecBuckets = 16 + (63-recSubBits)*16
+
+// recBucketIndex returns the bucket v lands in; negatives clamp to 0.
+func recBucketIndex(v int64) int {
+	if v < 16 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= 4
+	sub := int(uint64(v)>>(uint(exp)-recSubBits)) & 15
+	return 16 + (exp-recSubBits)*16 + sub
+}
+
+// recBucketLowerBound returns the smallest value mapping to bucket i.
+func recBucketLowerBound(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	exp := (i-16)/16 + recSubBits
+	sub := (i - 16) % 16
+	return int64(16+sub) << (uint(exp) - recSubBits)
+}
+
+// Observe records one sample. Safe for concurrent use.
+func (r *Recorder) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	r.counts[recBucketIndex(v)].Add(1)
+	r.count.Add(1)
+	r.sum.Add(v)
+	for {
+		cur := r.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if r.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := r.max.Load()
+		if cur >= v+1 {
+			break
+		}
+		if r.max.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in microseconds.
+func (r *Recorder) ObserveSince(start time.Time) {
+	r.Observe(time.Since(start).Microseconds())
+}
+
+// Snapshot returns a point-in-time copy for quantile math. Concurrent
+// Observes may land between cell reads; the snapshot is still a valid
+// histogram of a slightly fuzzy instant, which is all a report needs.
+func (r *Recorder) Snapshot() *LatencySnapshot {
+	s := &LatencySnapshot{}
+	for i := range r.counts {
+		c := r.counts[i].Load()
+		s.counts[i] = c
+		s.Count += c
+	}
+	s.Sum = r.sum.Load()
+	if min := r.min.Load(); min > 0 {
+		s.Min = min - 1
+	}
+	if max := r.max.Load(); max > 0 {
+		s.Max = max - 1
+	}
+	return s
+}
+
+// LatencySnapshot is a frozen Recorder: exact count, sum, min and max plus
+// the bucket counts quantiles are estimated from.
+type LatencySnapshot struct {
+	counts [numRecBuckets]uint64
+	Count  uint64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// Mean returns the exact mean sample (0 when empty).
+func (s *LatencySnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the lower bound of the
+// bucket holding the rank-floor(q*count) sample, clamped to the exact min
+// and max; exact for values below 16, within 6.25% above.
+func (s *LatencySnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum > rank {
+			v := recBucketLowerBound(i)
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return float64(v)
+		}
+	}
+	return float64(s.Max)
+}
+
+// LatencyStats is a snapshot rendered for reports, in milliseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Stats summarizes the snapshot's microsecond samples in milliseconds.
+func (s *LatencySnapshot) Stats() LatencyStats {
+	const usPerMS = 1000.0
+	round := func(v float64) float64 { return math.Round(v*1000) / 1000 }
+	return LatencyStats{
+		Count:  s.Count,
+		P50MS:  round(s.Quantile(0.50) / usPerMS),
+		P95MS:  round(s.Quantile(0.95) / usPerMS),
+		P99MS:  round(s.Quantile(0.99) / usPerMS),
+		MaxMS:  round(float64(s.Max) / usPerMS),
+		MeanMS: round(s.Mean() / usPerMS),
+	}
+}

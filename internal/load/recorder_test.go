@@ -1,0 +1,146 @@
+package load
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderExactBelowSixteen(t *testing.T) {
+	var r Recorder
+	for v := int64(0); v < 16; v++ {
+		r.Observe(v)
+	}
+	s := r.Snapshot()
+	if s.Count != 16 || s.Min != 0 || s.Max != 15 || s.Sum != 120 {
+		t.Fatalf("count/min/max/sum = %d/%d/%d/%d, want 16/0/15/120", s.Count, s.Min, s.Max, s.Sum)
+	}
+	// Values below 16 have unit-width buckets, so quantiles are exact.
+	if got := s.Quantile(0.5); got != 8 {
+		t.Fatalf("p50 = %g, want 8", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %g, want 0", got)
+	}
+	if got := s.Quantile(1); got != 15 {
+		t.Fatalf("p100 = %g, want 15", got)
+	}
+}
+
+func TestRecorderQuantileErrorBound(t *testing.T) {
+	var r Recorder
+	for v := int64(1); v <= 100000; v++ {
+		r.Observe(v)
+	}
+	s := r.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		true float64
+	}{{0.50, 50000}, {0.95, 95000}, {0.99, 99000}} {
+		got := s.Quantile(tc.q)
+		// The estimate is a bucket lower bound: never above the true value,
+		// never more than one sub-bucket (1/16) below it.
+		if got > tc.true || got < tc.true*(1-1.0/16)-1 {
+			t.Errorf("q%.2f = %g, want within [%g, %g]", tc.q, got, tc.true*(1-1.0/16)-1, tc.true)
+		}
+	}
+	if s.Mean() != 50000.5 {
+		t.Fatalf("mean = %g, want 50000.5", s.Mean())
+	}
+}
+
+func TestRecorderNegativeClampsToZero(t *testing.T) {
+	var r Recorder
+	r.Observe(-5)
+	s := r.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("negative sample not clamped: %+v", s)
+	}
+}
+
+func TestRecorderBucketBoundsConsistent(t *testing.T) {
+	values := []int64{0, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1025, 1 << 20, 1<<40 + 12345, 1<<62 - 1}
+	for _, v := range values {
+		i := recBucketIndex(v)
+		lo := recBucketLowerBound(i)
+		if lo > v {
+			t.Errorf("bucket %d lower bound %d above member %d", i, lo, v)
+		}
+		if i+1 < numRecBuckets {
+			if hi := recBucketLowerBound(i + 1); hi <= v {
+				t.Errorf("value %d at bucket %d, but next bucket starts at %d", v, i, hi)
+			}
+			// Relative bucket width is the quantile error bound: <= 1/16.
+			if v >= 16 {
+				if width := recBucketLowerBound(i+1) - lo; float64(width) > float64(lo)/16+1 {
+					t.Errorf("bucket %d width %d too wide for lower bound %d", i, width, lo)
+				}
+			}
+		}
+	}
+	// Bucket indexes are monotone in the value.
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		i := recBucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestRecorderConcurrent drives the recorder from 8 goroutines; run under
+// -race (the Makefile race step includes this package), it proves the
+// lock-free Observe path is actually safe, and the totals prove no sample
+// is lost.
+func TestRecorderConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 10000
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Observe(int64(g*1000 + i%100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var wantSum int64
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			wantSum += int64(g*1000 + i%100)
+		}
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Min != 0 || s.Max != 7099 {
+		t.Fatalf("min/max = %d/%d, want 0/7099", s.Min, s.Max)
+	}
+}
+
+func TestLatencyStatsMillisecondConversion(t *testing.T) {
+	var r Recorder
+	r.Observe(2000) // 2ms in µs
+	st := r.Snapshot().Stats()
+	if st.Count != 1 || st.MaxMS != 2 || st.MeanMS != 2 {
+		t.Fatalf("stats = %+v, want 2ms max/mean of 1 sample", st)
+	}
+}
+
+// BenchmarkLoadRecorder pins the latency-recorder hot path: one Observe per
+// op across the bucket range submitters actually hit. Gated by benchcheck
+// with a zero-allocation budget.
+func BenchmarkLoadRecorder(b *testing.B) {
+	var r Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(int64(i) & 1048575)
+	}
+}

@@ -1,0 +1,187 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewRunnerValidation(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1")
+	src := Uniform("compress", 1)
+	for name, cfg := range map[string]Config{
+		"no client":            {Source: src, Count: 1},
+		"no source":            {Client: client, Count: 1},
+		"no count or duration": {Client: client, Source: src},
+		"chaos without restart": {Client: client, Source: src, Duration: time.Second,
+			Chaos: &Chaos{At: 0.5}},
+	} {
+		if _, err := NewRunner(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := NewRunner(Config{Client: client, Source: src, Count: 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunnerUnreachableDaemon(t *testing.T) {
+	r, err := NewRunner(Config{
+		Client: NewClient("http://127.0.0.1:1"),
+		Source: Uniform("compress", 1),
+		Count:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Fatalf("run against an unreachable daemon succeeded")
+	}
+}
+
+// TestRunnerUniformSoak drives a count-bounded uniform soak against the
+// in-process daemon and checks the exactly-once ledger arithmetic: every
+// submission acked, every ack done, every spec unique, nothing deduped.
+func TestRunnerUniformSoak(t *testing.T) {
+	n := testCount(400, 60)
+	d := startFakeDaemon(t, t.TempDir(), 4, instantSim)
+	r, err := NewRunner(Config{
+		Client:         NewClient(d.URL()),
+		Source:         Uniform("compress", 1),
+		Concurrency:    4,
+		Count:          n,
+		SampleInterval: -1,
+		DrainTimeout:   30 * time.Second,
+		PollInterval:   10 * time.Millisecond,
+		VerifyResults:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Acked != n || rep.Rejected != 0 {
+		t.Fatalf("acked/rejected = %d/%d, want %d/0 (last error: %s)",
+			rep.Acked, rep.Rejected, n, rep.LastRejectError)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean soak violated invariants: %v", rep.Violations)
+	}
+	if rep.Done != n || rep.Failed != 0 || rep.Canceled != 0 || rep.Lost != 0 || rep.Unfinished != 0 {
+		t.Fatalf("outcome = %+v, want all %d done", rep.Outcome, n)
+	}
+	if rep.UniqueHashes != n || rep.DedupHits != 0 {
+		t.Fatalf("uniform soak: %d unique hashes, %d dedup hits, want %d/0",
+			rep.UniqueHashes, rep.DedupHits, n)
+	}
+	if rep.E2E.Count != uint64(n) {
+		t.Fatalf("e2e samples = %d, want one per executed job (%d)", rep.E2E.Count, n)
+	}
+	if rep.Submit.Count != uint64(n) {
+		t.Fatalf("submit samples = %d, want %d", rep.Submit.Count, n)
+	}
+	if rep.WritesPerSec <= 0 || rep.SoakSeconds <= 0 {
+		t.Fatalf("throughput not measured: %.3f writes/sec over %.3fs", rep.WritesPerSec, rep.SoakSeconds)
+	}
+	if len(r.Entries()) != n {
+		t.Fatalf("Entries() = %d, want %d", len(r.Entries()), n)
+	}
+}
+
+// TestRunnerHotkeyDedup soaks a hotkey distribution twice over one data
+// directory. The first pass proves the conservation identity dedup_hits +
+// executed == done with the hash pool bounded by the key count; the second
+// pass — every result already stored — must dedup every single submission.
+func TestRunnerHotkeyDedup(t *testing.T) {
+	const keys = 4
+	n := testCount(300, 60)
+	dir := t.TempDir()
+	d := startFakeDaemon(t, dir, 4, instantSim)
+
+	soak := func(count int) *Report {
+		t.Helper()
+		r, err := NewRunner(Config{
+			Client:         NewClient(d.URL()),
+			Source:         Hotkey("compress", 1, keys),
+			Concurrency:    4,
+			Count:          count,
+			SampleInterval: -1,
+			DrainTimeout:   30 * time.Second,
+			PollInterval:   10 * time.Millisecond,
+			VerifyResults:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return rep
+	}
+
+	first := soak(n)
+	if first.Acked != n || first.Rejected != 0 || len(first.Violations) != 0 {
+		t.Fatalf("first pass not clean: acked %d rejected %d violations %v",
+			first.Acked, first.Rejected, first.Violations)
+	}
+	if first.Done != n {
+		t.Fatalf("first pass done = %d, want %d", first.Done, n)
+	}
+	if first.UniqueHashes != keys {
+		t.Fatalf("hotkey pool leaked: %d unique hashes, want %d", first.UniqueHashes, keys)
+	}
+	// Every done job is either a dedup hit or carried an e2e sample; the two
+	// must partition Done exactly regardless of how the submissions raced.
+	if first.DedupHits+int(first.E2E.Count) != first.Done {
+		t.Fatalf("dedup %d + executed %d != done %d", first.DedupHits, first.E2E.Count, first.Done)
+	}
+
+	second := soak(n / 2)
+	if len(second.Violations) != 0 {
+		t.Fatalf("second pass violated invariants: %v", second.Violations)
+	}
+	// Every hash is already in the store, so dedup must catch 100%.
+	if second.DedupHits != second.Acked || second.Done != second.Acked || second.E2E.Count != 0 {
+		t.Fatalf("warm store pass: %d/%d deduped, %d executed, want all-dedup",
+			second.DedupHits, second.Acked, second.E2E.Count)
+	}
+	if second.DedupRate != 1 {
+		t.Fatalf("warm store dedup rate = %v, want 1", second.DedupRate)
+	}
+}
+
+// TestRunnerDurationMode exercises the wall-clock-bounded soak path with
+// pacing and the queue-depth sampler live; assertions stay on invariants.
+func TestRunnerDurationMode(t *testing.T) {
+	d := startFakeDaemon(t, t.TempDir(), 2, instantSim)
+	r, err := NewRunner(Config{
+		Client:         NewClient(d.URL()),
+		Source:         Uniform("compress", 1),
+		Rate:           200,
+		Concurrency:    2,
+		Duration:       400 * time.Millisecond,
+		SampleInterval: 50 * time.Millisecond,
+		DrainTimeout:   30 * time.Second,
+		PollInterval:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Acked == 0 {
+		t.Fatalf("duration soak acked nothing")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Done+rep.Failed+rep.Canceled != rep.Acked {
+		t.Fatalf("conservation broken: done %d + failed %d + canceled %d != acked %d",
+			rep.Done, rep.Failed, rep.Canceled, rep.Acked)
+	}
+}

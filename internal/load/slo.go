@@ -1,0 +1,150 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// SLO is a declarative service-level objective over one soak's Report: the
+// service-layer counterpart of BENCH_BASELINE.json. Absent fields are not
+// enforced; present fields are hard gates, including explicit zeros
+// (max_failed 0 means "no failures, ever"), which is why the numeric
+// thresholds are pointers. The checked-in baseline is SLO_BASELINE.json.
+type SLO struct {
+	Note string `json:"note,omitempty"`
+
+	// MinWritesPerSec gates acknowledged submissions per second.
+	MinWritesPerSec *float64 `json:"min_writes_per_sec,omitempty"`
+	// MaxSubmitP50MS / P95 / P99 gate the client-observed submit latency.
+	MaxSubmitP50MS *float64 `json:"max_submit_p50_ms,omitempty"`
+	MaxSubmitP95MS *float64 `json:"max_submit_p95_ms,omitempty"`
+	MaxSubmitP99MS *float64 `json:"max_submit_p99_ms,omitempty"`
+	// MaxE2EP99MS gates the submit-to-done latency of executed jobs, from
+	// the daemon's durable timestamps.
+	MaxE2EP99MS *float64 `json:"max_e2e_p99_ms,omitempty"`
+	// MinDedupRate gates the content-addressed store's hit rate
+	// (dedup hits / acked submissions).
+	MinDedupRate *float64 `json:"min_dedup_rate,omitempty"`
+	// MaxRejected / MaxFailed / MaxLost / MaxUnfinished gate the terminal
+	// accounting. Lost and unfinished jobs are always reconciliation
+	// violations regardless of the SLO; the explicit thresholds exist so a
+	// baseline file states the whole contract in one place.
+	MaxRejected   *int `json:"max_rejected,omitempty"`
+	MaxFailed     *int `json:"max_failed,omitempty"`
+	MaxLost       *int `json:"max_lost,omitempty"`
+	MaxUnfinished *int `json:"max_unfinished,omitempty"`
+}
+
+// ParseSLO decodes an SLO spec strictly: unknown fields and trailing data
+// are errors, so a typoed threshold can never silently gate nothing.
+func ParseSLO(r io.Reader) (SLO, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s SLO
+	if err := dec.Decode(&s); err != nil {
+		return SLO{}, fmt.Errorf("load: parsing SLO spec: %w", err)
+	}
+	if dec.More() {
+		return SLO{}, fmt.Errorf("load: parsing SLO spec: trailing data after the object")
+	}
+	for name, v := range map[string]*float64{
+		"min_writes_per_sec": s.MinWritesPerSec,
+		"max_submit_p50_ms":  s.MaxSubmitP50MS,
+		"max_submit_p95_ms":  s.MaxSubmitP95MS,
+		"max_submit_p99_ms":  s.MaxSubmitP99MS,
+		"max_e2e_p99_ms":     s.MaxE2EP99MS,
+		"min_dedup_rate":     s.MinDedupRate,
+	} {
+		if v != nil && *v < 0 {
+			return SLO{}, fmt.Errorf("load: SLO spec: %s must be non-negative, got %g", name, *v)
+		}
+	}
+	for name, v := range map[string]*int{
+		"max_rejected":   s.MaxRejected,
+		"max_failed":     s.MaxFailed,
+		"max_lost":       s.MaxLost,
+		"max_unfinished": s.MaxUnfinished,
+	} {
+		if v != nil && *v < 0 {
+			return SLO{}, fmt.Errorf("load: SLO spec: %s must be non-negative, got %d", name, *v)
+		}
+	}
+	return s, nil
+}
+
+// LoadSLO reads and parses the SLO spec at path.
+func LoadSLO(path string) (SLO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SLO{}, fmt.Errorf("load: opening SLO spec: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseSLO(f)
+	if err != nil {
+		return SLO{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Evaluate checks rep against every present threshold and returns the
+// violations, empty when the SLO holds.
+func (s SLO) Evaluate(rep *Report) []string {
+	var v []string
+	checkMax := func(name string, got float64, limit *float64) {
+		if limit != nil && got > *limit {
+			v = append(v, fmt.Sprintf("%s: %g exceeds the SLO limit %g", name, got, *limit))
+		}
+	}
+	if s.MinWritesPerSec != nil && rep.WritesPerSec < *s.MinWritesPerSec {
+		v = append(v, fmt.Sprintf("writes/sec: %g below the SLO floor %g", rep.WritesPerSec, *s.MinWritesPerSec))
+	}
+	checkMax("submit p50 ms", rep.Submit.P50MS, s.MaxSubmitP50MS)
+	checkMax("submit p95 ms", rep.Submit.P95MS, s.MaxSubmitP95MS)
+	checkMax("submit p99 ms", rep.Submit.P99MS, s.MaxSubmitP99MS)
+	checkMax("e2e p99 ms", rep.E2E.P99MS, s.MaxE2EP99MS)
+	if s.MinDedupRate != nil && rep.DedupRate < *s.MinDedupRate {
+		v = append(v, fmt.Sprintf("dedup rate: %.3f below the SLO floor %g", rep.DedupRate, *s.MinDedupRate))
+	}
+	checkIntMax := func(name string, got int, limit *int) {
+		if limit != nil && got > *limit {
+			v = append(v, fmt.Sprintf("%s: %d exceeds the SLO limit %d", name, got, *limit))
+		}
+	}
+	checkIntMax("rejected submissions", rep.Rejected, s.MaxRejected)
+	checkIntMax("failed jobs", rep.Failed, s.MaxFailed)
+	checkIntMax("lost jobs", rep.Lost, s.MaxLost)
+	checkIntMax("unfinished jobs", rep.Unfinished, s.MaxUnfinished)
+	return v
+}
+
+// Describe renders the enforced thresholds on one line, for report headers.
+func (s SLO) Describe() string {
+	var parts []string
+	add := func(name string, v *float64) {
+		if v != nil {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, *v))
+		}
+	}
+	addInt := func(name string, v *int) {
+		if v != nil {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, *v))
+		}
+	}
+	add("min_writes_per_sec", s.MinWritesPerSec)
+	add("max_submit_p50_ms", s.MaxSubmitP50MS)
+	add("max_submit_p95_ms", s.MaxSubmitP95MS)
+	add("max_submit_p99_ms", s.MaxSubmitP99MS)
+	add("max_e2e_p99_ms", s.MaxE2EP99MS)
+	add("min_dedup_rate", s.MinDedupRate)
+	addInt("max_rejected", s.MaxRejected)
+	addInt("max_failed", s.MaxFailed)
+	addInt("max_lost", s.MaxLost)
+	addInt("max_unfinished", s.MaxUnfinished)
+	if len(parts) == 0 {
+		return "(no thresholds)"
+	}
+	return strings.Join(parts, " ")
+}

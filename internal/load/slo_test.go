@@ -1,0 +1,119 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+func iptr(v int) *int        { return &v }
+
+func TestParseSLOStrict(t *testing.T) {
+	s, err := ParseSLO(strings.NewReader(`{
+		"note": "x",
+		"min_writes_per_sec": 100,
+		"max_submit_p99_ms": 250,
+		"max_failed": 0
+	}`))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if *s.MinWritesPerSec != 100 || *s.MaxSubmitP99MS != 250 || *s.MaxFailed != 0 {
+		t.Fatalf("parsed spec wrong: %+v", s)
+	}
+	if s.MaxSubmitP50MS != nil {
+		t.Fatalf("absent threshold parsed as present")
+	}
+
+	for name, body := range map[string]string{
+		"unknown field": `{"max_p99": 5}`,
+		"bad type":      `{"max_failed": "zero"}`,
+		"negative":      `{"min_writes_per_sec": -1}`,
+		"negative int":  `{"max_lost": -2}`,
+		"trailing":      `{"max_failed": 0} {"again": 1}`,
+		"not json":      `max_failed: 0`,
+	} {
+		if _, err := ParseSLO(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted: %s", name, body)
+		}
+	}
+}
+
+func TestLoadSLOFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(path, []byte(`{"max_lost": 0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSLO(path)
+	if err != nil {
+		t.Fatalf("loading valid file: %v", err)
+	}
+	if *s.MaxLost != 0 {
+		t.Fatalf("max_lost = %v", s.MaxLost)
+	}
+	if _, err := LoadSLO(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{
+		WritesPerSec: 400,
+		Rejected:     1,
+		Submit:       LatencyStats{P50MS: 2, P95MS: 8, P99MS: 20},
+		Outcome: Outcome{
+			Failed:    1,
+			DedupRate: 0.9,
+			E2E:       LatencyStats{P99MS: 900},
+		},
+	}
+	clean := SLO{
+		MinWritesPerSec: f64(100),
+		MaxSubmitP99MS:  f64(50),
+		MaxE2EP99MS:     f64(5000),
+		MinDedupRate:    f64(0.5),
+		MaxRejected:     iptr(1),
+		MaxFailed:       iptr(1),
+	}
+	if v := clean.Evaluate(rep); len(v) != 0 {
+		t.Fatalf("clean SLO violated: %v", v)
+	}
+
+	// An explicit zero is a hard gate, not "unset".
+	zeroFailed := SLO{MaxFailed: iptr(0)}
+	if v := zeroFailed.Evaluate(rep); len(v) != 1 || !strings.Contains(v[0], "failed jobs") {
+		t.Fatalf("max_failed=0 not enforced: %v", v)
+	}
+
+	strict := SLO{
+		MinWritesPerSec: f64(1e6),
+		MaxSubmitP50MS:  f64(1),
+		MaxSubmitP95MS:  f64(1),
+		MaxSubmitP99MS:  f64(1),
+		MaxE2EP99MS:     f64(1),
+		MinDedupRate:    f64(0.99),
+		MaxRejected:     iptr(0),
+	}
+	if v := strict.Evaluate(rep); len(v) != 7 {
+		t.Fatalf("strict SLO found %d violations, want 7: %v", len(v), v)
+	}
+
+	// An empty SLO enforces nothing.
+	if v := (SLO{}).Evaluate(rep); len(v) != 0 {
+		t.Fatalf("empty SLO violated: %v", v)
+	}
+}
+
+func TestSLODescribe(t *testing.T) {
+	if got := (SLO{}).Describe(); got != "(no thresholds)" {
+		t.Fatalf("empty describe = %q", got)
+	}
+	s := SLO{MaxFailed: iptr(0), MinWritesPerSec: f64(100)}
+	d := s.Describe()
+	if !strings.Contains(d, "max_failed=0") || !strings.Contains(d, "min_writes_per_sec=100") {
+		t.Fatalf("describe missing thresholds: %q", d)
+	}
+}

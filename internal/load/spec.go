@@ -1,0 +1,94 @@
+package load
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"valuespec/internal/cpu"
+	"valuespec/internal/jobs"
+)
+
+// The generated specs are tiny (a scale-1 kernel simulates in well under a
+// millisecond), so a daemon absorbs thousands per second; what varies between
+// them is only the content hash, steered through Config.MaxCycles. MaxCycles
+// is part of the canonical spec — it changes when a simulation would be
+// aborted — but any value far above the actual cycle count leaves the
+// simulated result bit-identical, which makes it a pure uniqueness nonce:
+// distinct hashes, identical cost, and dedup behavior fully controlled by
+// the distribution.
+const maxCyclesBase = int64(1) << 40 // the simulator's own default bound
+
+// SpecSource generates one submission per Next call. Implementations are
+// safe for concurrent use; generation is deterministic (no randomness), so a
+// run's submission mix is reproducible.
+type SpecSource interface {
+	// Next returns the next request to submit.
+	Next() jobs.Request
+	// Name names the distribution for reports ("hotkey", "uniform").
+	Name() string
+}
+
+// syntheticRequest builds the one-spec request for nonce.
+func syntheticRequest(dist, workload string, scale int, nonce int64) jobs.Request {
+	return jobs.Request{
+		Name: fmt.Sprintf("load %s %d", dist, nonce),
+		Specs: []jobs.SimSpec{{
+			Workload: workload,
+			Scale:    scale,
+			Config:   cpu.Config{MaxCycles: maxCyclesBase + nonce},
+		}},
+	}
+}
+
+// Uniform returns a source whose every submission is a distinct spec: the
+// queue-and-workers stressor. Dedup can only trigger on re-runs against a
+// data directory that already holds these results.
+func Uniform(workload string, scale int) SpecSource {
+	return &uniformSource{workload: workload, scale: scale}
+}
+
+type uniformSource struct {
+	workload string
+	scale    int
+	seq      atomic.Int64
+}
+
+func (u *uniformSource) Name() string { return "uniform" }
+
+func (u *uniformSource) Next() jobs.Request {
+	return syntheticRequest("uniform", u.workload, u.scale, u.seq.Add(1))
+}
+
+// Hotkey returns a source drawing from a pool of keys distinct specs with a
+// deliberately skewed pick: half of all submissions hit key 0, the rest
+// round-robin over the remaining keys. The skew concentrates contention on
+// one content hash — the dedup fast path and the store's concurrency are
+// what it stresses — while still exercising the rest of the pool.
+func Hotkey(workload string, scale, keys int) SpecSource {
+	if keys < 1 {
+		keys = 1
+	}
+	return &hotkeySource{workload: workload, scale: scale, keys: keys}
+}
+
+type hotkeySource struct {
+	workload string
+	scale    int
+	keys     int
+	seq      atomic.Int64
+}
+
+func (h *hotkeySource) Name() string { return "hotkey" }
+
+// Keys returns the pool size, the upper bound on distinct content hashes a
+// hotkey run can produce.
+func (h *hotkeySource) Keys() int { return h.keys }
+
+func (h *hotkeySource) Next() jobs.Request {
+	n := h.seq.Add(1)
+	var key int64
+	if h.keys > 1 && n%2 == 0 {
+		key = 1 + (n/2)%int64(h.keys-1)
+	}
+	return syntheticRequest("hotkey", h.workload, h.scale, key)
+}

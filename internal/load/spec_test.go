@@ -1,0 +1,90 @@
+package load
+
+import (
+	"testing"
+)
+
+func TestUniformEverySubmissionUnique(t *testing.T) {
+	src := Uniform("compress", 1)
+	if src.Name() != "uniform" {
+		t.Fatalf("name = %q", src.Name())
+	}
+	hashes := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		req := src.Next()
+		if err := req.Validate(); err != nil {
+			t.Fatalf("generated request invalid: %v", err)
+		}
+		h, err := req.Hash()
+		if err != nil {
+			t.Fatalf("hashing: %v", err)
+		}
+		if hashes[h] {
+			t.Fatalf("uniform source repeated hash %s", h)
+		}
+		hashes[h] = true
+	}
+}
+
+func TestHotkeyPoolBoundedAndSkewed(t *testing.T) {
+	const keys = 4
+	const n = 100
+	src := Hotkey("compress", 1, keys)
+	if src.Name() != "hotkey" {
+		t.Fatalf("name = %q", src.Name())
+	}
+	freq := make(map[string]int)
+	for i := 0; i < n; i++ {
+		req := src.Next()
+		if err := req.Validate(); err != nil {
+			t.Fatalf("generated request invalid: %v", err)
+		}
+		h, err := req.Hash()
+		if err != nil {
+			t.Fatalf("hashing: %v", err)
+		}
+		freq[h]++
+	}
+	if len(freq) != keys {
+		t.Fatalf("hotkey pool produced %d distinct hashes, want %d", len(freq), keys)
+	}
+	// The generator is deterministic: every odd pick is key 0, so exactly
+	// half the submissions share the hot hash.
+	hot := 0
+	for _, c := range freq {
+		if c > hot {
+			hot = c
+		}
+	}
+	if hot != n/2 {
+		t.Fatalf("hot key drew %d of %d submissions, want exactly %d", hot, n, n/2)
+	}
+}
+
+func TestHotkeySingleKey(t *testing.T) {
+	src := Hotkey("compress", 1, 1)
+	h1, _ := src.Next().Hash()
+	h2, _ := src.Next().Hash()
+	if h1 != h2 {
+		t.Fatalf("single-key source produced two hashes")
+	}
+}
+
+func TestSyntheticNonceDoesNotChangeWorkload(t *testing.T) {
+	// Two nonces differ only in MaxCycles: same workload, same scale, both
+	// valid, distinct canonical hashes.
+	a := syntheticRequest("uniform", "compress", 1, 1)
+	b := syntheticRequest("uniform", "compress", 1, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("nonce request invalid: %v", err)
+	}
+	ha, _ := a.Hash()
+	hb, _ := b.Hash()
+	if ha == hb {
+		t.Fatalf("distinct nonces hashed identically")
+	}
+	sa, sb := a.Specs[0], b.Specs[0]
+	if sa.Workload != sb.Workload || sa.Scale != sb.Scale {
+		t.Fatalf("nonce changed the workload: %+v vs %+v", sa, sb)
+	}
+}

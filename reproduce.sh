@@ -32,7 +32,7 @@ echo "== vet =="
 go vet ./...
 
 echo "== race-enabled harness + observability tests =="
-go test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs | tee "$out/race_harness.txt"
+go test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/load | tee "$out/race_harness.txt"
 
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
@@ -51,6 +51,9 @@ sh scripts/serve_smoke.sh "$out/serve_smoke"
 
 echo "== job service smoke test (vserved durability, dedup, -submit) =="
 sh scripts/jobs_smoke.sh "$out/jobs_smoke"
+
+echo "== load/soak/chaos harness smoke test (SLO gate, exactly-once) =="
+sh scripts/load_smoke.sh "$out/load_smoke"
 
 echo "== Fig. 1 diagrams =="
 go run ./cmd/vpipe | tee "$out/fig1.txt"

@@ -25,20 +25,39 @@ fail() {
 }
 
 # start_daemon <workers>: launch vserved on an ephemeral port against $data
-# and set $addr from its serving line.
+# and set $addr from its serving line, polling against a wall-clock deadline
+# (not a fixed iteration count, which conflates slow hosts with hangs).
 start_daemon() {
 	"$served" -addr 127.0.0.1:0 -data "$data" -workers "$1" >"$log" 2>&1 &
 	pid=$!
 	addr=
-	i=0
-	while [ $i -lt 100 ]; do
+	deadline=$(($(date +%s) + 30))
+	while [ -z "$addr" ]; do
 		addr=$(sed -n 's|^serving jobs on http://\([^ ]*\).*|\1|p' "$log")
 		[ -n "$addr" ] && break
 		kill -0 "$pid" 2>/dev/null || fail "vserved exited before serving"
+		[ "$(date +%s)" -lt "$deadline" ] || fail "no 'serving jobs' line within 30s"
 		sleep 0.1
-		i=$((i + 1))
 	done
-	[ -n "$addr" ] || fail "no 'serving jobs' line within 10s"
+}
+
+# wait_terminal <id> <outfile> <deadline-epoch>: poll GET /jobs/<id> until the
+# job settles; fails on failed/canceled or deadline. Leaves $state set.
+wait_terminal() {
+	wid=$1
+	wout=$2
+	wdeadline=$3
+	state=
+	while :; do
+		curl -fsS "http://$addr/jobs/$wid" >"$wout" || fail "GET /jobs/$wid unreachable"
+		state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$wout" | head -1)
+		case $state in
+		done) return 0 ;;
+		failed | canceled) fail "$wid finished $state: $(cat "$wout")" ;;
+		esac
+		[ "$(date +%s)" -lt "$wdeadline" ] || fail "$wid not done before the deadline (state '$state')"
+		sleep 0.2
+	done
 }
 
 stop_daemon() {
@@ -69,19 +88,7 @@ stop_daemon
 echo "jobs_smoke: daemon killed with $id pending; restarting with workers"
 
 start_daemon 2
-i=0
-state=
-while [ $i -lt 240 ]; do
-	curl -fsS "http://$addr/jobs/$id" >"$dir/job.json" || fail "GET /jobs/$id unreachable"
-	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$dir/job.json" | head -1)
-	case $state in
-	done) break ;;
-	failed | canceled) fail "$id finished $state: $(cat "$dir/job.json")" ;;
-	esac
-	sleep 0.5
-	i=$((i + 1))
-done
-[ "$state" = "done" ] || fail "$id not done after restart (state '$state')"
+wait_terminal "$id" "$dir/job.json" $(($(date +%s) + 120))
 echo "jobs_smoke: $id recovered and completed after restart"
 
 curl -fsS "http://$addr/jobs/$id/result" | grep -q '"stats"' ||
@@ -110,26 +117,15 @@ code=$(curl -s -o "$dir/trace_submit.json" -w '%{http_code}' \
 [ "$code" = "202" ] || fail "trace POST /jobs = HTTP $code (body: $(cat "$dir/trace_submit.json"))"
 tid=$(sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' "$dir/trace_submit.json" | head -1)
 [ -n "$tid" ] || fail "no job id in $(cat "$dir/trace_submit.json")"
-i=0
-state=
-while [ $i -lt 240 ]; do
-	curl -fsS "http://$addr/jobs/$tid" >"$dir/trace_job.json" ||
-		fail "GET /jobs/$tid unreachable"
-	state=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$dir/trace_job.json" | head -1)
-	[ "$state" = "done" ] && break
-	case $state in failed | canceled) fail "trace job finished $state" ;; esac
-	sleep 0.5
-	i=$((i + 1))
-done
-[ "$state" = "done" ] || fail "trace job $tid not done (state '$state')"
+wait_terminal "$tid" "$dir/trace_job.json" $(($(date +%s) + 120))
 # The terminal job span lands moments after the state flips; poll briefly.
-i=0
-while [ $i -lt 40 ]; do
+deadline=$(($(date +%s) + 15))
+while :; do
 	curl -fsS "http://$addr/jobs/$tid/trace" >"$dir/trace.json" ||
 		fail "GET /jobs/$tid/trace unreachable"
 	grep -q '"name": "job"' "$dir/trace.json" && break
+	[ "$(date +%s)" -lt "$deadline" ] || break
 	sleep 0.25
-	i=$((i + 1))
 done
 for span in submit queue_wait run store job; do
 	grep -q "\"name\": \"$span\"" "$dir/trace.json" ||

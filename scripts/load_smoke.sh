@@ -1,0 +1,137 @@
+#!/bin/sh
+# Smoke-test the load/soak/chaos harness end-to-end:
+#
+#   1. a >=10s hotkey soak at 500 submissions/sec against a spawned vserved,
+#      gated by the checked-in SLO_BASELINE.json (throughput, submit/e2e
+#      latency percentiles, dedup rate, exact terminal accounting);
+#   2. a chaos pass: vsload SIGKILLs the daemon mid-soak, restarts it over
+#      the same data directory, and proves every acknowledged job still
+#      terminated exactly once;
+#   3. the negative legs: an impossible SLO must fail the run, a reconcile of
+#      the soak's manifest against the surviving data must pass, and a
+#      manifest tampered with a fabricated job must fail (lost-job
+#      detection).
+#
+# Nonzero exit on any failure. Usage: scripts/load_smoke.sh [workdir]
+set -eu
+
+dir=${1:-$(mktemp -d)}
+mkdir -p "$dir"
+dir=$(cd "$dir" && pwd)
+root=$(pwd)
+pid=
+
+fail() {
+	echo "load_smoke: FAIL: $*" >&2
+	for f in "$dir"/vsload-daemon.log "$dir"/vserved.log; do
+		[ -f "$f" ] && { echo "load_smoke: ---- $f ----" >&2; tail -40 "$f" >&2; }
+	done
+	exit 1
+}
+
+# wait_for <deadline-epoch> <description> <command...>: poll command (quietly)
+# until it succeeds or the wall-clock deadline passes.
+wait_for() {
+	deadline=$1
+	what=$2
+	shift 2
+	while ! "$@" >/dev/null 2>&1; do
+		[ "$(date +%s)" -lt "$deadline" ] || fail "timed out waiting for $what"
+		sleep 0.2
+	done
+}
+
+go build -o "$dir/vserved" ./cmd/vserved
+go build -o "$dir/vsload" ./cmd/vsload
+slo="$root/SLO_BASELINE.json"
+[ -f "$slo" ] || fail "SLO_BASELINE.json not found at repo root"
+
+# --- 1. hotkey soak: 10s at 500/s, SLO-gated, manifest kept for later ------
+echo "load_smoke: hotkey soak (10s @ 500/s, SLO: $slo)"
+# Note: `cmd | tee` would report tee's exit status, so capture via file.
+(
+	cd "$dir" &&
+		./vsload -spawn "$dir/vserved -addr 127.0.0.1:0 -data $dir/soak-data -workers 4" \
+			-dist hotkey -hotkeys 8 -rate 500 -duration 10s -conc 8 \
+			-slo "$slo" -manifest "$dir/soak.manifest.json" \
+			-report "$dir/soak.report.json"
+) >"$dir/soak.txt" 2>&1 || { cat "$dir/soak.txt"; fail "hotkey soak violated the SLO or its invariants"; }
+cat "$dir/soak.txt"
+grep -q 'verdict      OK' "$dir/soak.txt" || fail "soak report has no OK verdict"
+grep -q '"entries"' "$dir/soak.manifest.json" || fail "soak left no manifest"
+echo "load_smoke: hotkey soak passed the SLO gate"
+
+# --- 2. chaos pass: kill-restart mid-soak, exactly-once across the crash ---
+cat >"$dir/chaos.slo.json" <<'EOF'
+{
+  "note": "chaos leg: exact terminal accounting only (throughput/latency are meaningless across a kill window)",
+  "max_failed": 0,
+  "max_lost": 0,
+  "max_unfinished": 0
+}
+EOF
+echo "load_smoke: chaos soak (uniform, SIGKILL + restart mid-run)"
+(
+	cd "$dir" &&
+		./vsload -spawn "$dir/vserved -addr 127.0.0.1:0 -data $dir/chaos-data -workers 4" \
+			-dist uniform -rate 200 -duration 6s -conc 4 -chaos -chaos-at 0.5 \
+			-slo "$dir/chaos.slo.json" -report "$dir/chaos.report.json"
+) >"$dir/chaos.txt" 2>&1 || { cat "$dir/chaos.txt"; fail "chaos soak lost or double-counted a job"; }
+cat "$dir/chaos.txt"
+grep -q 'chaos .*kill-restart' "$dir/chaos.txt" || fail "chaos pass never killed the daemon"
+grep -q 'verdict      OK' "$dir/chaos.txt" || fail "chaos report has no OK verdict"
+echo "load_smoke: exactly-once held across the kill-restart"
+
+# --- 3a. an impossible SLO must make vsload exit nonzero -------------------
+cat >"$dir/impossible.slo.json" <<'EOF'
+{
+  "note": "deliberately unsatisfiable: proves the SLO gate can fail",
+  "min_writes_per_sec": 1000000
+}
+EOF
+if (
+	cd "$dir" &&
+		./vsload -spawn "$dir/vserved -addr 127.0.0.1:0 -data $dir/neg-data -workers 2" \
+			-dist hotkey -count 200 -rate 0 -slo "$dir/impossible.slo.json"
+) >"$dir/neg.txt" 2>&1; then
+	fail "impossible SLO did not fail the run"
+fi
+grep -q 'SLO BREACH' "$dir/neg.txt" || fail "impossible SLO failed without a breach line"
+echo "load_smoke: impossible SLO correctly exited nonzero"
+
+# --- 3b. reconcile the soak manifest against the surviving data ------------
+"$dir/vserved" -addr 127.0.0.1:0 -data "$dir/soak-data" -workers 2 >"$dir/vserved.log" 2>&1 &
+pid=$!
+trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true' EXIT INT TERM
+deadline=$(($(date +%s) + 30))
+addr=
+while [ -z "$addr" ]; do
+	addr=$(sed -n 's|^serving jobs on http://\([^ ]*\).*|\1|p' "$dir/vserved.log")
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "vserved exited before serving"
+	[ "$(date +%s)" -lt "$deadline" ] || fail "no 'serving jobs' line within 30s"
+	sleep 0.2
+done
+wait_for "$deadline" "daemon health" curl -fsS "http://$addr/healthz"
+
+"$dir/vsload" -url "http://$addr" -reconcile -manifest "$dir/soak.manifest.json" \
+	-drain-timeout 60s >"$dir/reconcile.txt" 2>&1 ||
+	fail "reconcile of the soak manifest failed: $(cat "$dir/reconcile.txt")"
+echo "load_smoke: soak manifest reconciled cleanly against the restarted daemon"
+
+# --- 3c. a fabricated manifest entry must be reported as a lost job --------
+sed "s/\"entries\": \[/\"entries\": [\n  {\"id\": \"j999999\", \"spec_hash\": \"$(printf '0%.0s' $(seq 1 64))\"},/" \
+	"$dir/soak.manifest.json" >"$dir/tampered.manifest.json"
+grep -q 'j999999' "$dir/tampered.manifest.json" || fail "manifest tampering did not take"
+if "$dir/vsload" -url "http://$addr" -reconcile -manifest "$dir/tampered.manifest.json" \
+	-drain-timeout 10s >"$dir/tampered.txt" 2>&1; then
+	fail "fabricated job was not detected as lost"
+fi
+grep -q 'lost' "$dir/tampered.txt" || fail "tampered reconcile failed without a lost-job violation"
+echo "load_smoke: fabricated manifest entry correctly detected as a lost job"
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=
+trap - EXIT INT TERM
+echo "load_smoke: OK (SLO-gated soak + chaos exactly-once + negative legs)"
