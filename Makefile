@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench benchcheck vet fmt check race-harness serve-smoke jobs-smoke load-smoke reproduce experiments clean
+.PHONY: all build test bench bench-wide benchcheck vet fmt check race-harness serve-smoke jobs-smoke load-smoke reproduce experiments clean
 
 all: build test
 
@@ -15,6 +15,13 @@ test:
 # The full benchmark pass used for bench_output.txt.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The wide-window selection and batched-sweep benchmarks: bitset vs tombstone
+# queue vs full scan on a 16-wide/512-entry window, and the scalar-vs-lockstep
+# end-to-end sweep comparison (docs/PERFORMANCE.md quotes these numbers).
+bench-wide:
+	$(GO) test -run '^$$' -bench '^(BenchmarkReadyQueueWide|BenchmarkBitsetSelect)$$' -benchmem ./internal/cpu
+	$(GO) test -run '^$$' -bench '^BenchmarkLockstepSweep$$' -benchmem ./internal/harness
 
 # The benchmark regression gate: pinned benchmarks vs BENCH_BASELINE.json,
 # failing on >15% slowdown. Refresh the baseline with

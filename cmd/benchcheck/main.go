@@ -33,8 +33,8 @@ import (
 // targets pins which benchmarks are gated. Patterns are anchored so new
 // benchmarks don't silently join the gate without a baseline entry.
 var targets = []struct{ pkg, pattern string }{
-	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup|BenchmarkPipelineSteadyState|BenchmarkReplayRequeue|BenchmarkReadyQueueWide)$"},
-	{"./internal/harness", "^BenchmarkSimulateAllCached$"},
+	{"./internal/cpu", "^(BenchmarkEmitNilObserver|BenchmarkWakeup|BenchmarkPipelineSteadyState|BenchmarkReplayRequeue|BenchmarkReadyQueueWide|BenchmarkBitsetSelect)$"},
+	{"./internal/harness", "^(BenchmarkSimulateAllCached|BenchmarkLockstepSweep)$"},
 	// The jobs benchmarks are disk-bound (atomic file writes), so their
 	// checked-in ns/op baselines are hand-slackened above any observed run —
 	// a gross-regression gate; their allocation budgets are the tight gate.

@@ -49,6 +49,7 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = unbounded; a request's timeout_seconds overrides)")
 		maxRetries  = flag.Int("max-retries", 2, "re-queues of a failing job before it fails for good")
 		cacheBudget = flag.Int64("trace-cache-budget", 0, "byte budget of the shared trace cache (0 = unbounded)")
+		lockstep    = flag.Int("lockstep", 0, "advance up to K same-trace specs in lockstep per batch worker (0 or 1 = one spec per worker); results are byte-identical")
 		traceSpans  = flag.Int("trace-spans", obs.DefaultTracerSpans, "span-ring capacity for job tracing (0 disables tracing)")
 		tracePhases = flag.Bool("trace-phases", false, "record per-pipeline-phase wall time on every run span (adds per-cycle clock reads)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
@@ -78,6 +79,7 @@ func main() {
 		Tracer:      tracer,
 		Logger:      logger,
 		TracePhases: *tracePhases,
+		LockstepK:   *lockstep,
 	})
 	if err != nil {
 		logger.Error("opening job service", "err", err)

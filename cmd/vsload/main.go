@@ -157,7 +157,10 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 		if err != nil {
 			return nil, err
 		}
-		o.slo, o.hasSLO = slo, true
+		// Resolve per-distribution overrides now: -dist is already
+		// validated, and everything downstream (Evaluate, Describe) should
+		// see exactly the thresholds this soak is gated on.
+		o.slo, o.hasSLO = slo.ForDistribution(o.dist), true
 	}
 	return o, nil
 }
@@ -229,7 +232,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if o.hasSLO {
 		rep.SLOViolations = o.slo.Evaluate(rep)
-		logf("SLO %s: %s", o.sloPath, o.slo.Describe())
+		logf("SLO %s [%s]: %s", o.sloPath, o.dist, o.slo.Describe())
 	}
 	if o.manifestPath != "" {
 		m := load.Manifest{Base: client.Base(), Entries: runner.Entries()}

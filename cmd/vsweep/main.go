@@ -68,6 +68,7 @@ func main() {
 		all          = flag.Bool("all", false, "run everything")
 		quick        = flag.Bool("quick", false, "restrict sweeps to the 8/48 configuration")
 		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
+		lockstep     = flag.Int("lockstep", 0, "advance up to K same-trace specs in lockstep per worker (0 or 1 = one spec per worker); results are byte-identical")
 		submitURL    = flag.String("submit", "", "run -fig3/-fig4 on a vserved daemon at this URL (e.g. http://127.0.0.1:9090) instead of simulating locally")
 		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /healthz, /readyz, /debug/pprof/")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
@@ -79,6 +80,9 @@ func main() {
 	flag.Parse()
 	if *noTraceCache {
 		harness.SetTraceCaching(false)
+	}
+	if *lockstep > 1 {
+		harness.SetLockstep(*lockstep)
 	}
 	if *submitURL != "" {
 		// Remote execution covers the figure sweeps; the ablations aggregate

@@ -12,25 +12,30 @@ const never int64 = -1
 // operand is one source operand of a reservation station: the 2-bit ready
 // state of the paper's extended RS plus the simulator-side bookkeeping that
 // lets the verification network act with value-based filtering.
+// operand's byte-wide fields are grouped so the struct packs into 40 bytes
+// (two per entry; the sweep walks them every cycle).
 type operand struct {
 	reg isa.Reg
 
-	// Producer linkage. inWindow is false when the value was read from the
-	// architected register file at dispatch (always valid).
+	// inWindow is false when the value was read from the architected
+	// register file at dispatch (always valid).
 	inWindow bool
-	prodIdx  int   // ring index of the producing entry
-	prodAge  int64 // age of the producer, to detect slot reuse
 
 	// Current value view, synced from the producer by the per-cycle sweep.
 	state   core.ValueState
-	correct bool  // ground truth: the held value is architecturally correct
-	ready   int64 // earliest cycle a consumer may issue using this value
-	validAt int64 // cycle the value became Valid (never until then)
+	correct bool // ground truth: the held value is architecturally correct
 
 	// everSpec records whether the operand was ever predicted or
 	// speculative; the Verification-Branch and Verification-Address-Memory
 	// latencies only apply to operands that needed verification.
 	everSpec bool
+
+	// Producer linkage.
+	prodIdx int32 // ring index of the producing entry (window ≤ 2^31 slots)
+	prodAge int64 // age of the producer, to detect slot reuse
+
+	ready   int64 // earliest cycle a consumer may issue using this value
+	validAt int64 // cycle the value became Valid (never until then)
 }
 
 // available reports whether the operand can feed an execution at cycle c
@@ -51,15 +56,25 @@ func (o *operand) validBy(c int64) bool {
 }
 
 // entry is one reservation station in the unified instruction window.
+//
+// Field order is deliberate: the leading group is the entry's "broadcast
+// header" — everything a consumer's syncOperand reads from its producer
+// (used, age, the out* view, validAt) plus the class/nsrc bytes the sweep
+// and wakeup walks test first — so those walks touch one cache line of a
+// ~350-byte entry instead of several. The rarely-read rec (104 bytes) sits
+// at the tail.
 type entry struct {
-	used bool
-	idx  int   // ring index of this entry (fixed for its lifetime)
-	age  int64 // dispatch order, unique across the run
-	rec  trace.Record
-	cls  isa.Class
+	used       bool
+	outCorrect bool
+	outState   core.ValueState
+	cls        isa.Class
+	nsrc       int
+	idx        int   // ring index of this entry (fixed for its lifetime)
+	age        int64 // dispatch order, unique across the run
+	outReady   int64
+	validAt    int64 // cycle output became known-valid (never until then)
 
 	dispatchCycle int64
-	nsrc          int
 	src           [2]operand
 
 	// Value prediction of this entry's output.
@@ -90,11 +105,9 @@ type entry struct {
 	eqReady   int64 // cycle the equality outcome becomes actionable
 	usedSpec  bool  // some input was speculative when last issued
 
-	// Output view exposed to consumers; see broadcast and refreshOutput.
-	outState   core.ValueState
-	outCorrect bool
-	outReady   int64
-	validAt    int64 // cycle output became known-valid (never until then)
+	// The output view exposed to consumers (outState, outCorrect, outReady,
+	// validAt) lives in the broadcast header at the top of the struct; see
+	// broadcast and refreshOutput.
 
 	// Memory state. For loads, execution is address generation and the
 	// access is a separate phase; for stores, address generation is the
@@ -118,6 +131,10 @@ type entry struct {
 	// retireAt is the earliest retirement cycle once the output is valid.
 	retireAt int64
 
+	// rec is the dynamic-instruction record (104 bytes); kept at the tail so
+	// it does not push the hot header and operands onto later cache lines.
+	rec trace.Record
+
 	// Event-driven wakeup bookkeeping. cons lists the ring indices of
 	// entries registered as consumers of this entry's output (register
 	// operands at dispatch, store-forwarded data at access time); stale
@@ -129,25 +146,55 @@ type entry struct {
 
 func (e *entry) writesReg() bool { return isa.WritesReg(e.rec.Instr.Op) }
 
-// reset prepares a slot for a new dispatch.
+// reset prepares a slot for a new dispatch. It deliberately does NOT touch
+// the fields its only caller (dispatch) assigns unconditionally right after —
+// used, idx, age, rec, cls, replayed, dispatchCycle, earliestIssue, nsrc and
+// src[0:nsrc] — nor src slots at or past nsrc, which no reader ever consults:
+// a whole-struct `*e = entry{...}` re-zeroed the ~350-byte entry (104 of
+// which is rec) on every dispatch, and the resulting duffcopy was one of the
+// hottest instructions in the sweep profile.
 func (e *entry) reset() {
-	cons := e.cons[:0] // keep the consumer-list allocation across reuse
-	*e = entry{
-		cons:          cons,
-		inFlightDone:  never,
-		earliestIssue: never,
-		doneCycle:     never,
-		eqReady:       never,
-		outReady:      never,
-		validAt:       never,
-		agCycle:       never,
-		memDoneAt:     never,
-		fwdStore:      never,
-		fwdProdAge:    never,
-		fwdProdIdx:    -1,
-		resolveAt:     never,
-		retireAt:      never,
-	}
+	e.vpMade = false
+	e.vpUsed = false
+	e.vpCorrect = false
+	e.vpDead = false
+	e.vpValue = 0
+	e.vpCookie = 0
+	e.issued = false
+	e.inFlight = false
+	e.execCount = 0
+	e.inFlightDone = never
+	e.inFlightClean = false
+	e.usedCorrect[0] = false
+	e.usedCorrect[1] = false
+	e.execToken = 0
+	e.wasNullified = false
+	e.doneExec = false
+	e.execClean = false
+	e.doneCycle = never
+	e.eqDone = false
+	e.eqReady = never
+	e.usedSpec = false
+	e.outState = core.StateInvalid
+	e.outCorrect = false
+	e.outReady = never
+	e.validAt = never
+	e.agDone = false
+	e.agCycle = never
+	e.memStarted = false
+	e.memDone = false
+	e.memDoneAt = never
+	e.fwdStore = never
+	e.fwdDataOK = false
+	e.fwdProdAge = never
+	e.fwdProdIdx = -1
+	e.resolved = false
+	e.resolveAt = never
+	e.brMispred = false
+	e.specResolve = false
+	e.retireAt = never
+	e.cons = e.cons[:0] // keep the consumer-list allocation across reuse
+	e.inQ = false
 }
 
 // nullify voids the effects of previous executions so the entry can wake up

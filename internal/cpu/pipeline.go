@@ -41,9 +41,15 @@ type Pipeline struct {
 	hier *mem.Hierarchy
 	bp   *bpred.Gshare
 
-	src     trace.Source
-	srcDone bool
-	pending recDeque // replay queue, consumed before src
+	src trace.Source
+	// srcRef is src's copy-free cursor when it offers one (a cached
+	// MemorySource does): fetch reads records in place from the shared
+	// recording instead of copying 100+ bytes per Next. recScratch backs
+	// the same pointer protocol for plain sources.
+	srcRef     refSource
+	recScratch trace.Record
+	srcDone    bool
+	pending    recDeque // replay queue, consumed before src
 
 	entries []entry
 	head    int // ring index of the oldest entry
@@ -81,15 +87,34 @@ type Pipeline struct {
 
 	waveSetReuses int64 // wave sets served from the pool
 
-	// Event-driven wakeup state. readyQ holds the ring indices of every
-	// unissued entry in age order — the only entries wakeup/selection must
-	// examine — with removals tombstoned in place and compacted lazily.
-	// scanWakeup switches issue and invalidation back to the original
-	// full-window scans (the test-only reference implementation the wakeup
-	// property tests compare against).
-	readyQ     []qent
-	qDead      int
-	scanWakeup bool
+	// Wakeup/selection state. The shipped path is the struct-of-arrays
+	// window core in soa.go: occupancy, readiness and settledness as bitset
+	// words plus slotAge/slotCls mirrors of the hot per-slot fields, scanned
+	// with bits.TrailingZeros64 in ring (= age) order.
+	//
+	// Two reference implementations stay intact for the differential
+	// property tests and benchmarks: queueWakeup switches selection to the
+	// tombstoned, binary-searched ready queue (the previous shipped path),
+	// and scanWakeup switches issue and invalidation all the way back to
+	// the original full-window scans.
+	occBits     []uint64  // slot holds a live entry
+	readyBits   []uint64  // wakeup candidates: used && !issued && !inFlight
+	settledBits []uint64  // sweep work provably a no-op until nullify/reuse
+	dormantBits []uint64  // sweep work a no-op until a wake (see sweepSeg)
+	loadBits    []uint64  // loads still awaiting their memory access
+	storeBits   []uint64  // store-occupied slots (memory-ordering scans)
+	slotAge     []int64   // entries[i].age mirror (written at dispatch)
+	slotCls     []uint8   // entries[i].cls mirror (written at dispatch)
+	outViews    []outView // entries[i] broadcast-header mirror (see pubOut)
+	slotNextTry []int64   // issue-recheck gate per slot (see checkIssue)
+	queueWakeup bool
+	scanWakeup  bool
+
+	// Tombstoned ready queue (the queueWakeup reference): the ring indices
+	// of every unissued entry in age order, with removals tombstoned in
+	// place and compacted lazily.
+	readyQ []qent
+	qDead  int
 
 	// Per-cycle selection scratch: issue candidates split into the two
 	// priority groups (branches/loads, then the rest), reused across cycles.
@@ -125,6 +150,7 @@ func New(cfg Config, spec *SpecOptions, src trace.Source) (*Pipeline, error) {
 			return nil, err
 		}
 	}
+	words := (cfg.WindowSize + 63) / 64
 	p := &Pipeline{
 		cfg:         cfg,
 		spec:        spec,
@@ -140,13 +166,33 @@ func New(cfg Config, spec *SpecOptions, src trace.Source) (*Pipeline, error) {
 		eqMap:       make(map[int64][]eqEvent),
 		waveMap:     make(map[int64][]*waveSet),
 		waveAges:    make([]int64, cfg.WindowSize),
+		occBits:     make([]uint64, words),
+		readyBits:   make([]uint64, words),
+		settledBits: make([]uint64, words),
+		dormantBits: make([]uint64, words),
+		loadBits:    make([]uint64, words),
+		storeBits:   make([]uint64, words),
+		slotAge:     make([]int64, cfg.WindowSize),
+		slotCls:     make([]uint8, cfg.WindowSize),
+		outViews:    make([]outView, cfg.WindowSize),
+		slotNextTry: make([]int64, cfg.WindowSize),
 		readyQ:      make([]qent, 0, cfg.WindowSize),
 		waveMark:    make([]bool, cfg.WindowSize),
 	}
 	for i := range p.regProd {
 		p.regProd[i] = -1
 	}
+	if rs, ok := src.(refSource); ok {
+		p.srcRef = rs
+	}
 	return p, nil
+}
+
+// refSource is the optional copy-free cursor a Source may offer (see
+// trace.MemorySource.NextRef). The returned pointer is read-only and valid
+// only until the next call.
+type refSource interface {
+	NextRef() (*trace.Record, bool)
 }
 
 // Stats returns the accumulated statistics.
@@ -259,6 +305,34 @@ func (p *Pipeline) qCompact() {
 	p.qDead = 0
 }
 
+// wakeAdd marks e a wakeup candidate (no-op if already marked): a ready bit
+// on the shipped bitset path, a queue insertion under queueWakeup. e.inQ
+// tracks membership in whichever structure is active.
+func (p *Pipeline) wakeAdd(e *entry) {
+	if p.queueWakeup {
+		p.qInsert(e)
+		return
+	}
+	if e.inQ {
+		return
+	}
+	e.inQ = true
+	p.readyBits[e.idx>>6] |= 1 << (uint(e.idx) & 63)
+}
+
+// wakeRemove withdraws e from wakeup (no-op if not a candidate).
+func (p *Pipeline) wakeRemove(e *entry) {
+	if p.queueWakeup {
+		p.qRemove(e)
+		return
+	}
+	if !e.inQ {
+		return
+	}
+	e.inQ = false
+	p.readyBits[e.idx>>6] &^= 1 << (uint(e.idx) & 63)
+}
+
 // addConsumer registers the entry at ring index idx as a consumer of the
 // producer at ring index prodIdx. Registrations may go stale (the consumer
 // reissues, retires, or its slot is reused); users of the list re-verify the
@@ -296,11 +370,13 @@ func (p *Pipeline) gatherConsumers(prodIdxs []int, transitive bool) []int {
 	}
 	// Insertion sort by age: candidate lists are small and nearly sorted
 	// (consumers register in dispatch order), and unlike sort.Slice this
-	// does not allocate in the steady-state loop.
+	// does not allocate in the steady-state loop. slotAge mirrors
+	// entries[i].age (stale registrations mirror the same stale value), so
+	// the sort touches the dense SoA array instead of whole entry lines.
 	for i := 1; i < len(cand); i++ {
-		ci, age := cand[i], p.entries[cand[i]].age
+		ci, age := cand[i], p.slotAge[cand[i]]
 		j := i - 1
-		for j >= 0 && p.entries[cand[j]].age > age {
+		for j >= 0 && p.slotAge[cand[j]] > age {
 			cand[j+1] = cand[j]
 			j--
 		}
@@ -317,35 +393,10 @@ func (p *Pipeline) gatherConsumers(prodIdxs []int, transitive bool) []int {
 // empty, returning the statistics. It returns an error if the simulation
 // exceeds the cycle budget or stops making progress (a modeling bug).
 func (p *Pipeline) Run() (*Stats, error) {
-	st, err := p.run()
-	if p.metrics != nil {
-		// Flush the last partial metrics interval (also on error, so a
-		// truncated run still serializes what it measured).
-		p.metrics.finish(p)
+	r := p.NewRunner()
+	for !r.Step(1 << 20) {
 	}
-	if p.phases != nil {
-		p.phases.End()
-	}
-	return st, err
-}
-
-func (p *Pipeline) run() (*Stats, error) {
-	lastRetired, lastProgress := int64(0), int64(0)
-	for {
-		if p.count == 0 && p.srcDone && p.pending.len() == 0 {
-			return &p.stats, nil
-		}
-		if p.cycle >= p.cfg.MaxCycles {
-			return &p.stats, fmt.Errorf("cpu: exceeded cycle budget %d", p.cfg.MaxCycles)
-		}
-		p.step()
-		if p.stats.Retired != lastRetired {
-			lastRetired, lastProgress = p.stats.Retired, p.cycle
-		} else if p.cycle-lastProgress > 100000 {
-			return &p.stats, fmt.Errorf("cpu: no retirement for 100000 cycles at cycle %d (%s)",
-				p.cycle, p.dumpHead())
-		}
-	}
+	return r.Result()
 }
 
 // Pipeline phase indices for the wall-time profiler; order matches step.
@@ -444,6 +495,7 @@ type wbEvent struct {
 const (
 	wbExec uint8 = iota // execution completion
 	wbMem               // load memory-access completion
+	wbWake              // dormant-sweep retry of a time-gated refreshOutput
 )
 
 // writeback finishes the executions and memory accesses due at cycle c. The
@@ -468,6 +520,12 @@ func (p *Pipeline) writeback(c int64) {
 	}
 	for i := range evs {
 		ev := &evs[i]
+		if ev.kind == wbWake {
+			// A time-gated sweep retry is due. Clearing the bit is safe even
+			// if the slot was reused: a spurious visit changes nothing.
+			clearBit(p.dormantBits, int(ev.idx))
+			continue
+		}
 		e := &p.entries[ev.idx]
 		if !e.used || e.age != ev.age || e.execToken != ev.token {
 			continue // squashed, nullified or reissued since scheduling
@@ -505,6 +563,7 @@ func (p *Pipeline) writebackScan(c int64) {
 // write/verification stage).
 func (p *Pipeline) completeExec(e *entry, c int64) {
 	p.emit(c, EvExecDone, e)
+	clearBit(p.dormantBits, e.idx) // completion flags changed: re-sweep
 	e.inFlight = false
 	e.doneExec = true
 	e.execClean = e.inFlightClean
@@ -541,6 +600,7 @@ func (p *Pipeline) completeExec(e *entry, c int64) {
 // completeLoad finishes the memory access of a load.
 func (p *Pipeline) completeLoad(e *entry, c int64) {
 	p.emit(c, EvMemAccess, e)
+	clearBit(p.dormantBits, e.idx) // completion flags changed: re-sweep
 	e.memDone = true
 	e.doneExec = true
 	e.execClean = e.inFlightClean && e.fwdDataOK
@@ -590,6 +650,7 @@ func (p *Pipeline) broadcast(e *entry, c int64) {
 	if e.outState != core.StateValid {
 		e.outState = core.StateSpeculative // sweep upgrades to Valid
 	}
+	p.pubOut(e)
 }
 
 // resolveBranch handles the completion of a control-transfer execution.
@@ -677,6 +738,7 @@ func (p *Pipeline) runEvents(c int64) {
 			// Expose the computed value (same value, upgradeable state).
 			e.outCorrect = e.execClean
 			e.outReady = min64(e.outReady, c)
+			p.pubOut(e)
 			continue
 		}
 		// Misprediction detected: the entry's prediction is dead and its
@@ -687,6 +749,7 @@ func (p *Pipeline) runEvents(c int64) {
 		e.outState = core.StateSpeculative
 		e.outCorrect = e.execClean
 		e.outReady = c
+		p.pubOut(e)
 		if complete {
 			p.squashYounger(e.age, c)
 			p.fetchResume = maxi64(p.fetchResume, c+1)
@@ -732,7 +795,13 @@ func (p *Pipeline) waveStep(w *waveSet, c int64) {
 		p.stats.Nullified++
 		nulled++
 		e.nullify(c, reissue)
-		p.qInsert(e)
+		p.pubOut(e)
+		p.slotNextTry[e.idx] = 0
+		clearBit(p.settledBits, e.idx)
+		if e.cls == isa.ClassLoad {
+			setBit(p.loadBits, e.idx) // nullify reset memStarted
+		}
+		p.wakeAdd(e)
 		if hier {
 			if next == nil {
 				next = p.getWaveSet()
@@ -762,7 +831,7 @@ func (p *Pipeline) waveHits(w *waveSet, e *entry) bool {
 	}
 	for s := 0; s < e.nsrc; s++ {
 		o := &e.src[s]
-		if o.inWindow && p.inWave(w, o.prodIdx, o.prodAge) && !e.usedCorrect[s] {
+		if o.inWindow && p.inWave(w, int(o.prodIdx), o.prodAge) && !e.usedCorrect[s] {
 			return true
 		}
 	}
@@ -786,7 +855,13 @@ func (p *Pipeline) waveStepScan(w *waveSet, c int64) {
 		p.stats.Nullified++
 		nulled++
 		e.nullify(c, reissue)
-		p.qInsert(e)
+		p.pubOut(e)
+		p.slotNextTry[e.idx] = 0
+		clearBit(p.settledBits, e.idx)
+		if e.cls == isa.ClassLoad {
+			setBit(p.loadBits, e.idx) // nullify reset memStarted
+		}
+		p.wakeAdd(e)
 		if hier {
 			if next == nil {
 				next = p.getWaveSet()
@@ -819,7 +894,9 @@ func (p *Pipeline) squashYounger(age int64, c int64) {
 			break
 		}
 		p.pending.pushFront(e.rec)
-		p.qRemove(e)
+		p.wakeRemove(e)
+		clearBit(p.occBits, e.idx)
+		clearBit(p.settledBits, e.idx)
 		e.used = false
 		p.count--
 		squashed++

@@ -1,0 +1,254 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"valuespec/internal/core"
+	"valuespec/internal/isa"
+)
+
+// ---------------------------------------------------------------------------
+// Struct-of-arrays window core
+//
+// The shipped wakeup/selection and sweep paths keep the hot per-slot state as
+// machine words — occupancy, readiness and settledness bitsets sized to the
+// window, plus dense slotAge/slotCls mirrors — and scan them with
+// bits.TrailingZeros64. Walking the two ring segments [head, n) then
+// [0, head+count-n) visits slots in exactly the age order the reference
+// full-window scan uses, so the candidate sequence (and therefore grants,
+// events and statistics) is bit-identical to the readyQ and scan references.
+//
+// settledBits additionally lets the sweep skip entries whose per-cycle work
+// is provably a permanent no-op: once an entry's output validity is settled
+// (validAt != never, making refreshOutput return immediately) and every
+// in-window operand holds a correct Valid value (making each syncOperand
+// return at its settled early-out), nothing the sweep does to the entry can
+// change again until it is nullified (waveStep clears the bit) or its slot is
+// reused (dispatch clears the bit).
+
+// outView is the dense mirror of one entry's broadcast header: the four
+// fields a consumer's syncOperand reads from its producer. The mirror packs
+// the whole window into ~24 bytes per slot, so producer lookups — the
+// hottest loads of the per-cycle sweep — stay in a few KiB instead of
+// striding through ~350-byte entries. The entry remains the source of truth;
+// every site that mutates outState/outCorrect/outReady/validAt republishes
+// with pubOut. Liveness is NOT mirrored here: syncOperand checks occBits and
+// slotAge, which are maintained at exactly the sites entry.used changes, so
+// a stale view behind a retired or squashed producer is never read.
+type outView struct {
+	state   core.ValueState
+	correct bool
+	ready   int64
+	validAt int64
+}
+
+// pubOut republishes e's broadcast header into the dense mirror and wakes
+// the dormant sweep for e and its registered consumers: every pubOut call
+// site is a real view change (dispatch, broadcast, equality outcomes,
+// nullification, validation), which is exactly when a skipped sweep visit
+// could next do something. Stale consumer registrations cause at worst a
+// spurious visit.
+func (p *Pipeline) pubOut(e *entry) {
+	p.outViews[e.idx] = outView{e.outState, e.outCorrect, e.outReady, e.validAt}
+	clearBit(p.dormantBits, e.idx)
+	for _, ci := range e.cons {
+		clearBit(p.dormantBits, ci)
+	}
+}
+
+// setBit sets bit i of the window-sized bitset w.
+func setBit(w []uint64, i int) { w[i>>6] |= 1 << (uint(i) & 63) }
+
+// clearBit clears bit i of the window-sized bitset w.
+func clearBit(w []uint64, i int) { w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// issueBitset performs wakeup and selection for cycle c over the ready
+// bitset. Candidate collection walks the set ready bits in age order into
+// the same two priority-group lists issueQueue builds, then runs the
+// identical grant passes.
+func (p *Pipeline) issueBitset(c int64) {
+	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
+
+	// Readiness is pass-invariant within the cycle — granting one entry
+	// never changes another's operands mid-issue — so one walk of the ready
+	// bits evaluates every candidate once, and the priority passes below
+	// pick from the two group lists.
+	selMem, selOther := p.selMem[:0], p.selOther[:0]
+	n := len(p.entries)
+	if hi := p.head + p.count; hi <= n {
+		selMem, selOther = p.collectReady(p.head, hi, c, selMem, selOther)
+	} else {
+		selMem, selOther = p.collectReady(p.head, n, c, selMem, selOther)
+		selMem, selOther = p.collectReady(0, hi-n, c, selMem, selOther)
+	}
+	p.selMem, p.selOther = selMem, selOther
+
+	grants := 0
+	for group := 0; group < 2 && grants < p.cfg.IssueWidth; group++ {
+		sel := selMem
+		if group == 1 {
+			sel = selOther
+		}
+		for specPass := 0; specPass < 2 && grants < p.cfg.IssueWidth; specPass++ {
+			for i := range sel {
+				if grants == p.cfg.IssueWidth {
+					break
+				}
+				cand := &sel[i]
+				if cand.idx < 0 {
+					continue // granted in a previous pass
+				}
+				// Non-speculative candidates precede speculative ones under
+				// the paper's scheme; oldest-first ignores the distinction.
+				if !oldestFirst && cand.spec != (specPass == 1) {
+					continue
+				}
+				e := &p.entries[cand.idx]
+				p.wakeRemove(e)
+				p.grantIssue(e, c)
+				cand.idx = -1
+				grants++
+			}
+			if oldestFirst {
+				break // a single pass took candidates regardless of spec state
+			}
+		}
+	}
+	p.stats.Issues += int64(grants)
+}
+
+// collectReady appends the issue candidates among the ready slots in
+// [lo, hi) to the two priority-group lists, in slot (= age, within a ring
+// segment) order.
+func (p *Pipeline) collectReady(lo, hi int, c int64, selMem, selOther []selCand) ([]selCand, []selCand) {
+	if lo >= hi {
+		return selMem, selOther
+	}
+	words := p.readyBits
+	wi, last := lo>>6, (hi-1)>>6
+	w := words[wi] >> (uint(lo) & 63) << (uint(lo) & 63)
+	for {
+		if wi == last {
+			if r := uint(hi) & 63; r != 0 {
+				w &= 1<<r - 1
+			}
+		}
+		for w != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if c < p.slotNextTry[idx] {
+				continue // still blocked; see checkIssue
+			}
+			ok, spec := p.checkIssue(&p.entries[idx], c)
+			if !ok {
+				continue
+			}
+			cand := selCand{q: -1, idx: int32(idx), spec: spec}
+			if cls := isa.Class(p.slotCls[idx]); cls == isa.ClassBranch || cls == isa.ClassLoad {
+				selMem = append(selMem, cand)
+			} else {
+				selOther = append(selOther, cand)
+			}
+		}
+		if wi == last {
+			return selMem, selOther
+		}
+		wi++
+		w = words[wi]
+	}
+}
+
+// sweepBits is the settled-skipping sweep: it visits the occupied,
+// not-yet-settled slots in age order (occ &^ settled), performs the same
+// operand sync and output refresh the reference walk does, and marks entries
+// whose remaining sweep work is provably a no-op so later cycles skip them.
+func (p *Pipeline) sweepBits(c int64) {
+	n := len(p.entries)
+	if hi := p.head + p.count; hi <= n {
+		p.sweepSeg(p.head, hi, c)
+	} else {
+		p.sweepSeg(p.head, n, c)
+		p.sweepSeg(0, hi-n, c)
+	}
+}
+
+// sweepSeg sweeps the occupied slots in [lo, hi) that are neither settled
+// nor dormant. The candidate word is reloaded after every visit: a producer
+// visited earlier in the pass may validate and wake a consumer later in the
+// same word (consumers are younger, so a wake always targets a higher bit or
+// a later word), and the one-pass in-order propagation depends on visiting
+// it this same cycle.
+func (p *Pipeline) sweepSeg(lo, hi int, c int64) {
+	if lo >= hi {
+		return
+	}
+	n := len(p.entries)
+	wi, last := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	for {
+		hiMask := ^uint64(0)
+		if wi == last {
+			if r := uint(hi) & 63; r != 0 {
+				hiMask = 1<<r - 1
+			}
+		}
+		w := (p.occBits[wi] &^ p.settledBits[wi] &^ p.dormantBits[wi]) & loMask & hiMask
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			idx := wi<<6 + b
+			e := &p.entries[idx]
+			for o := 0; o < e.nsrc; o++ {
+				// The guard is syncOperand's own settled early-out, hoisted
+				// to skip the call (regfile operands and correct Valid
+				// captures are the common case on a not-yet-settled entry).
+				if op := &e.src[o]; op.inWindow && (op.state != core.StateValid || !op.correct) {
+					if p.syncOperand(op) {
+						p.slotNextTry[idx] = 0 // operand moved: recheck issue
+					}
+				}
+			}
+			retry := never
+			if e.validAt == never {
+				pos := idx - p.head
+				if pos < 0 {
+					pos += n
+				}
+				retry = p.refreshOutput(e, c, pos)
+			}
+			switch {
+			case e.validAt != never && p.operandsSettled(e):
+				setBit(p.settledBits, idx)
+			case retry == never:
+				// Blocked on instrumented events only (completion, equality,
+				// nullification, producer republish) — all of which wake us.
+				setBit(p.dormantBits, idx)
+			case retry > c+1:
+				// Pure time gate: sleep until the retry cycle.
+				setBit(p.dormantBits, idx)
+				p.wbWheel.schedule(c, retry, wbEvent{idx: int32(idx), kind: wbWake})
+			}
+			w = (p.occBits[wi] &^ p.settledBits[wi] &^ p.dormantBits[wi]) &
+				hiMask & (^uint64(0) << (uint(b) + 1))
+		}
+		if wi == last {
+			return
+		}
+		wi++
+		loMask = ^uint64(0)
+	}
+}
+
+// operandsSettled reports whether every in-window operand of e holds a
+// correct Valid value — the condition under which each syncOperand call
+// returns at its settled early-out forever (operand state is only displaced
+// while wrong or upgraded while unverified, and dispatch reinitializes on
+// slot reuse).
+func (p *Pipeline) operandsSettled(e *entry) bool {
+	for s := 0; s < e.nsrc; s++ {
+		o := &e.src[s]
+		if o.inWindow && (o.state != core.StateValid || !o.correct) {
+			return false
+		}
+	}
+	return true
+}

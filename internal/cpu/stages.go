@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"valuespec/internal/core"
 	"valuespec/internal/isa"
 	"valuespec/internal/trace"
@@ -15,7 +17,19 @@ import (
 // cycle; the hierarchical and retirement-based schemes are modeled as extra
 // gating terms inside refreshOutput.
 
+// sweep dispatches to the bitset-skipping pass (soa.go) or, under the
+// reference wakeup modes, the original full-window walk.
 func (p *Pipeline) sweep(c int64) {
+	if p.scanWakeup || p.queueWakeup {
+		p.sweepScan(c)
+		return
+	}
+	p.sweepBits(c)
+}
+
+// sweepScan is the original full-window sweep, kept as the reference
+// implementation the settled-skipping pass is differentially tested against.
+func (p *Pipeline) sweepScan(c int64) {
 	n := len(p.entries)
 	for i, s := 0, p.head; i < p.count; i++ {
 		e := &p.entries[s]
@@ -34,61 +48,82 @@ func (p *Pipeline) sweep(c int64) {
 // value is never displaced, only upgraded to Valid when the producer
 // verifies; a wrong or missing value adopts whatever the producer currently
 // broadcasts.
-func (p *Pipeline) syncOperand(o *operand) {
+// syncOperand returns whether it rewrote the operand's view; the bitset
+// sweep uses that to re-open the owning entry's issue-recheck gate
+// (slotNextTry), which assumes operand views only move through here.
+func (p *Pipeline) syncOperand(o *operand) bool {
 	if !o.inWindow {
-		return
+		return false
 	}
 	if o.state == core.StateValid && o.correct {
 		// Settled: a correct Valid value is never displaced or upgraded, so
 		// skip the producer lookup (usually a cache miss) entirely.
-		return
+		return false
 	}
-	pr := &p.entries[o.prodIdx]
-	if !pr.used || pr.age != o.prodAge {
-		return // producer retired; the operand already holds its final value
+	// The producer's broadcast header is read through the dense outViews
+	// mirror (see pubOut); occBits + slotAge stand in for used/age, which
+	// they shadow exactly.
+	idx := o.prodIdx
+	if p.occBits[idx>>6]&(1<<(uint(idx)&63)) == 0 || p.slotAge[idx] != o.prodAge {
+		return false // producer retired; the operand already holds its final value
 	}
+	v := &p.outViews[idx]
+	changed := false
 	switch {
 	case o.state == core.StateInvalid:
-		if pr.outState != core.StateInvalid {
-			o.state, o.correct, o.ready, o.validAt = pr.outState, pr.outCorrect, pr.outReady, pr.validAt
+		if v.state != core.StateInvalid {
+			o.state, o.correct, o.ready, o.validAt = v.state, v.correct, v.ready, v.validAt
+			changed = true
 		}
 	case !o.correct:
 		// Holding a wrong value: adopt the producer's current broadcast
 		// (possibly Invalid, meaning wait for the re-execution).
-		o.state, o.correct, o.ready, o.validAt = pr.outState, pr.outCorrect, pr.outReady, pr.validAt
-	case pr.outCorrect && pr.outState == core.StateValid && o.state != core.StateValid:
+		o.state, o.correct, o.ready, o.validAt = v.state, v.correct, v.ready, v.validAt
+		changed = true
+	case v.correct && v.state == core.StateValid && o.state != core.StateValid:
 		// Same (correct) value verified: upgrade in place.
-		o.state, o.validAt = core.StateValid, pr.validAt
+		o.state, o.validAt = core.StateValid, v.validAt
+		changed = true
 	}
-	if o.state.Speculative() {
+	if o.state.Speculative() && !o.everSpec {
 		o.everSpec = true
+		changed = true
 	}
+	return changed
 }
 
 // refreshOutput settles the validity of e's result at cycle c; pos is the
 // entry's distance from the window head (for retirement-based verification).
-func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) {
+//
+// The return value is the dormant-sweep retry hint (ignored by the scan
+// reference): never means the blocked condition can only be lifted by an
+// already-instrumented wake (execution/access completion, an equality
+// outcome, a nullification, or a producer republish — see pubOut); a cycle
+// t > c means the entry is blocked purely on time and need not be revisited
+// before t; c+1 means it must stay hot (retirement-based verification
+// depends on the head position, which moves without any wake).
+func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) int64 {
 	if e.validAt != never {
-		return // validity is monotone
+		return never // validity is monotone
 	}
 
 	switch e.cls {
 	case isa.ClassStore:
-		p.refreshStore(e, c)
-		return
+		return p.refreshStore(e, c)
 	case isa.ClassBranch:
 		if e.resolved && e.execClean {
 			e.validAt = e.resolveAt
 			e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+			p.pubOut(e)
 		}
-		return
+		return never // resolveBranch runs under completeExec's wake
 	}
 
 	if !e.doneExec || !e.execClean {
-		return
+		return never // completion wakes; a dirty execution waits for its wave
 	}
 	if e.vpUsed && !e.vpDead && !e.eqDone {
-		return // own prediction must pass equality first
+		return never // own prediction must pass equality first (event wakes)
 	}
 
 	t := e.doneCycle + 1 // the write/verification stage
@@ -103,7 +138,10 @@ func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) {
 		o := &e.src[s]
 		if o.inWindow {
 			if !o.validBy(c) {
-				return
+				if o.state == core.StateValid && o.validAt > c {
+					return o.validAt // valid but not yet usable: pure time gate
+				}
+				return never // producer republish wakes
 			}
 			ot := o.validAt
 			if o.everSpec {
@@ -115,21 +153,29 @@ func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) {
 			t = maxi64(t, ot)
 		}
 	}
+	headBound := false
 	if specInvolved && (retOnly || hybrid) {
 		// Retirement-based verification: only the retire-width oldest
 		// instructions can be validated each cycle.
 		atHead := pos < p.cfg.IssueWidth
 		if retOnly && !atHead {
-			return
+			return c + 1 // head advance may release it any cycle
 		}
-		if hybrid && atHead {
-			// Retirement releases it now even if the hierarchical chain
-			// has not caught up.
-			t = maxi64(e.doneCycle+1, c)
+		if hybrid {
+			if atHead {
+				// Retirement releases it now even if the hierarchical chain
+				// has not caught up.
+				t = maxi64(e.doneCycle+1, c)
+			} else {
+				headBound = true
+			}
 		}
 	}
 	if c < t {
-		return
+		if headBound {
+			return c + 1 // reaching the head releases earlier than t
+		}
+		return t
 	}
 	e.validAt = t
 	e.outState = core.StateValid
@@ -138,29 +184,37 @@ func (p *Pipeline) refreshOutput(e *entry, c int64, pos int) {
 		e.outReady = t
 	}
 	e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+	p.pubOut(e)
+	return never
 }
 
 // refreshStore settles a store: verified when its address is generated and
-// both operands (address base and data) are valid.
-func (p *Pipeline) refreshStore(e *entry, c int64) {
+// both operands (address base and data) are valid. The return value is the
+// dormant-sweep retry hint (see refreshOutput).
+func (p *Pipeline) refreshStore(e *entry, c int64) int64 {
 	if !e.agDone || !e.execClean {
-		return
+		return never // address generation completes under completeExec's wake
 	}
 	t := e.agCycle
 	for s := 0; s < e.nsrc; s++ {
 		o := &e.src[s]
 		if o.inWindow {
 			if !o.validBy(c) {
-				return
+				if o.state == core.StateValid && o.validAt > c {
+					return o.validAt // pure time gate
+				}
+				return never // producer republish wakes
 			}
 			t = maxi64(t, o.validAt)
 		}
 	}
 	if c < t {
-		return
+		return t
 	}
 	e.validAt = t
 	e.retireAt = e.validAt + int64(p.model.Lat.VerifyFreeRetire)
+	p.pubOut(e)
+	return never
 }
 
 // ---------------------------------------------------------------------------
@@ -187,6 +241,8 @@ func (p *Pipeline) retire(c int64) {
 		}
 		p.finishRetire(e)
 		e.used = false
+		clearBit(p.occBits, e.idx)
+		clearBit(p.settledBits, e.idx)
 		p.head = p.slot(1)
 		p.count--
 		retired++
@@ -218,16 +274,27 @@ func (p *Pipeline) finishRetire(e *entry) {
 // group, oldest first, while the oldest-first policy ignores the speculative
 // state of operands.
 //
-// The event-driven path iterates the ready queue — the unissued entries in
-// age order — instead of scanning the whole window once per selection pass.
-// The candidate sequence each pass sees is identical to the reference scan's
-// (issued and in-flight entries would be skipped by tryIssue anyway), so
-// grants, grant order and statistics are bit-identical.
+// The shipped path scans the ready bitset words in ring (= age) order
+// (issueBitset, soa.go); queueWakeup selects the tombstoned ready queue and
+// scanWakeup the original full-window scan, both kept as references. All
+// three see the same candidate sequence, so grants, grant order and
+// statistics are bit-identical.
 func (p *Pipeline) issue(c int64) {
 	if p.scanWakeup {
 		p.issueScan(c)
 		return
 	}
+	if p.queueWakeup {
+		p.issueQueue(c)
+		return
+	}
+	p.issueBitset(c)
+}
+
+// issueQueue performs wakeup/selection over the tombstoned ready queue — the
+// unissued entries in age order — instead of scanning the whole window once
+// per selection pass.
+func (p *Pipeline) issueQueue(c int64) {
 	p.qCompact()
 	oldestFirst := p.specOn() && p.model.Selection == core.SelectOldestFirst
 
@@ -340,16 +407,31 @@ func (p *Pipeline) tryIssue(e *entry, c int64, allowSpec, matchSpec bool) bool {
 	if matchSpec && spec != allowSpec {
 		return false
 	}
-	p.qRemove(e)
+	p.wakeRemove(e)
 	p.grantIssue(e, c)
 	return true
 }
 
+// untilChange is the slotNextTry sentinel for "blocked until an operand view
+// changes": the sweep resets the slot's gate to 0 whenever syncOperand
+// rewrites one of the entry's operands, so a state-blocked candidate is
+// re-evaluated exactly when something it depends on moved.
+const untilChange = int64(1) << 62
+
 // checkIssue reports whether e can issue at cycle c and whether it would
-// consume a speculative input. It mutates nothing, so the answer may be
-// evaluated once per cycle and reused across selection passes.
+// consume a speculative input. Entry and operand state are not mutated, so
+// the answer may be evaluated once per cycle and reused across selection
+// passes. On failure it records in slotNextTry the earliest cycle the
+// verdict could flip with the operand views held fixed — every gate below is
+// either monotone in c (validAt, verify latencies, ready stamps,
+// earliestIssue) or can only be lifted by an operand change, which resets
+// the gate — letting collectReady skip the re-check until then.
 func (p *Pipeline) checkIssue(e *entry, c int64) (ok, spec bool) {
-	if e.issued || e.inFlight || c < e.earliestIssue {
+	if e.issued || e.inFlight {
+		return false, false
+	}
+	if c < e.earliestIssue {
+		p.slotNextTry[e.idx] = e.earliestIssue
 		return false, false
 	}
 	isCtrl := e.cls == isa.ClassBranch || e.rec.Instr.Op == isa.JR
@@ -367,14 +449,26 @@ func (p *Pipeline) checkIssue(e *entry, c int64) (ok, spec bool) {
 		o := &e.src[s]
 		if validOnly {
 			if !o.validBy(c) {
+				if o.state == core.StateValid && o.validAt != never && o.validAt > c {
+					p.slotNextTry[e.idx] = o.validAt
+				} else {
+					p.slotNextTry[e.idx] = untilChange
+				}
 				return false, false
 			}
 			if isCtrl && o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyBranch) {
+				p.slotNextTry[e.idx] = o.validAt + int64(p.model.Lat.VerifyBranch)
 				return false, false
 			}
 			continue
 		}
-		if !o.available(c, !p.specOn() || p.model.ForwardSpeculative) {
+		if fwd := !p.specOn() || p.model.ForwardSpeculative; !o.available(c, fwd) {
+			if o.state.Available() && (fwd || o.state != core.StateSpeculative) &&
+				o.ready != never && o.ready > c {
+				p.slotNextTry[e.idx] = o.ready
+			} else {
+				p.slotNextTry[e.idx] = untilChange
+			}
 			return false, false
 		}
 		if o.state.Speculative() {
@@ -431,73 +525,107 @@ func (p *Pipeline) grantIssue(e *entry, c int64) {
 
 // startAccesses begins data-cache accesses (or store forwards) for loads
 // whose address is resolved per the memory-resolution policy, subject to the
-// memory-ordering constraint and data-cache port limits.
+// memory-ordering constraint and data-cache port limits. Candidates come from
+// loadBits — set at dispatch for loads, cleared when the access starts,
+// re-set on nullify — so cycles with no pending load skip the window walk.
 func (p *Pipeline) startAccesses(c int64) {
 	validOnly := !p.specOn() || p.model.MemResolution == core.ResolveValidOnly
 	n := len(p.entries)
-	for i, s := 0, p.head; i < p.count; i++ {
-		e := &p.entries[s]
-		if s++; s == n {
-			s = 0
+	if hi := p.head + p.count; hi <= n {
+		p.startAccessSeg(p.head, hi, c, validOnly)
+	} else {
+		p.startAccessSeg(p.head, n, c, validOnly)
+		p.startAccessSeg(0, hi-n, c, validOnly)
+	}
+}
+
+// startAccessSeg visits the pending loads with ring slots in [lo, hi). Slot
+// order within a non-wrapping segment is age order, and D-cache ports are
+// granted oldest first, so the walk must stay ascending.
+func (p *Pipeline) startAccessSeg(lo, hi int, c int64, validOnly bool) {
+	if lo >= hi {
+		return
+	}
+	n := len(p.entries)
+	wi, last := lo>>6, (hi-1)>>6
+	w := p.loadBits[wi] >> (uint(lo) & 63) << (uint(lo) & 63)
+	for {
+		if wi == last {
+			if r := uint(hi) & 63; r != 0 {
+				w &= 1<<r - 1
+			}
 		}
-		if e.cls != isa.ClassLoad || !e.agDone || e.memStarted {
-			continue
-		}
-		if c < e.agCycle {
-			continue
-		}
-		o := &e.src[0]
-		if validOnly {
-			if !o.inWindowRegfileValid(c) {
+		for w != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			e := &p.entries[idx]
+			if !e.agDone || c < e.agCycle {
 				continue
 			}
-			if o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyAddrMem) {
-				continue
-			}
-		}
-		if !p.olderStoreAddrsKnown(e, i, c, validOnly) {
-			continue
-		}
-		st := p.forwardingStore(e, i)
-		if st != nil {
-			// Store-to-load forwarding: single-cycle once the store data is
-			// available under the resolution policy.
-			d := &st.src[1]
+			o := &e.src[0]
 			if validOnly {
-				if !d.validBy(c) {
+				if !o.inWindowRegfileValid(c) {
 					continue
 				}
-			} else if !d.available(c, p.model.ForwardSpeculative) {
+				if o.everSpec && c < o.validAt+int64(p.model.Lat.VerifyAddrMem) {
+					continue
+				}
+			}
+			pos := idx - p.head
+			if pos < 0 {
+				pos += n
+			}
+			if !p.olderStoreAddrsKnown(pos, c, validOnly) {
 				continue
 			}
+			st := p.forwardingStore(e, pos)
+			if st != nil {
+				// Store-to-load forwarding: single-cycle once the store data is
+				// available under the resolution policy.
+				d := &st.src[1]
+				if validOnly {
+					if !d.validBy(c) {
+						continue
+					}
+				} else if !d.available(c, p.model.ForwardSpeculative) {
+					continue
+				}
+				e.memStarted = true
+				clearBit(p.loadBits, idx)
+				e.memDoneAt = c
+				if !p.scanWakeup {
+					p.wbWheel.schedule(c, c+1,
+						wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbMem})
+				}
+				e.fwdStore = st.age
+				e.fwdDataOK = d.correct
+				if d.inWindow {
+					e.fwdProdAge = d.prodAge
+					e.fwdProdIdx = int(d.prodIdx)
+					p.addConsumer(int(d.prodIdx), e.idx)
+				}
+				p.stats.StoreForwards++
+				continue
+			}
+			if p.portsUsed >= p.cfg.DCachePorts {
+				continue
+			}
+			p.portsUsed++
+			lat := int64(p.hier.Data(uint64(e.rec.Addr) * 8))
 			e.memStarted = true
-			e.memDoneAt = c
+			clearBit(p.loadBits, idx)
+			e.memDoneAt = c + lat - 1
 			if !p.scanWakeup {
-				p.wbWheel.schedule(c, c+1,
+				p.wbWheel.schedule(c, e.memDoneAt+1,
 					wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbMem})
 			}
-			e.fwdStore = st.age
-			e.fwdDataOK = d.correct
-			if d.inWindow {
-				e.fwdProdAge = d.prodAge
-				e.fwdProdIdx = d.prodIdx
-				p.addConsumer(d.prodIdx, e.idx)
-			}
-			p.stats.StoreForwards++
-			continue
+			e.fwdDataOK = true
 		}
-		if p.portsUsed >= p.cfg.DCachePorts {
-			continue
+		if wi == last {
+			return
 		}
-		p.portsUsed++
-		lat := int64(p.hier.Data(uint64(e.rec.Addr) * 8))
-		e.memStarted = true
-		e.memDoneAt = c + lat - 1
-		if !p.scanWakeup {
-			p.wbWheel.schedule(c, e.memDoneAt+1,
-				wbEvent{age: e.age, token: e.execToken, idx: int32(e.idx), kind: wbMem})
-		}
-		e.fwdDataOK = true
+		wi++
+		w = p.loadBits[wi]
 	}
 }
 
@@ -512,42 +640,94 @@ func (o *operand) inWindowRegfileValid(c int64) bool {
 
 // olderStoreAddrsKnown implements the paper's memory-ordering rule: a load
 // may access memory only when the addresses of all preceding stores in the
-// window are known (valid under valid-only resolution).
-func (p *Pipeline) olderStoreAddrsKnown(e *entry, pos int, c int64, validOnly bool) bool {
+// window are known (valid under valid-only resolution). pos is the load's
+// age-order position; the stores are found through storeBits.
+func (p *Pipeline) olderStoreAddrsKnown(pos int, c int64, validOnly bool) bool {
 	n := len(p.entries)
-	for i, si := 0, p.head; i < pos; i++ {
-		s := &p.entries[si]
-		if si++; si == n {
-			si = 0
-		}
-		if s.cls != isa.ClassStore {
-			continue
-		}
-		if !s.agDone || c < s.agCycle {
-			return false
-		}
-		if validOnly && !s.src[0].inWindowRegfileValid(c) {
-			return false
-		}
+	if hi := p.head + pos; hi <= n {
+		return p.storesKnownSeg(p.head, hi, c, validOnly)
+	} else {
+		return p.storesKnownSeg(p.head, n, c, validOnly) &&
+			p.storesKnownSeg(0, hi-n, c, validOnly)
 	}
-	return true
+}
+
+// storesKnownSeg checks every store with a ring slot in [lo, hi); the walk
+// order is irrelevant to the boolean result.
+func (p *Pipeline) storesKnownSeg(lo, hi int, c int64, validOnly bool) bool {
+	if lo >= hi {
+		return true
+	}
+	wi, last := lo>>6, (hi-1)>>6
+	w := p.storeBits[wi] >> (uint(lo) & 63) << (uint(lo) & 63)
+	for {
+		if wi == last {
+			if r := uint(hi) & 63; r != 0 {
+				w &= 1<<r - 1
+			}
+		}
+		for w != 0 {
+			s := &p.entries[wi<<6+bits.TrailingZeros64(w)]
+			w &= w - 1
+			if !s.agDone || c < s.agCycle {
+				return false
+			}
+			if validOnly && !s.src[0].inWindowRegfileValid(c) {
+				return false
+			}
+		}
+		if wi == last {
+			return true
+		}
+		wi++
+		w = p.storeBits[wi]
+	}
 }
 
 // forwardingStore returns the youngest older store writing the load's
-// address, if any.
+// address, if any. The reverse walk over storeBits visits the younger ring
+// segment (past the wrap) before the older one.
 func (p *Pipeline) forwardingStore(e *entry, pos int) *entry {
 	n := len(p.entries)
-	si := p.slot(pos)
-	for i := pos - 1; i >= 0; i-- {
-		if si--; si < 0 {
-			si = n - 1
+	if hi := p.head + pos; hi <= n {
+		return p.fwdStoreSeg(e, p.head, hi)
+	} else {
+		if st := p.fwdStoreSeg(e, 0, hi-n); st != nil {
+			return st
 		}
-		s := &p.entries[si]
-		if s.cls == isa.ClassStore && s.rec.Addr == e.rec.Addr {
-			return s
-		}
+		return p.fwdStoreSeg(e, p.head, n)
 	}
-	return nil
+}
+
+// fwdStoreSeg scans the stores with ring slots in [lo, hi) youngest first
+// for one matching the load's address.
+func (p *Pipeline) fwdStoreSeg(e *entry, lo, hi int) *entry {
+	if lo >= hi {
+		return nil
+	}
+	wi, first := (hi-1)>>6, lo>>6
+	w := p.storeBits[wi]
+	if r := uint(hi) & 63; r != 0 {
+		w &= 1<<r - 1
+	}
+	for {
+		if wi == first {
+			w = w >> (uint(lo) & 63) << (uint(lo) & 63)
+		}
+		for w != 0 {
+			b := 63 - bits.LeadingZeros64(w)
+			w &^= 1 << uint(b)
+			s := &p.entries[wi<<6+b]
+			if s.rec.Addr == e.rec.Addr {
+				return s
+			}
+		}
+		if wi == first {
+			return nil
+		}
+		wi--
+		w = p.storeBits[wi]
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -579,7 +759,7 @@ func (p *Pipeline) fetch(c int64) {
 			lat := int64(p.hier.Inst(uint64(rec.PC) * 4))
 			if lat > 1 {
 				// Miss: re-fetch this instruction when the block arrives.
-				p.pushFront(rec)
+				p.pushFront(*rec)
 				p.fetchResume = c + lat - 1
 				return
 			}
@@ -607,28 +787,41 @@ func (p *Pipeline) fetch(c int64) {
 }
 
 // nextRecord pulls the next correct-path record, preferring the replay
-// queue.
-func (p *Pipeline) nextRecord() (trace.Record, bool, bool) {
+// queue. The returned pointer is read-only and valid only until the next
+// deque push or nextRecord call; dispatch copies it into the window entry
+// immediately.
+func (p *Pipeline) nextRecord() (*trace.Record, bool, bool) {
 	if p.pending.len() > 0 {
-		return p.pending.popFront(), true, true
+		return p.pending.popFrontRef(), true, true
 	}
 	if p.srcDone {
-		return trace.Record{}, false, false
+		return nil, false, false
+	}
+	if p.srcRef != nil {
+		rec, ok := p.srcRef.NextRef()
+		if !ok {
+			p.srcDone = true
+			return nil, false, false
+		}
+		return rec, false, true
 	}
 	rec, ok := p.src.Next()
 	if !ok {
 		p.srcDone = true
-		return trace.Record{}, false, false
+		return nil, false, false
 	}
-	return rec, false, true
+	p.recScratch = rec
+	return &p.recScratch, false, true
 }
 
 func (p *Pipeline) pushFront(rec trace.Record) {
 	p.pending.pushFront(rec)
 }
 
-// dispatch allocates a window entry for rec at cycle c.
-func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
+// dispatch allocates a window entry for rec at cycle c. rec may alias the
+// shared recording or a deque slot; it is copied into the entry here, before
+// anything else can move it.
+func (p *Pipeline) dispatch(rec *trace.Record, replayed bool, c int64) *entry {
 	idx := p.slot(p.count)
 	p.count++
 	e := &p.entries[idx]
@@ -637,12 +830,31 @@ func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
 	e.idx = idx
 	e.age = p.nextAge
 	p.nextAge++
-	e.rec = rec
+	e.rec = *rec
 	e.cls = isa.ClassOf(rec.Instr.Op)
 	e.replayed = replayed
 	e.dispatchCycle = c
 	e.earliestIssue = c + 1
 	e.nsrc = rec.NSrc
+	p.slotAge[idx] = e.age
+	p.slotCls[idx] = uint8(e.cls)
+	p.slotNextTry[idx] = 0
+	setBit(p.occBits, idx)
+	clearBit(p.settledBits, idx)
+	// Memory-class bits for the startAccesses walks. Stale bits on slots
+	// outside the live ring range are harmless: every walk masks to
+	// [head, head+count), so only reuse inside the range must be exact.
+	switch e.cls {
+	case isa.ClassLoad:
+		setBit(p.loadBits, idx)
+		clearBit(p.storeBits, idx)
+	case isa.ClassStore:
+		setBit(p.storeBits, idx)
+		clearBit(p.loadBits, idx)
+	default:
+		clearBit(p.loadBits, idx)
+		clearBit(p.storeBits, idx)
+	}
 	p.emit(c, EvDispatch, e)
 	p.stats.Dispatched++
 	if !replayed {
@@ -654,14 +866,14 @@ func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
 		}
 	}
 
-	p.qInsert(e)
+	p.wakeAdd(e)
 	for s := 0; s < e.nsrc; s++ {
 		o := &e.src[s]
 		*o = operand{reg: rec.SrcRegs[s], validAt: never, ready: never}
 		prod := p.regProd[o.reg]
 		if prod >= 0 && p.entries[prod].used {
 			o.inWindow = true
-			o.prodIdx = prod
+			o.prodIdx = int32(prod)
 			o.prodAge = p.regProdAge[o.reg]
 			o.state = core.StateInvalid
 			p.addConsumer(prod, idx)
@@ -685,6 +897,7 @@ func (p *Pipeline) dispatch(rec trace.Record, replayed bool, c int64) *entry {
 		e.outState = core.StateInvalid
 		e.outReady = never
 	}
+	p.pubOut(e) // covers reset, predictValue and the line above
 	// NOP and HALT execute trivially; give them a one-cycle pass through
 	// the pipeline like any simple operation.
 	return e

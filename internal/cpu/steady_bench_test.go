@@ -122,15 +122,14 @@ func sizeName(kind string, n int) string {
 
 // BenchmarkReadyQueueWide stresses selection on a window far wider than the
 // paper's largest configuration (16-wide, 512 entries), where the per-cycle
-// full-window scan is most expensive. "queue" is the shipped tombstoned
-// ready queue; "scan" is the reference full-window scan.
+// full-window scan is most expensive. "bitset" is the shipped bitset
+// occupancy/ready words; "queue" is the previous tombstoned ready queue;
+// "scan" is the reference full-window scan. benchcheck gates all three side
+// by side.
 func BenchmarkReadyQueueWide(b *testing.B) {
 	recs := benchWakeupRecs(b, 20000)
 	cfg := flatMemConfig(Config{IssueWidth: 16, WindowSize: 512})
-	for _, mode := range []struct {
-		name string
-		scan bool
-	}{{"queue", false}, {"scan", true}} {
+	for _, mode := range wakeupModes {
 		b.Run(mode.name, func(b *testing.B) {
 			var retired int64
 			b.ReportAllocs()
@@ -146,7 +145,7 @@ func BenchmarkReadyQueueWide(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				p.scanWakeup = mode.scan
+				p.queueWakeup, p.scanWakeup = mode.queue, mode.scan
 				st, err := p.Run()
 				if err != nil {
 					b.Fatal(err)
@@ -154,6 +153,40 @@ func BenchmarkReadyQueueWide(b *testing.B) {
 				retired += st.Retired
 			}
 			b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}
+
+// BenchmarkBitsetSelect isolates the per-cycle cost of the wakeup/selection
+// and sweep structures on a warmed-up wide window (16-wide, 512 entries):
+// the same steady-state loop as BenchmarkPipelineSteadyState, run once per
+// wakeup mode so the bitset words, the tombstoned queue and the full scan
+// are compared cycle for cycle on identical machine state.
+func BenchmarkBitsetSelect(b *testing.B) {
+	recs := benchWakeupRecs(b, 20000)
+	cfg := flatMemConfig(Config{IssueWidth: 16, WindowSize: 512})
+	for _, mode := range wakeupModes {
+		b.Run(mode.name, func(b *testing.B) {
+			spec := &SpecOptions{
+				Enabled:    true,
+				Model:      core.Great(),
+				Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+				Confidence: confidence.NewResetting(10, 2),
+			}
+			p, err := New(cfg, spec, &cyclicSource{recs: recs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p.queueWakeup, p.scanWakeup = mode.queue, mode.scan
+			for i := 0; i < 50000; i++ {
+				p.step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.step()
+			}
+			b.ReportMetric(float64(p.stats.Retired)/b.Elapsed().Seconds(), "instrs/s")
 		})
 	}
 }

@@ -25,7 +25,9 @@ func newTestPipeline(t *testing.T) *Pipeline {
 	return p
 }
 
-// plant installs an entry at ring slot idx with the given age.
+// plant installs an entry at ring slot idx with the given age, registering
+// the slot mirrors the way dispatch would. Tests that mutate the entry's
+// broadcast header afterwards must republish it with p.pubOut(e).
 func plant(p *Pipeline, idx int, age int64) *entry {
 	e := &p.entries[idx]
 	e.reset()
@@ -34,6 +36,10 @@ func plant(p *Pipeline, idx int, age int64) *entry {
 	e.age = age
 	e.rec = trace.Record{Instr: isa.Instruction{Op: isa.ADD, Dst: 1}}
 	e.cls = isa.ClassALU
+	p.slotAge[idx] = age
+	p.slotCls[idx] = uint8(e.cls)
+	setBit(p.occBits, idx)
+	p.pubOut(e)
 	return e
 }
 
@@ -43,6 +49,7 @@ func TestSyncOperandCapturesFromInvalid(t *testing.T) {
 	prod.outState = core.StatePredicted
 	prod.outCorrect = true
 	prod.outReady = 3
+	p.pubOut(prod)
 
 	o := &operand{inWindow: true, prodIdx: 0, prodAge: 10, state: core.StateInvalid, validAt: never, ready: never}
 	p.syncOperand(o)
@@ -62,6 +69,7 @@ func TestSyncOperandKeepsCorrectCapturedValue(t *testing.T) {
 	prod.outState = core.StateSpeculative
 	prod.outCorrect = false
 	prod.outReady = 9
+	p.pubOut(prod)
 
 	o := &operand{inWindow: true, prodIdx: 0, prodAge: 10,
 		state: core.StatePredicted, correct: true, ready: 2, validAt: never}
@@ -78,6 +86,7 @@ func TestSyncOperandUpgradesToValid(t *testing.T) {
 	prod.outCorrect = true
 	prod.outReady = 4
 	prod.validAt = 6
+	p.pubOut(prod)
 
 	o := &operand{inWindow: true, prodIdx: 0, prodAge: 10,
 		state: core.StatePredicted, correct: true, ready: 2, validAt: never}
@@ -97,6 +106,7 @@ func TestSyncOperandReplacesWrongValue(t *testing.T) {
 	prod.outCorrect = true
 	prod.outReady = 8
 	prod.validAt = 8
+	p.pubOut(prod)
 
 	o := &operand{inWindow: true, prodIdx: 0, prodAge: 10,
 		state: core.StatePredicted, correct: false, ready: 2, validAt: never}
@@ -111,6 +121,7 @@ func TestSyncOperandIgnoresReusedSlot(t *testing.T) {
 	prod := plant(p, 0, 99) // different age than the operand expects
 	prod.outState = core.StateSpeculative
 	prod.outCorrect = false
+	p.pubOut(prod)
 
 	o := &operand{inWindow: true, prodIdx: 0, prodAge: 10,
 		state: core.StateValid, correct: true, ready: 2, validAt: 2}

@@ -12,28 +12,43 @@ import (
 	"valuespec/internal/vpred"
 )
 
-// runWakeup simulates recs with either the event-driven wakeup queues or the
-// reference full-window scan, capturing the complete event stream.
-func runWakeup(t *testing.T, cfg Config, mk func() *SpecOptions, recs []trace.Record, scan bool) (*Stats, *EventLog) {
+// wakeupMode selects one of the three wakeup/selection implementations: the
+// shipped bitset path (default), the tombstoned ready queue (queueWakeup) or
+// the reference full-window scan (scanWakeup).
+type wakeupMode struct {
+	name  string
+	queue bool
+	scan  bool
+}
+
+var wakeupModes = []wakeupMode{
+	{name: "bitset"},
+	{name: "queue", queue: true},
+	{name: "scan", scan: true},
+}
+
+// runWakeup simulates recs under one wakeup mode, capturing the complete
+// event stream.
+func runWakeup(t *testing.T, cfg Config, mk func() *SpecOptions, recs []trace.Record, mode wakeupMode) (*Stats, *EventLog) {
 	t.Helper()
 	p, err := New(cfg, mk(), &trace.SliceSource{Records: recs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.scanWakeup = scan
+	p.queueWakeup, p.scanWakeup = mode.queue, mode.scan
 	log := &EventLog{}
 	p.SetObserver(log)
 	st, err := p.Run()
 	if err != nil {
-		t.Fatalf("Run (scan=%t): %v\nstats: %s", scan, err, p.Stats())
+		t.Fatalf("Run (%s): %v\nstats: %s", mode.name, err, p.Stats())
 	}
 	return st, log
 }
 
 // TestEventWakeupMatchesScan is the equivalence property behind the
-// event-driven wakeup conversion: on random dependence DAGs, under every
+// event-driven wakeup conversions: on random dependence DAGs, under every
 // model preset and under the ablations that stress nullification the
-// hardest, the ready-queue/consumer-list implementation must produce exactly
+// hardest, the bitset and ready-queue implementations must produce exactly
 // the same event stream — same entries woken, issued, invalidated and
 // retired in the same cycles, in the same order — and byte-identical
 // statistics as the original full-window scan.
@@ -93,21 +108,23 @@ func TestEventWakeupMatchesScan(t *testing.T) {
 		recs := trace.Collect(m, 0)
 		for vi, mk := range variants {
 			for ci, cfg := range configs {
-				stQ, logQ := runWakeup(t, cfg, mk, recs, false)
-				stS, logS := runWakeup(t, cfg, mk, recs, true)
-				if !reflect.DeepEqual(stQ, stS) {
-					t.Fatalf("trial %d variant %d cfg %d: stats diverged\nqueue: %s\nscan:  %s",
-						trial, vi, ci, stQ, stS)
-				}
-				if !reflect.DeepEqual(logQ.Events, logS.Events) {
-					for i := range logQ.Events {
-						if i >= len(logS.Events) || logQ.Events[i] != logS.Events[i] {
-							t.Fatalf("trial %d variant %d cfg %d: event %d diverged: queue %+v scan %+v",
-								trial, vi, ci, i, logQ.Events[i], logS.Events[i])
-						}
+				stB, logB := runWakeup(t, cfg, mk, recs, wakeupModes[0])
+				for _, mode := range wakeupModes[1:] {
+					st, log := runWakeup(t, cfg, mk, recs, mode)
+					if !reflect.DeepEqual(stB, st) {
+						t.Fatalf("trial %d variant %d cfg %d: stats diverged\nbitset: %s\n%s: %s",
+							trial, vi, ci, stB, mode.name, st)
 					}
-					t.Fatalf("trial %d variant %d cfg %d: event streams differ in length: %d vs %d",
-						trial, vi, ci, len(logQ.Events), len(logS.Events))
+					if !reflect.DeepEqual(logB.Events, log.Events) {
+						for i := range logB.Events {
+							if i >= len(log.Events) || logB.Events[i] != log.Events[i] {
+								t.Fatalf("trial %d variant %d cfg %d: event %d diverged: bitset %+v %s %+v",
+									trial, vi, ci, i, logB.Events[i], mode.name, log.Events[i])
+							}
+						}
+						t.Fatalf("trial %d variant %d cfg %d: event streams differ in length (bitset %d vs %s %d)",
+							trial, vi, ci, len(logB.Events), mode.name, len(log.Events))
+					}
 				}
 			}
 		}
@@ -137,16 +154,13 @@ func benchWakeupRecs(b *testing.B, n int) []trace.Record {
 	return recs
 }
 
-// BenchmarkWakeup compares the event-driven wakeup queues against the
-// reference full-window scan on the 16-wide/96-entry configuration, where
-// the per-cycle scans are largest. The "queue" result is the shipped path.
+// BenchmarkWakeup compares the three wakeup implementations on the
+// 16-wide/96-entry configuration, where the per-cycle scans are largest. The
+// "bitset" result is the shipped path.
 func BenchmarkWakeup(b *testing.B) {
 	recs := benchWakeupRecs(b, 20000)
 	cfg := flatMemConfig(Config16x96())
-	for _, mode := range []struct {
-		name string
-		scan bool
-	}{{"queue", false}, {"scan", true}} {
+	for _, mode := range wakeupModes {
 		b.Run(mode.name, func(b *testing.B) {
 			var retired int64
 			b.ResetTimer()
@@ -161,7 +175,7 @@ func BenchmarkWakeup(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				p.scanWakeup = mode.scan
+				p.queueWakeup, p.scanWakeup = mode.queue, mode.scan
 				st, err := p.Run()
 				if err != nil {
 					b.Fatal(err)

@@ -217,6 +217,16 @@ func (d *recDeque) pushBack(rec trace.Record) {
 	d.n++
 }
 
+// popFrontRef pops the front record, returning a pointer into the deque's
+// buffer. The slot is valid only until the next push; callers copy what they
+// keep (dispatch copies into the window entry) before mutating the deque.
+func (d *recDeque) popFrontRef() *trace.Record {
+	rec := &d.buf[d.head]
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return rec
+}
+
 func (d *recDeque) popFront() trace.Record {
 	// The vacated slot is not zeroed: records hold no pointers, so stale
 	// contents retain nothing.

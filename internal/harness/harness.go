@@ -121,17 +121,17 @@ func (r Result) IPC() float64 { return r.Stats.IPC() }
 // consumes the functional emulator directly.
 func Simulate(spec Spec) (Result, error) { return simulate(spec, nil) }
 
-// simulate runs one simulation. With a non-nil cache the pipeline replays
-// the cached trace of (workload, scale); otherwise it is execute-driven.
-// Both feed the pipeline the identical record stream, so results are
-// bit-identical either way (the differential suite in replay_test.go holds
-// this at byte granularity).
-func simulate(spec Spec, cache *TraceCache) (Result, error) {
+// newPipeline builds the configured pipeline for one spec. With a non-nil
+// cache the pipeline replays the cached trace of (workload, scale); otherwise
+// it is execute-driven. Both feed the pipeline the identical record stream,
+// so results are bit-identical either way (the differential suite in
+// replay_test.go holds this at byte granularity).
+func newPipeline(spec Spec, cache *TraceCache) (*cpu.Pipeline, *obs.PhaseTimer, error) {
 	var src trace.Source
 	if cache != nil {
 		s, err := cache.Source(spec.Workload, spec.Scale)
 		if err != nil {
-			return Result{}, err
+			return nil, nil, err
 		}
 		src = s
 	} else {
@@ -141,7 +141,7 @@ func simulate(spec Spec, cache *TraceCache) (Result, error) {
 		}
 		m, err := emu.New(spec.Workload.Build(scale))
 		if err != nil {
-			return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+			return nil, nil, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
 		}
 		src = m
 	}
@@ -169,7 +169,7 @@ func simulate(spec Spec, cache *TraceCache) (Result, error) {
 	}
 	p, err := cpu.New(spec.Config, opts, src)
 	if err != nil {
-		return Result{}, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
+		return nil, nil, fmt.Errorf("harness: %s: %w", spec.Workload.Name, err)
 	}
 	if spec.Observer != nil {
 		p.SetObserver(spec.Observer)
@@ -180,6 +180,15 @@ func simulate(spec Spec, cache *TraceCache) (Result, error) {
 	var phases *obs.PhaseTimer
 	if spec.Phases {
 		phases = p.EnablePhaseStats()
+	}
+	return p, phases, nil
+}
+
+// simulate runs one simulation to completion.
+func simulate(spec Spec, cache *TraceCache) (Result, error) {
+	p, phases, err := newPipeline(spec, cache)
+	if err != nil {
+		return Result{}, err
 	}
 	st, err := p.Run()
 	if err != nil {
@@ -262,6 +271,9 @@ func SimulateBatch(ctx context.Context, specs []Spec, progress *Progress) ([]Res
 }
 
 func simulateAll(ctx context.Context, specs []Spec, cache *TraceCache, progress *Progress) ([]Result, error) {
+	if k := Lockstep(); k > 1 {
+		return simulateLockstep(ctx, specs, k, cache, progress)
+	}
 	results := make([]Result, len(specs))
 	errs := make([]error, len(specs))
 	workers := runtime.GOMAXPROCS(0)

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valuespec/internal/cpu"
+	"valuespec/internal/obs"
+)
+
+// Lockstep execution: most specs in a sweep share a workload trace and
+// differ only in model/latency variables, so instead of scheduling one
+// simulation per worker, the lockstep executor groups specs by their
+// (workload, scale) trace, builds up to K pipelines per group, and advances
+// them round-robin in small cycle slices on one worker. The K pipelines read
+// the same cached record slice and touch their (struct-of-arrays) window
+// state within a tight working set, so trace records, branch-predictor
+// tables and window words stay warm across the batch instead of being
+// re-streamed K times. Every pipeline is fully independent — lanes share
+// only the immutable cached trace — so results are byte-identical to the
+// per-spec scalar path by construction.
+
+// lockstepChunk is the cycle-slice granularity of the round-robin: large
+// enough to amortize the lane switch, small enough that the K lanes revisit
+// the shared trace region while it is still cached. 64 measured best on the
+// Fig. 3 sweep (16 and 1024 both lose ~40%; see docs/PERFORMANCE.md).
+const lockstepChunk = 64
+
+// lockstepK routes SimulateAll/SimulateAllCtx/SimulateBatch through the
+// lockstep executor when > 1 (SetLockstep; the -lockstep flag in cmd/vsweep).
+var lockstepK atomic.Int64
+
+// SetLockstep sets the process-wide lockstep width: batches submitted through
+// SimulateAll, SimulateAllCtx and SimulateBatch advance up to k same-trace
+// specs in lockstep per worker. k <= 1 restores per-spec scheduling.
+func SetLockstep(k int) { lockstepK.Store(int64(k)) }
+
+// Lockstep returns the process-wide lockstep width.
+func Lockstep() int { return int(lockstepK.Load()) }
+
+// SimulateLockstep runs the specs through the lockstep executor with an
+// explicit width k, regardless of the process-wide setting. Semantics match
+// SimulateAllCtx: results in input order, failures aggregated into a
+// *BatchError, cancellation drains and aborts. k <= 1 falls back to per-spec
+// scheduling.
+func SimulateLockstep(ctx context.Context, specs []Spec, k int) ([]Result, error) {
+	return SimulateLockstepBatch(ctx, specs, k, ActiveProgress())
+}
+
+// SimulateLockstepBatch is SimulateLockstep with an explicit per-batch
+// progress tracker (nil disables tracking), the lockstep counterpart of
+// SimulateBatch for the jobs service.
+func SimulateLockstepBatch(ctx context.Context, specs []Spec, k int, progress *Progress) ([]Result, error) {
+	var cache *TraceCache
+	if TraceCaching() {
+		cache = defaultTraceCache
+	}
+	if k <= 1 {
+		return simulateAll(ctx, specs, cache, progress)
+	}
+	return simulateLockstep(ctx, specs, k, cache, progress)
+}
+
+// planLockstep groups the spec indices by shared trace — (workload name,
+// resolved scale) — preserving first-seen group order and input order within
+// a group, and splits each group into batches of at most k lanes.
+func planLockstep(specs []Spec, k int) [][]int {
+	type traceKey struct {
+		name  string
+		scale int
+	}
+	groups := make(map[traceKey][]int)
+	var order []traceKey
+	for i, s := range specs {
+		scale := s.Scale
+		if scale <= 0 {
+			scale = s.Workload.DefaultScale
+		}
+		tk := traceKey{s.Workload.Name, scale}
+		if _, ok := groups[tk]; !ok {
+			order = append(order, tk)
+		}
+		groups[tk] = append(groups[tk], i)
+	}
+	var batches [][]int
+	for _, tk := range order {
+		idxs := groups[tk]
+		for len(idxs) > k {
+			batches = append(batches, idxs[:k])
+			idxs = idxs[k:]
+		}
+		batches = append(batches, idxs)
+	}
+	return batches
+}
+
+// simulateLockstep is the lockstep counterpart of simulateAll: a fixed pool
+// of workers claims whole same-trace batches and advances each batch's lanes
+// round-robin. Error aggregation, progress reporting and cancellation
+// semantics are identical to simulateAll's.
+func simulateLockstep(ctx context.Context, specs []Spec, k int, cache *TraceCache, progress *Progress) ([]Result, error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	batches := planLockstep(specs, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if progress != nil {
+		progress.setCache(cache)
+		progress.BatchStart(len(specs))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				b := int(next.Add(1)) - 1
+				if b >= len(batches) {
+					return
+				}
+				runLockstepBatch(ctx, specs, batches[b], cache, progress, results, errs)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: batch aborted: %w", err)
+	}
+	var batchErr *BatchError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if batchErr == nil {
+			batchErr = &BatchError{Total: len(specs)}
+		}
+		batchErr.Failures = append(batchErr.Failures, SpecFailure{Index: i, Spec: specs[i], Err: err})
+	}
+	if batchErr != nil {
+		return results, batchErr
+	}
+	return results, nil
+}
+
+// lockstepLane is one in-flight simulation of a lockstep batch.
+type lockstepLane struct {
+	idx    int // input position in specs
+	r      *cpu.Runner
+	phases *obs.PhaseTimer
+	t0     time.Time
+}
+
+// runLockstepBatch builds a pipeline per spec of the batch and advances the
+// lanes round-robin, lockstepChunk cycles per turn, retiring each lane into
+// results/errs as it completes. A lane that fails to build (or fails
+// mid-run) is recorded without aborting the others, matching SimulateAll's
+// continue-on-error semantics.
+func runLockstepBatch(ctx context.Context, specs []Spec, idxs []int, cache *TraceCache, progress *Progress, results []Result, errs []error) {
+	lanes := make([]lockstepLane, 0, len(idxs))
+	for _, i := range idxs {
+		var t0 time.Time
+		if progress != nil {
+			progress.SpecStart()
+			t0 = time.Now()
+		}
+		p, phases, err := newPipeline(specs[i], cache)
+		if err != nil {
+			if progress != nil {
+				progress.SpecDone(nil, err, time.Since(t0))
+			}
+			errs[i] = err
+			continue
+		}
+		lanes = append(lanes, lockstepLane{idx: i, r: p.NewRunner(), phases: phases, t0: t0})
+	}
+	for len(lanes) > 0 && ctx.Err() == nil {
+		live := lanes[:0]
+		for _, ln := range lanes {
+			if !ln.r.Step(lockstepChunk) {
+				live = append(live, ln)
+				continue
+			}
+			i := ln.idx
+			st, err := ln.r.Result()
+			if err != nil {
+				err = fmt.Errorf("harness: %s on %s: %w",
+					specs[i].Workload.Name, ConfigName(specs[i].Config), err)
+				if progress != nil {
+					progress.SpecDone(nil, err, time.Since(ln.t0))
+				}
+				errs[i] = err
+				continue
+			}
+			if progress != nil {
+				progress.SpecDone(st, nil, time.Since(ln.t0))
+			}
+			res := Result{Spec: specs[i], Stats: st}
+			if ln.phases != nil {
+				res.Phases = ln.phases.Breakdown()
+			}
+			results[i] = res
+		}
+		lanes = live
+	}
+}

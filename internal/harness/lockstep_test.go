@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"valuespec/internal/bench"
+	"valuespec/internal/core"
+	"valuespec/internal/cpu"
+)
+
+// TestPlanLockstep checks the batch planner: specs group by (workload,
+// resolved scale) in first-seen order, keep input order within a group, and
+// split into batches of at most k lanes.
+func TestPlanLockstep(t *testing.T) {
+	ws := bench.All()
+	a, b := ws[0], ws[1]
+	cfg := cpu.Config4x24()
+	specs := []Spec{
+		{Workload: a, Scale: 5, Config: cfg},              // 0: a@5
+		{Workload: b, Scale: 7, Config: cfg},              // 1: b@7
+		{Workload: a, Scale: 5, Config: cfg},              // 2: a@5
+		{Workload: a, Config: cfg},                        // 3: a@default
+		{Workload: a, Scale: 5, Config: cfg},              // 4: a@5
+		{Workload: b, Scale: 7, Config: cfg},              // 5: b@7
+		{Workload: a, Scale: a.DefaultScale, Config: cfg}, // 6: a@default (explicit)
+	}
+	got := planLockstep(specs, 2)
+	want := [][]int{{0, 2}, {4}, {1, 5}, {3, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("planLockstep = %v, want %v", got, want)
+	}
+}
+
+// TestLockstepMatchesScalar is the differential gate behind the lockstep
+// executor: a full Fig. 3-shaped batch — every workload under every paper
+// model (and the base processor) — simulated K configurations at a time must
+// produce byte-identical statistics, in the same input order, as the
+// per-spec scalar path.
+func TestLockstepMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full workload suite under 7 spec combinations twice")
+	}
+	specs := fig3Batch(6)
+	ctx := context.Background()
+	scalar, err := simulateAll(ctx, specs, NewTraceCache(), nil)
+	if err != nil {
+		t.Fatalf("scalar: %v", err)
+	}
+	for _, k := range []int{4, 16} {
+		lock, err := simulateLockstep(ctx, specs, k, NewTraceCache(), nil)
+		if err != nil {
+			t.Fatalf("lockstep k=%d: %v", k, err)
+		}
+		if len(lock) != len(scalar) {
+			t.Fatalf("lockstep k=%d returned %d results, want %d", k, len(lock), len(scalar))
+		}
+		for i := range scalar {
+			sb, err := json.Marshal(scalar[i].Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := json.Marshal(lock[i].Stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb, lb) {
+				t.Errorf("k=%d spec %d [%s]: stats diverged\nscalar:   %s\nlockstep: %s",
+					k, i, specs[i].Label(), sb, lb)
+			}
+		}
+	}
+}
+
+// TestLockstepCollectsErrors checks that the lockstep executor matches
+// SimulateAll's continue-on-error semantics: every failing spec is reported
+// with its input index through one *BatchError while the surviving lanes of
+// the same batch still produce results.
+func TestLockstepCollectsErrors(t *testing.T) {
+	w := bench.All()[0]
+	specs := make([]Spec, 8)
+	for i := range specs {
+		specs[i] = Spec{Workload: w, Scale: 1, Config: cpu.Config4x24()}
+	}
+	// Invalid configurations fail in cpu.New before any cycles run; both
+	// land in the same trace group as healthy lanes.
+	specs[1].Config = cpu.Config{IssueWidth: 0, WindowSize: 0}
+	specs[5].Config = cpu.Config{IssueWidth: 0, WindowSize: 0}
+	results, err := SimulateLockstep(context.Background(), specs, 4)
+	if err == nil {
+		t.Fatal("SimulateLockstep returned nil error for invalid specs")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError: %v", err, err)
+	}
+	if be.Total != len(specs) || len(be.Failures) != 2 {
+		t.Fatalf("BatchError reports %d failures of %d, want 2 of %d", len(be.Failures), be.Total, len(specs))
+	}
+	if be.Failures[0].Index != 1 || be.Failures[1].Index != 5 {
+		t.Errorf("failure indices = %d, %d; want 1, 5", be.Failures[0].Index, be.Failures[1].Index)
+	}
+	for _, i := range []int{0, 2, 3, 4, 6, 7} {
+		if results[i].Stats == nil {
+			t.Errorf("spec %d has no result despite succeeding", i)
+		}
+	}
+}
+
+// TestLockstepCtxCancelled checks that a cancelled context aborts a lockstep
+// batch with the context's error instead of a BatchError.
+func TestLockstepCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := bench.All()[0]
+	specs := []Spec{{Workload: w, Scale: 1, Config: cpu.Config4x24()}}
+	if _, err := SimulateLockstep(ctx, specs, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSetLockstepRoutesSimulateAll checks the process-wide knob: with a width
+// installed, SimulateAll runs through the lockstep executor and produces the
+// same results as the explicit API.
+func TestSetLockstepRoutesSimulateAll(t *testing.T) {
+	w := bench.All()[0]
+	cfg := cpu.Config4x24()
+	models := core.Presets()
+	var specs []Spec
+	for i := range models {
+		specs = append(specs, Spec{
+			Workload: w, Scale: 1, Config: cfg,
+			Model: &models[i], Setting: Setting{Update: cpu.UpdateImmediate},
+		})
+	}
+	scalar, err := SimulateAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLockstep(2)
+	defer SetLockstep(0)
+	routed, err := SimulateAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scalar {
+		sb, _ := json.Marshal(scalar[i].Stats)
+		rb, _ := json.Marshal(routed[i].Stats)
+		if !bytes.Equal(sb, rb) {
+			t.Errorf("spec %d: stats diverged\nscalar:  %s\nrouted:  %s", i, sb, rb)
+		}
+	}
+}
+
+// BenchmarkLockstepSweep measures a cached Fig. 3-shaped batch under the
+// per-spec scalar scheduler vs the lockstep executor at K=4 and K=8, the
+// end-to-end speedup -lockstep buys on a sweep.
+func BenchmarkLockstepSweep(b *testing.B) {
+	specs := fig3Batch(12)
+	run := func(b *testing.B, k int) {
+		cache := NewTraceCache()
+		// Warm the trace cache outside the timed region so every iteration
+		// (and both schedulers) replays fully cached traces.
+		if _, err := simulateLockstep(context.Background(), specs, 2, cache, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if k <= 1 {
+				_, err = simulateAll(context.Background(), specs, cache, nil)
+			} else {
+				_, err = simulateLockstep(context.Background(), specs, k, cache, nil)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("scalar", func(b *testing.B) { run(b, 1) })
+	b.Run("lockstep-k4", func(b *testing.B) { run(b, 4) })
+	b.Run("lockstep-k8", func(b *testing.B) { run(b, 8) })
+}

@@ -36,6 +36,15 @@ type SLO struct {
 	MaxFailed     *int `json:"max_failed,omitempty"`
 	MaxLost       *int `json:"max_lost,omitempty"`
 	MaxUnfinished *int `json:"max_unfinished,omitempty"`
+
+	// Distributions holds per-distribution overrides keyed by the vsload
+	// -dist name ("hotkey", "uniform"). A present field in an override
+	// replaces the base threshold for that distribution; absent fields
+	// inherit the base. This is how one baseline file gates a dedup-heavy
+	// hotkey soak at min_dedup_rate 0.5 while the all-unique uniform soak
+	// waives it. Overrides cannot nest further. Resolve with
+	// ForDistribution before Evaluate/Describe.
+	Distributions map[string]*SLO `json:"distributions,omitempty"`
 }
 
 // ParseSLO decodes an SLO spec strictly: unknown fields and trailing data
@@ -50,6 +59,26 @@ func ParseSLO(r io.Reader) (SLO, error) {
 	if dec.More() {
 		return SLO{}, fmt.Errorf("load: parsing SLO spec: trailing data after the object")
 	}
+	if err := s.validate(""); err != nil {
+		return SLO{}, err
+	}
+	for dist, o := range s.Distributions {
+		if o == nil {
+			return SLO{}, fmt.Errorf("load: SLO spec: distributions.%s is null", dist)
+		}
+		if o.Distributions != nil {
+			return SLO{}, fmt.Errorf("load: SLO spec: distributions.%s nests its own distributions; overrides are one level deep", dist)
+		}
+		if err := o.validate("distributions." + dist + "."); err != nil {
+			return SLO{}, err
+		}
+	}
+	return s, nil
+}
+
+// validate checks every present threshold for sanity; prefix names the
+// override being checked ("" for the top-level object).
+func (s *SLO) validate(prefix string) error {
 	for name, v := range map[string]*float64{
 		"min_writes_per_sec": s.MinWritesPerSec,
 		"max_submit_p50_ms":  s.MaxSubmitP50MS,
@@ -59,7 +88,7 @@ func ParseSLO(r io.Reader) (SLO, error) {
 		"min_dedup_rate":     s.MinDedupRate,
 	} {
 		if v != nil && *v < 0 {
-			return SLO{}, fmt.Errorf("load: SLO spec: %s must be non-negative, got %g", name, *v)
+			return fmt.Errorf("load: SLO spec: %s%s must be non-negative, got %g", prefix, name, *v)
 		}
 	}
 	for name, v := range map[string]*int{
@@ -69,10 +98,57 @@ func ParseSLO(r io.Reader) (SLO, error) {
 		"max_unfinished": s.MaxUnfinished,
 	} {
 		if v != nil && *v < 0 {
-			return SLO{}, fmt.Errorf("load: SLO spec: %s must be non-negative, got %d", name, *v)
+			return fmt.Errorf("load: SLO spec: %s%s must be non-negative, got %d", prefix, name, *v)
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// ForDistribution resolves the SLO for one submission distribution: the base
+// thresholds with any distributions.<name> override applied field by field.
+// Unknown names (and SLOs without overrides) return the base unchanged. The
+// result carries no Distributions map — it is ready for Evaluate/Describe.
+func (s SLO) ForDistribution(name string) SLO {
+	out := s
+	out.Distributions = nil
+	o := s.Distributions[name]
+	if o == nil {
+		return out
+	}
+	if o.Note != "" {
+		out.Note = o.Note
+	}
+	if o.MinWritesPerSec != nil {
+		out.MinWritesPerSec = o.MinWritesPerSec
+	}
+	if o.MaxSubmitP50MS != nil {
+		out.MaxSubmitP50MS = o.MaxSubmitP50MS
+	}
+	if o.MaxSubmitP95MS != nil {
+		out.MaxSubmitP95MS = o.MaxSubmitP95MS
+	}
+	if o.MaxSubmitP99MS != nil {
+		out.MaxSubmitP99MS = o.MaxSubmitP99MS
+	}
+	if o.MaxE2EP99MS != nil {
+		out.MaxE2EP99MS = o.MaxE2EP99MS
+	}
+	if o.MinDedupRate != nil {
+		out.MinDedupRate = o.MinDedupRate
+	}
+	if o.MaxRejected != nil {
+		out.MaxRejected = o.MaxRejected
+	}
+	if o.MaxFailed != nil {
+		out.MaxFailed = o.MaxFailed
+	}
+	if o.MaxLost != nil {
+		out.MaxLost = o.MaxLost
+	}
+	if o.MaxUnfinished != nil {
+		out.MaxUnfinished = o.MaxUnfinished
+	}
+	return out
 }
 
 // LoadSLO reads and parses the SLO spec at path.

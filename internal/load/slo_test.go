@@ -28,12 +28,16 @@ func TestParseSLOStrict(t *testing.T) {
 	}
 
 	for name, body := range map[string]string{
-		"unknown field": `{"max_p99": 5}`,
-		"bad type":      `{"max_failed": "zero"}`,
-		"negative":      `{"min_writes_per_sec": -1}`,
-		"negative int":  `{"max_lost": -2}`,
-		"trailing":      `{"max_failed": 0} {"again": 1}`,
-		"not json":      `max_failed: 0`,
+		"unknown field":       `{"max_p99": 5}`,
+		"bad type":            `{"max_failed": "zero"}`,
+		"negative":            `{"min_writes_per_sec": -1}`,
+		"negative int":        `{"max_lost": -2}`,
+		"trailing":            `{"max_failed": 0} {"again": 1}`,
+		"not json":            `max_failed: 0`,
+		"null override":       `{"distributions": {"hotkey": null}}`,
+		"negative override":   `{"distributions": {"hotkey": {"min_dedup_rate": -0.5}}}`,
+		"unknown in override": `{"distributions": {"hotkey": {"max_p99": 5}}}`,
+		"nested override":     `{"distributions": {"hotkey": {"distributions": {"uniform": {}}}}}`,
 	} {
 		if _, err := ParseSLO(strings.NewReader(body)); err == nil {
 			t.Errorf("%s accepted: %s", name, body)
@@ -104,6 +108,64 @@ func TestSLOEvaluate(t *testing.T) {
 	// An empty SLO enforces nothing.
 	if v := (SLO{}).Evaluate(rep); len(v) != 0 {
 		t.Fatalf("empty SLO violated: %v", v)
+	}
+}
+
+// TestSLOForDistribution covers the per-distribution override resolution: a
+// present override field replaces the base threshold (including an explicit
+// zero, which waives a min-floor), absent fields inherit, unknown
+// distributions get the base unchanged, and the result never carries the
+// Distributions map itself.
+func TestSLOForDistribution(t *testing.T) {
+	s, err := ParseSLO(strings.NewReader(`{
+		"min_writes_per_sec": 400,
+		"max_e2e_p99_ms": 5000,
+		"max_lost": 0,
+		"distributions": {
+			"hotkey": {"min_dedup_rate": 0.5},
+			"uniform": {"min_dedup_rate": 0, "max_e2e_p99_ms": 10000}
+		}
+	}`))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	hot := s.ForDistribution("hotkey")
+	if hot.MinDedupRate == nil || *hot.MinDedupRate != 0.5 {
+		t.Fatalf("hotkey dedup floor = %v, want 0.5", hot.MinDedupRate)
+	}
+	if *hot.MaxE2EP99MS != 5000 || *hot.MinWritesPerSec != 400 || *hot.MaxLost != 0 {
+		t.Fatalf("hotkey did not inherit base thresholds: %+v", hot)
+	}
+
+	uni := s.ForDistribution("uniform")
+	if uni.MinDedupRate == nil || *uni.MinDedupRate != 0 {
+		t.Fatalf("uniform dedup floor = %v, want explicit 0", uni.MinDedupRate)
+	}
+	if *uni.MaxE2EP99MS != 10000 {
+		t.Fatalf("uniform e2e p99 = %v, want overridden 10000", *uni.MaxE2EP99MS)
+	}
+
+	// A report with zero dedup passes uniform but violates hotkey.
+	rep := &Report{
+		WritesPerSec: 500,
+		Outcome:      Outcome{DedupRate: 0, E2E: LatencyStats{P99MS: 800}},
+	}
+	if v := uni.Evaluate(rep); len(v) != 0 {
+		t.Fatalf("uniform SLO violated on a dedup-free report: %v", v)
+	}
+	if v := hot.Evaluate(rep); len(v) != 1 || !strings.Contains(v[0], "dedup rate") {
+		t.Fatalf("hotkey SLO missed the dedup violation: %v", v)
+	}
+
+	for _, r := range []SLO{hot, uni, s.ForDistribution("nope")} {
+		if r.Distributions != nil {
+			t.Fatalf("resolved SLO still carries overrides: %+v", r)
+		}
+	}
+	base := s.ForDistribution("nope")
+	if base.MinDedupRate != nil || *base.MaxE2EP99MS != 5000 {
+		t.Fatalf("unknown distribution changed the base: %+v", base)
 	}
 }
 

@@ -88,6 +88,18 @@ func (s *MemorySource) Next() (Record, bool) {
 	return r, true
 }
 
+// NextRef is Next without the copy: the returned pointer aliases the shared
+// immutable recording, so the caller must copy the record before retaining
+// it and must never write through the pointer.
+func (s *MemorySource) NextRef() (*Record, bool) {
+	if s.pos >= len(s.recs) {
+		return nil, false
+	}
+	r := &s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
 // Len returns the total number of records in the recording.
 func (s *MemorySource) Len() int { return len(s.recs) }
 
