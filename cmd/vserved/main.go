@@ -52,6 +52,8 @@ func main() {
 		lockstep    = flag.Int("lockstep", 0, "advance up to K same-trace specs in lockstep per batch worker (0 or 1 = one spec per worker); results are byte-identical")
 		traceSpans  = flag.Int("trace-spans", obs.DefaultTracerSpans, "span-ring capacity for job tracing (0 disables tracing)")
 		tracePhases = flag.Bool("trace-phases", false, "record per-pipeline-phase wall time on every run span (adds per-cycle clock reads)")
+		telemetry   = flag.Bool("telemetry", false, "attach a per-spec interval sampler to every executed spec and store its snapshot (pipeline series + speculation-outcome breakdown) with the results")
+		telemetryIv = flag.Int64("telemetry-interval", jobs.DefaultTelemetryInterval, "telemetry sampling interval in simulated cycles (-telemetry)")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 	)
@@ -71,15 +73,17 @@ func main() {
 
 	reg := obs.NewSharedRegistry()
 	svc, err := jobs.Open(jobs.Config{
-		DataDir:     *dataDir,
-		Workers:     *workers,
-		JobTimeout:  *jobTimeout,
-		MaxRetries:  *maxRetries,
-		Metrics:     reg,
-		Tracer:      tracer,
-		Logger:      logger,
-		TracePhases: *tracePhases,
-		LockstepK:   *lockstep,
+		DataDir:           *dataDir,
+		Workers:           *workers,
+		JobTimeout:        *jobTimeout,
+		MaxRetries:        *maxRetries,
+		Metrics:           reg,
+		Tracer:            tracer,
+		Logger:            logger,
+		TracePhases:       *tracePhases,
+		Telemetry:         *telemetry,
+		TelemetryInterval: *telemetryIv,
+		LockstepK:         *lockstep,
 	})
 	if err != nil {
 		logger.Error("opening job service", "err", err)

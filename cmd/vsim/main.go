@@ -52,6 +52,9 @@ func main() {
 		metricsOut      = flag.String("metrics-out", "", "write the interval metrics time series to this file: a .csv extension (any case) selects CSV, any other name means JSON")
 		metricsInterval = flag.Int64("metrics-interval", 1000, "cycles per metrics sample")
 		metricsCap      = flag.Int("metrics-cap", 0, "max retained samples, overwriting the oldest (0 = unbounded)")
+		simSeries       = flag.String("sim-series", "", "write the per-interval pipeline telemetry series (sim.* CSV: IPC, occupancy, populations, speculation quadrants) to this file and print the speculation-outcome breakdown")
+		simInterval     = flag.Int64("sim-interval", 1000, "cycles per telemetry sample (-sim-series)")
+		simCap          = flag.Int("sim-cap", 4096, "max retained telemetry samples; when full the series decimates to a coarser stride")
 		traceOut        = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing, Perfetto) of the run to this file")
 		phaseStats      = flag.Bool("phase-stats", false, "print the wall-time breakdown of the simulator's pipeline stages")
 		cpuProfile      = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -112,6 +115,9 @@ func main() {
 	}
 	if *metricsOut != "" {
 		spec.Metrics = cpu.NewMetrics(*metricsInterval, *metricsCap)
+	}
+	if *simSeries != "" {
+		spec.Telemetry = cpu.NewTelemetry(*simInterval, *simCap)
 	}
 	spec.Phases = *phaseStats
 
@@ -181,6 +187,9 @@ func main() {
 			fmt.Printf("metrics: ring overwrote %d older samples (raise -metrics-cap or -metrics-interval for full coverage)\n", d)
 		}
 	}
+	if spec.Telemetry != nil {
+		writeTelemetry(*simSeries, spec.Telemetry)
+	}
 	if tracer != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -223,6 +232,46 @@ func main() {
 		if err := obsrv.Shutdown(ctx); err != nil {
 			log.Printf("observability server shutdown: %v", err)
 		}
+	}
+}
+
+// writeTelemetry writes the per-interval pipeline series as CSV and prints
+// the speculation-outcome breakdown plus the per-event latency summaries.
+func writeTelemetry(path string, tl *cpu.Telemetry) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tl.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	snap := tl.Snapshot()
+	fmt.Printf("telemetry: %d samples every %d cycles -> %s\n",
+		len(snap.Series[cpu.SeriesIPC]), snap.Interval, path)
+	out := snap.Outcomes
+	if out.Predictions > 0 {
+		pct := func(v int64) float64 { return 100 * float64(v) / float64(out.Predictions) }
+		fmt.Printf("speculation outcomes (%d predictions):\n", out.Predictions)
+		fmt.Printf("  correct, used     %12d  %5.1f%%\n", out.CorrectUsed, pct(out.CorrectUsed))
+		fmt.Printf("  wrong, used       %12d  %5.1f%%  (invalidation + reissue cost)\n", out.WrongUsed, pct(out.WrongUsed))
+		fmt.Printf("  correct, unused   %12d  %5.1f%%  (lost opportunity)\n", out.CorrectUnused, pct(out.CorrectUnused))
+		fmt.Printf("  wrong, unused     %12d  %5.1f%%  (confidence saved)\n", out.WrongUnused, pct(out.WrongUnused))
+	}
+	for _, l := range []struct {
+		name string
+		s    cpu.LatencySummary
+	}{
+		{"verify latency", snap.VerifyLatency},
+		{"invalidate latency", snap.InvalidateLatency},
+	} {
+		if l.s.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s n=%d mean=%.1f p50=%.0f p99=%.0f max=%d cycles\n",
+			l.name, l.s.Count, l.s.Mean, l.s.P50, l.s.P99, l.s.Max)
 	}
 }
 

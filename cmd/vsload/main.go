@@ -37,6 +37,8 @@ import (
 
 	"valuespec/internal/bench"
 	"valuespec/internal/load"
+	"valuespec/internal/obs"
+	"valuespec/internal/obsweb"
 )
 
 func main() {
@@ -66,6 +68,7 @@ type options struct {
 	sample       time.Duration
 	verify       bool
 	jsonOut      bool
+	serve        string
 
 	slo    load.SLO
 	hasSLO bool
@@ -97,6 +100,7 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.sample, "sample", 250*time.Millisecond, "queue-depth sampling interval (negative disables)")
 	fs.BoolVar(&o.verify, "verify-results", true, "re-fetch one stored result per unique content hash and check it")
 	fs.BoolVar(&o.jsonOut, "json", false, "print the report as JSON instead of text")
+	fs.StringVar(&o.serve, "serve", "", "serve the soak's live load.* metrics over HTTP at this address (/metrics, /series, /dash); port 0 picks a free one")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -219,6 +223,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if o.chaos {
 		cfg.Chaos = &load.Chaos{At: o.chaosAt, Restart: daemon.Restart}
+	}
+	if o.serve != "" {
+		reg := obs.NewSharedRegistry()
+		cfg.Metrics = reg
+		web := obsweb.New(obsweb.Config{Metrics: reg})
+		if err := web.Start(context.Background(), o.serve); err != nil {
+			fmt.Fprintln(stderr, "vsload:", err)
+			return 1
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = web.Shutdown(ctx)
+		}()
+		logf("serving live metrics at http://%s (dashboard: http://%s/dash)", web.Addr(), web.Addr())
 	}
 	runner, err := load.NewRunner(cfg)
 	if err != nil {

@@ -70,7 +70,8 @@ func main() {
 		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
 		lockstep     = flag.Int("lockstep", 0, "advance up to K same-trace specs in lockstep per worker (0 or 1 = one spec per worker); results are byte-identical")
 		submitURL    = flag.String("submit", "", "run -fig3/-fig4 on a vserved daemon at this URL (e.g. http://127.0.0.1:9090) instead of simulating locally")
-		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /healthz, /readyz, /debug/pprof/")
+		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /series, /dash, /healthz, /readyz, /debug/pprof/")
+		specReport   = flag.Bool("spec-report", false, "print the speculation-outcome breakdown — the predicted/used four-quadrant split per (config, model, setting) group — after the sweeps")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
 		outDir       = flag.String("out", "", "also write results as CSV and JSON into this directory")
 		svgDir       = flag.String("svg", "", "also render figures as SVG into this directory")
@@ -102,6 +103,13 @@ func main() {
 	var sub *submitter
 	if *submitURL != "" {
 		sub = newSubmitter(*submitURL)
+	}
+	// Speculation-outcome collection: both executors fold every completed
+	// speculative spec's four-quadrant counts into the process-wide report.
+	var specRep *harness.SpecReport
+	if *specReport {
+		specRep = harness.NewSpecReport()
+		harness.SetSpecReport(specRep)
 	}
 	// Live observability: a SharedRegistry fed by the harness progress
 	// tracker, served over HTTP for the duration of the run.
@@ -410,6 +418,42 @@ func main() {
 
 	if sub != nil {
 		sub.summary()
+	}
+
+	if specRep != nil {
+		harness.SetSpecReport(nil)
+		section("Speculation-outcome breakdown (fraction of predictions)")
+		rows := specRep.Rows()
+		if len(rows) == 0 {
+			fmt.Println("no speculative specs completed")
+		} else {
+			pct := func(v, total int64) string {
+				if total == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(total))
+			}
+			cells := make([][]string, 0, len(rows))
+			for _, row := range rows {
+				o := row.Outcomes
+				cells = append(cells, []string{
+					row.Config, row.Model, row.Setting,
+					fmt.Sprintf("%d", row.Specs),
+					fmt.Sprintf("%d", o.Predictions),
+					pct(o.CorrectUsed, o.Predictions),
+					pct(o.WrongUsed, o.Predictions),
+					pct(o.CorrectUnused, o.Predictions),
+					pct(o.WrongUnused, o.Predictions),
+				})
+			}
+			fmt.Print(textplot.Table([]string{
+				"Config", "Model", "Setting", "Specs", "Predictions",
+				"C+used", "W+used", "C+unused", "W+unused",
+			}, cells))
+			fmt.Println("C/W = value correct/wrong; used = consumed speculatively." +
+				" W+used costs an invalidation wave, C+unused is lost opportunity," +
+				" W+unused is what confidence saved.")
+		}
 	}
 
 	if progress != nil {

@@ -125,6 +125,7 @@ type Pipeline struct {
 
 	obs     Observer
 	metrics *Metrics
+	telem   *Telemetry
 	phases  *obs.PhaseTimer
 	stats   Stats
 }
@@ -734,6 +735,9 @@ func (p *Pipeline) runEvents(c int64) {
 			if p.metrics != nil {
 				p.metrics.verifyLat.Observe(c - e.doneCycle)
 			}
+			if p.telem != nil {
+				p.telem.verifyLat.Observe(c - e.doneCycle)
+			}
 			e.eqDone = true
 			// Expose the computed value (same value, upgradeable state).
 			e.outCorrect = e.execClean
@@ -744,6 +748,9 @@ func (p *Pipeline) runEvents(c int64) {
 		// Misprediction detected: the entry's prediction is dead and its
 		// computed value replaces it for consumers.
 		p.stats.InvalidationWaves++
+		if p.telem != nil {
+			p.telem.invalLat.Observe(c - e.doneCycle)
+		}
 		e.eqDone = true
 		e.vpDead = true
 		e.outState = core.StateSpeculative

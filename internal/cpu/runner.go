@@ -24,10 +24,40 @@ func (p *Pipeline) NewRunner() *Runner { return &Runner{p: p} }
 // run has finished — the instruction stream drained and the window emptied,
 // or the run failed (cycle budget exceeded, no forward progress). Calling
 // Step after completion is a no-op returning true.
+//
+// When a Telemetry sampler is installed, Step splits its increment at the
+// sampler's due cycles so interval samples are taken exactly at Step
+// boundaries; the per-cycle loop itself never sees the sampler, and with no
+// sampler installed the path is unchanged.
 func (r *Runner) Step(n int) bool {
 	if r.done {
 		return true
 	}
+	t := r.p.telem
+	if t == nil {
+		return r.stepN(n)
+	}
+	for n > 0 {
+		m := n
+		if due := t.nextDue - r.p.cycle; due < int64(m) {
+			if due < 1 {
+				due = 1
+			}
+			m = int(due)
+		}
+		if r.stepN(m) {
+			return true
+		}
+		n -= m
+		if r.p.cycle >= t.nextDue {
+			t.sample(r.p)
+		}
+	}
+	return false
+}
+
+// stepN is the unsampled per-cycle drive loop shared by both Step paths.
+func (r *Runner) stepN(n int) bool {
 	p := r.p
 	for ; n > 0; n-- {
 		if p.count == 0 && p.srcDone && p.pending.len() == 0 {
@@ -53,6 +83,9 @@ func (r *Runner) finish(err error) bool {
 	r.done, r.err = true, err
 	if p := r.p; p.metrics != nil {
 		p.metrics.finish(p)
+	}
+	if p := r.p; p.telem != nil {
+		p.telem.finishRun(p)
 	}
 	if p := r.p; p.phases != nil {
 		p.phases.End()

@@ -36,12 +36,13 @@ func (s *cyclicSource) Next() (trace.Record, bool) {
 // consumer lists); after it, the hot loop must run at 0 allocs/op — that
 // budget is pinned in BENCH_BASELINE.json and enforced by cmd/benchcheck.
 //
-// The pipeline runs with a Metrics collector attached and an obs
-// SharedRegistry adapter standing by, the configuration a live-served sweep
-// uses: the per-cycle histogram hooks are on the measured path, while the
-// interval never elapses and the shared merge happens only after the timed
-// loop. The 0 allocs/op budget therefore also pins "attached-but-idle"
-// live observability as allocation-free.
+// The pipeline runs with a Metrics collector and a Telemetry interval
+// sampler attached and an obs SharedRegistry adapter standing by, the
+// configuration a live-served sweep uses: the per-cycle histogram hooks and
+// the telemetry event-site latency observes are on the measured path, while
+// neither sampling interval ever elapses and the shared merge happens only
+// after the timed loop. The 0 allocs/op budget therefore also pins
+// "attached-but-idle" live observability as allocation-free.
 func BenchmarkPipelineSteadyState(b *testing.B) {
 	recs := benchWakeupRecs(b, 20000)
 	spec := &SpecOptions{
@@ -57,6 +58,8 @@ func BenchmarkPipelineSteadyState(b *testing.B) {
 	shared := obs.NewSharedRegistry()
 	m := NewMetrics(1<<62, 0) // idle: the sampling interval never elapses
 	p.SetMetrics(m)
+	tl := NewTelemetry(1<<62, 256) // idle too; only event-site observes fire
+	p.SetTelemetry(tl)
 	for i := 0; i < 50000; i++ {
 		p.step()
 	}
@@ -70,7 +73,48 @@ func BenchmarkPipelineSteadyState(b *testing.B) {
 	if shared.Snapshot().Histogram(MetricOccupancy).Count() == 0 {
 		b.Fatal("idle metrics adapter recorded nothing")
 	}
+	if tl.VerifyLatency().Count() == 0 {
+		b.Fatal("idle telemetry observed no verifications")
+	}
 	b.ReportMetric(float64(p.stats.Retired)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkIntervalSampler measures one Telemetry interval sample — counter
+// deltas, bitset population counts and fourteen TimeSeries appends — on a
+// warmed-up pipeline. The sampler runs at Runner.Step boundaries, never in
+// the per-cycle loop, so this is the whole marginal cost of a sampling
+// boundary; the 0 allocs/op budget pins sampling as allocation-free
+// (TimeSeries decimate in place instead of growing).
+func BenchmarkIntervalSampler(b *testing.B) {
+	recs := benchWakeupRecs(b, 20000)
+	spec := &SpecOptions{
+		Enabled:    true,
+		Model:      core.Great(),
+		Predictor:  vpred.NewFCM(vpred.FCMConfig{HistoryBits: 10, PredictionBits: 10, HistoryDepth: 4}),
+		Confidence: confidence.NewResetting(10, 2),
+	}
+	p, err := New(flatMemConfig(Config8x48()), spec, &cyclicSource{recs: recs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const interval = 64
+	tl := NewTelemetry(interval, 512)
+	p.SetTelemetry(tl)
+	for i := 0; i < 50000; i++ {
+		p.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rewind the boundary bookkeeping so every iteration takes a full
+		// sample without re-simulating the interval.
+		tl.prevCycle = p.cycle - interval
+		tl.sample(p)
+	}
+	b.StopTimer()
+	if tl.series[tsOccupancy].Appended() < int64(b.N) {
+		b.Fatal("sampler skipped samples")
+	}
 }
 
 // BenchmarkReplayRequeue compares the replay-queue representations on the

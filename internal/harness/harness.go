@@ -86,6 +86,10 @@ type Spec struct {
 	// Metrics, when non-nil, collects sampled distributions and the
 	// interval time series during the run.
 	Metrics *cpu.Metrics
+	// Telemetry, when non-nil, records the microarchitectural interval
+	// series and speculation-outcome breakdown at Runner.Step boundaries
+	// (one sampler per spec; see cpu.NewTelemetry).
+	Telemetry *cpu.Telemetry
 	// Phases enables the wall-time per-stage profile; the breakdown is
 	// returned in Result.Phases.
 	Phases bool
@@ -177,6 +181,9 @@ func newPipeline(spec Spec, cache *TraceCache) (*cpu.Pipeline, *obs.PhaseTimer, 
 	if spec.Metrics != nil {
 		p.SetMetrics(spec.Metrics)
 	}
+	if spec.Telemetry != nil {
+		p.SetTelemetry(spec.Telemetry)
+	}
 	var phases *obs.PhaseTimer
 	if spec.Phases {
 		phases = p.EnablePhaseStats()
@@ -193,6 +200,9 @@ func simulate(spec Spec, cache *TraceCache) (Result, error) {
 	st, err := p.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s on %s: %w", spec.Workload.Name, ConfigName(spec.Config), err)
+	}
+	if rep := ActiveSpecReport(); rep != nil {
+		rep.Record(spec, st)
 	}
 	res := Result{Spec: spec, Stats: st}
 	if phases != nil {

@@ -201,6 +201,9 @@ func runLockstepBatch(ctx context.Context, specs []Spec, idxs []int, cache *Trac
 			if progress != nil {
 				progress.SpecDone(st, nil, time.Since(ln.t0))
 			}
+			if rep := ActiveSpecReport(); rep != nil {
+				rep.Record(specs[i], st)
+			}
 			res := Result{Spec: specs[i], Stats: st}
 			if ln.phases != nil {
 				res.Phases = ln.phases.Breakdown()

@@ -24,6 +24,13 @@ const (
 	MetricETA            = "sweep.eta_seconds"          // gauge: estimated seconds to drain remaining specs
 	MetricElapsed        = "sweep.elapsed_seconds"      // gauge: wall seconds since the tracker started
 	MetricCacheHitRate   = "sweep.trace_cache_hit_rate" // gauge: hits/(hits+misses) of the trace cache
+
+	// Speculation-outcome counters aggregated across completed specs. The
+	// names match the cpu per-run telemetry series (cpu.SeriesCorrectUsed
+	// etc.) so the live sweep counters and the per-run series read as one
+	// catalog; "sim.predictions" is the partition total the four quadrants
+	// must sum to.
+	MetricPredictions = "sim.predictions"
 )
 
 // ewmaAlpha weights the most recent spec duration in the ETA estimate; 0.2
@@ -53,6 +60,7 @@ type Progress struct {
 	inflight  int64
 	cycles    int64
 	retired   int64
+	outcomes  obs.SpecOutcomes
 	ewmaSec   float64
 	done      bool
 	cache     *TraceCache
@@ -61,20 +69,21 @@ type Progress struct {
 // ProgressSnapshot is one consistent reading of a Progress, shaped for JSON
 // (the /progress endpoint and every SSE frame).
 type ProgressSnapshot struct {
-	SpecsTotal     int64   `json:"specs_total"`
-	SpecsCompleted int64   `json:"specs_completed"`
-	SpecsInFlight  int64   `json:"specs_inflight"`
-	SpecsFailed    int64   `json:"specs_failed"`
-	CyclesTotal    int64   `json:"cycles_total"`
-	Retired        int64   `json:"retired_total"`
-	CacheHits      int64   `json:"trace_cache_hits"`
-	CacheMisses    int64   `json:"trace_cache_misses"`
-	CacheHitRate   float64 `json:"trace_cache_hit_rate"`
-	SpecSecEWMA    float64 `json:"spec_seconds_ewma"`
-	ETASeconds     float64 `json:"eta_seconds"`
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
-	Workers        int     `json:"workers"`
-	Done           bool    `json:"done"`
+	SpecsTotal     int64            `json:"specs_total"`
+	SpecsCompleted int64            `json:"specs_completed"`
+	SpecsInFlight  int64            `json:"specs_inflight"`
+	SpecsFailed    int64            `json:"specs_failed"`
+	CyclesTotal    int64            `json:"cycles_total"`
+	Retired        int64            `json:"retired_total"`
+	CacheHits      int64            `json:"trace_cache_hits"`
+	CacheMisses    int64            `json:"trace_cache_misses"`
+	CacheHitRate   float64          `json:"trace_cache_hit_rate"`
+	Outcomes       obs.SpecOutcomes `json:"speculation_outcomes"`
+	SpecSecEWMA    float64          `json:"spec_seconds_ewma"`
+	ETASeconds     float64          `json:"eta_seconds"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Workers        int              `json:"workers"`
+	Done           bool             `json:"done"`
 }
 
 // NewProgress returns a tracker publishing into shared. Every metric is
@@ -100,6 +109,11 @@ func NewProgress(shared *obs.SharedRegistry) *Progress {
 		r.Gauge(MetricElapsed)
 		r.Gauge(MetricCacheHitRate)
 		r.Histogram(MetricSpecCycles)
+		r.Counter(MetricPredictions)
+		r.Counter(cpu.SeriesCorrectUsed)
+		r.Counter(cpu.SeriesWrongUsed)
+		r.Counter(cpu.SeriesCorrectUnused)
+		r.Counter(cpu.SeriesWrongUnused)
 	})
 	return p
 }
@@ -150,6 +164,13 @@ func (p *Progress) SpecDone(st *cpu.Stats, err error, d time.Duration) {
 			p.cycles += st.Cycles
 			p.retired += st.Retired
 			specCycles = st.Cycles
+			p.outcomes.Merge(obs.SpecOutcomes{
+				Predictions:   st.Predictions,
+				CorrectUsed:   st.CH,
+				WrongUsed:     st.IH,
+				CorrectUnused: st.CL,
+				WrongUnused:   st.IL,
+			})
 		}
 		if sec := d.Seconds(); p.ewmaSec == 0 {
 			p.ewmaSec = sec
@@ -180,6 +201,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		SpecsFailed:    p.failed,
 		CyclesTotal:    p.cycles,
 		Retired:        p.retired,
+		Outcomes:       p.outcomes,
 		SpecSecEWMA:    p.ewmaSec,
 		ETASeconds:     p.etaLocked(),
 		ElapsedSeconds: time.Since(p.start).Seconds(),
@@ -222,6 +244,11 @@ func (p *Progress) publishLocked(specCycles int64) {
 	p.shared.Do(func(r *obs.Registry) {
 		r.Counter("cycles").Set(p.cycles)
 		r.Counter("retired").Set(p.retired)
+		r.Counter(MetricPredictions).Set(p.outcomes.Predictions)
+		r.Counter(cpu.SeriesCorrectUsed).Set(p.outcomes.CorrectUsed)
+		r.Counter(cpu.SeriesWrongUsed).Set(p.outcomes.WrongUsed)
+		r.Counter(cpu.SeriesCorrectUnused).Set(p.outcomes.CorrectUnused)
+		r.Counter(cpu.SeriesWrongUnused).Set(p.outcomes.WrongUnused)
 		r.Counter(MetricSpecsTotal).Set(p.total)
 		r.Counter(MetricSpecsCompleted).Set(p.completed)
 		r.Counter(MetricSpecsFailed).Set(p.failed)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"valuespec/internal/cpu"
 	"valuespec/internal/harness"
 	"valuespec/internal/obs"
 )
@@ -80,6 +81,15 @@ type Config struct {
 	// every executed spec and attaches it to the run span. It costs several
 	// clock reads per simulated cycle, so it is opt-in.
 	TracePhases bool
+	// Telemetry attaches a per-spec interval sampler (cpu.Telemetry) to
+	// every executed spec and stores the compact snapshot — per-interval
+	// pipeline series plus the speculation-outcome breakdown — alongside
+	// each result. Telemetry does not participate in the request hash, so a
+	// deduped submission may be served a stored result recorded without it.
+	Telemetry bool
+	// TelemetryInterval is the sampling interval in simulated cycles when
+	// Telemetry is on; <= 0 selects DefaultTelemetryInterval.
+	TelemetryInterval int64
 	// Simulate overrides the batch executor; nil selects
 	// harness.SimulateBatch (or the lockstep executor when LockstepK > 1).
 	Simulate SimulateFunc
@@ -92,6 +102,15 @@ type Config struct {
 
 // DefaultRetryBackoff is the first-retry delay when Config leaves it zero.
 const DefaultRetryBackoff = 500 * time.Millisecond
+
+// DefaultTelemetryInterval is the sampling interval (simulated cycles)
+// used when Config.Telemetry is on and TelemetryInterval is unset, and
+// telemetrySeriesCap bounds each stored series: capacity is fixed, so long
+// runs decimate to coarser strides instead of growing the stored result.
+const (
+	DefaultTelemetryInterval = 1024
+	telemetrySeriesCap       = 512
+)
 
 // ErrFinished is returned by Cancel for jobs already in a terminal state.
 var ErrFinished = errors.New("jobs: job already finished")
@@ -517,6 +536,15 @@ func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progre
 			specs[i].Phases = true
 		}
 	}
+	if s.cfg.Telemetry {
+		interval := s.cfg.TelemetryInterval
+		if interval <= 0 {
+			interval = DefaultTelemetryInterval
+		}
+		for i := range specs {
+			specs[i].Telemetry = cpu.NewTelemetry(interval, telemetrySeriesCap)
+		}
+	}
 	results, err := s.cfg.Simulate(ctx, specs, progress)
 	progress.Finish()
 	if err != nil {
@@ -531,6 +559,9 @@ func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progre
 	out := make([]SpecResult, len(results))
 	for i, r := range results {
 		out[i] = SpecResult{Spec: job.Request.Specs[i], Stats: r.Stats}
+		if tl := specs[i].Telemetry; tl != nil && r.Stats != nil {
+			out[i].Telemetry = tl.Snapshot()
+		}
 	}
 	return out, phaseSummary(results), nil
 }

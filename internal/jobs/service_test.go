@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"valuespec/internal/bench"
+	"valuespec/internal/core"
 	"valuespec/internal/cpu"
 	"valuespec/internal/harness"
 	"valuespec/internal/obs"
@@ -106,6 +107,66 @@ func TestServiceRunsAndDedups(t *testing.T) {
 	}
 	if s.Store().Len() != 1 {
 		t.Errorf("store holds %d entries, want 1", s.Store().Len())
+	}
+}
+
+// TestServiceTelemetry checks the telemetry opt-in end to end: with
+// Config.Telemetry the stored results carry per-spec snapshots whose
+// speculation-outcome quadrants reconcile against the stored Stats, the
+// snapshots survive the JSON round trip through the store, and base-model
+// results carry an empty (but present) breakdown.
+func TestServiceTelemetry(t *testing.T) {
+	w := bench.All()[0]
+	model := core.Great()
+	s, err := Open(Config{
+		DataDir:           t.TempDir(),
+		Workers:           1,
+		Telemetry:         true,
+		TelemetryInterval: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	job, _, err := s.Submit(Request{Specs: []SimSpec{
+		{Workload: w.Name, Scale: 2},
+		{Workload: w.Name, Scale: 2, Model: &model},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitJob(t, s, job.ID)
+	if job.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", job.State, job.Error)
+	}
+	rs, err := s.Result(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs.Results {
+		tl := r.Telemetry
+		if tl == nil {
+			t.Fatalf("result %d has no telemetry snapshot", i)
+		}
+		if tl.Interval != 256 {
+			t.Errorf("result %d telemetry interval %d, want 256", i, tl.Interval)
+		}
+		if !tl.Outcomes.Reconciled() {
+			t.Errorf("result %d outcomes do not reconcile: %+v", i, tl.Outcomes)
+		}
+		if len(tl.Series[cpu.SeriesIPC]) == 0 {
+			t.Errorf("result %d has an empty IPC series", i)
+		}
+	}
+	if base := rs.Results[0].Telemetry.Outcomes; base.Predictions != 0 {
+		t.Errorf("base run recorded %d predictions", base.Predictions)
+	}
+	spec := rs.Results[1]
+	if spec.Telemetry.Outcomes.Predictions == 0 || spec.Telemetry.Outcomes.Predictions != spec.Stats.Predictions {
+		t.Errorf("speculative telemetry predictions %d, stats %d",
+			spec.Telemetry.Outcomes.Predictions, spec.Stats.Predictions)
 	}
 }
 

@@ -157,7 +157,7 @@ func FromHarness(hs harness.Spec) (SimSpec, error) {
 	if hs.NewPredictor != nil || hs.NewConfidence != nil || hs.Predictable != nil {
 		return SimSpec{}, errors.New("jobs: spec uses a custom predictor/confidence/scope factory, which cannot be serialized")
 	}
-	if hs.Observer != nil || hs.Metrics != nil || hs.Phases {
+	if hs.Observer != nil || hs.Metrics != nil || hs.Telemetry != nil || hs.Phases {
 		return SimSpec{}, errors.New("jobs: spec attaches observers, which cannot be serialized")
 	}
 	s := SimSpec{
@@ -246,9 +246,14 @@ func (r Request) HarnessSpecs() ([]harness.Spec, error) {
 }
 
 // SpecResult pairs one spec with the statistics its simulation produced.
+// Telemetry carries the per-interval pipeline series and the
+// speculation-outcome breakdown when the daemon ran with Config.Telemetry;
+// it is absent from results recorded without it (telemetry never enters the
+// request hash, so deduped submissions may be served either way).
 type SpecResult struct {
-	Spec  SimSpec    `json:"spec"`
-	Stats *cpu.Stats `json:"stats"`
+	Spec      SimSpec                `json:"spec"`
+	Stats     *cpu.Stats             `json:"stats"`
+	Telemetry *cpu.TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 
 // ResultSet is the stored outcome of a job: per-spec Stats in request

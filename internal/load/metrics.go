@@ -1,0 +1,63 @@
+package load
+
+import "valuespec/internal/obs"
+
+// Live Prometheus series the runner mirrors into Config.Metrics while a
+// soak runs, so an obsweb /metrics (and /dash) on the same registry shows
+// the client-side view mid-soak instead of only the final report. The
+// submit-latency histogram is mirrored bucket-exactly from the concurrent
+// HDR recorder: each sampling tick replays the new bucket counts into the
+// registry histogram at their bucket lower bounds, so registry quantiles
+// track the recorder's within its usual 6.25% bucket error.
+const (
+	MetricSubmitUS   = "load.submit_us"   // histogram: accepted-submission latency, µs
+	MetricAcked      = "load.acked"       // counter: submissions acknowledged
+	MetricRejected   = "load.rejected"    // counter: submissions rejected or failed
+	MetricQueueDepth = "load.queue_depth" // gauge: daemon queue depth at last sample
+	MetricInflight   = "load.inflight"    // gauge: daemon in-flight jobs at last sample
+)
+
+// registerMetrics pre-creates the load.* series so the exposition carries
+// the full set (at zero) from the first scrape of a soak.
+func (r *Runner) registerMetrics() {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	r.cfg.Metrics.Do(func(reg *obs.Registry) {
+		reg.Histogram(MetricSubmitUS)
+		reg.Counter(MetricAcked)
+		reg.Counter(MetricRejected)
+		reg.Gauge(MetricQueueDepth)
+		reg.Gauge(MetricInflight)
+	})
+}
+
+// publishMetrics mirrors the runner's live state into Config.Metrics: the
+// recorder's new bucket counts since the last call, the ack/reject totals,
+// and (when a depth poll succeeded) the queue gauges. Called only from the
+// sampler goroutine and, after it has been joined, from Run's final flush,
+// so prevBuckets needs no lock.
+func (r *Runner) publishMetrics(depth, inflight int, haveDepth bool) {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	snap := r.submit.Snapshot()
+	r.mu.Lock()
+	acked, rejected := len(r.entries), r.rejected
+	r.mu.Unlock()
+	r.cfg.Metrics.Do(func(reg *obs.Registry) {
+		h := reg.Histogram(MetricSubmitUS)
+		for i, c := range snap.counts {
+			if d := c - r.prevBuckets[i]; d > 0 {
+				h.ObserveN(recBucketLowerBound(i), d)
+				r.prevBuckets[i] = c
+			}
+		}
+		reg.Counter(MetricAcked).Set(int64(acked))
+		reg.Counter(MetricRejected).Set(int64(rejected))
+		if haveDepth {
+			reg.Gauge(MetricQueueDepth).Set(float64(depth))
+			reg.Gauge(MetricInflight).Set(float64(inflight))
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// TestRunnerLiveMetrics runs a small soak with a metrics registry attached
+// and checks the mirrored load.* series: the submit histogram carries
+// exactly one sample per acknowledged submission (the final flush makes
+// this exact even with sampling racing the stop), its quantiles track the
+// recorder's within bucket error, and the counters match the report.
+func TestRunnerLiveMetrics(t *testing.T) {
+	n := testCount(200, 40)
+	d := startFakeDaemon(t, t.TempDir(), 4, instantSim)
+	reg := obs.NewSharedRegistry()
+	r, err := NewRunner(Config{
+		Client:         NewClient(d.URL()),
+		Source:         Uniform("compress", 1),
+		Concurrency:    4,
+		Count:          n,
+		SampleInterval: 5 * time.Millisecond,
+		DrainTimeout:   30 * time.Second,
+		PollInterval:   10 * time.Millisecond,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Registered up front: a scrape before the first submission already
+	// carries the whole load.* set.
+	snap := reg.Snapshot()
+	for _, name := range []string{MetricAcked, MetricRejected} {
+		if snap.Counter(name).Value() != 0 {
+			t.Errorf("%s nonzero before the soak", name)
+		}
+	}
+	if snap.Histogram(MetricSubmitUS).Count() != 0 {
+		t.Errorf("%s nonempty before the soak", MetricSubmitUS)
+	}
+
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acked != n {
+		t.Fatalf("acked = %d, want %d", rep.Acked, n)
+	}
+
+	snap = reg.Snapshot()
+	if got := snap.Counter(MetricAcked).Value(); got != int64(n) {
+		t.Errorf("%s = %d, want %d", MetricAcked, got, n)
+	}
+	if got := snap.Counter(MetricRejected).Value(); got != int64(rep.Rejected) {
+		t.Errorf("%s = %d, want %d", MetricRejected, got, rep.Rejected)
+	}
+	h := snap.Histogram(MetricSubmitUS)
+	if got := h.Count(); got != uint64(n) {
+		t.Errorf("%s count = %d, want one per ack (%d)", MetricSubmitUS, got, n)
+	}
+	// Mirrored samples sit at recorder bucket lower bounds, so the mirrored
+	// p50 can undershoot the recorder's by at most one recorder bucket
+	// (6.25%) before obs.Histogram's own bucketing rounds it again; allow a
+	// generous 25% band to keep the check robust on slow machines.
+	recP50 := r.submit.Snapshot().Quantile(0.50)
+	if recP50 > 16 { // below 16 both histograms are exact-ish but tiny
+		p50 := h.Quantile(0.50)
+		if p50 < recP50*0.75 || p50 > recP50*1.25 {
+			t.Errorf("mirrored p50 %.0fµs vs recorder p50 %.0fµs, want within 25%%", p50, recP50)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"valuespec/internal/obs"
 )
 
 // Chaos configures the mid-soak kill: at fraction At of the submission
@@ -52,6 +54,12 @@ type Config struct {
 	VerifyResults bool
 	// Chaos, when non-nil, kills and restarts the daemon mid-soak.
 	Chaos *Chaos
+	// Metrics, when non-nil, receives the live load.* series (submit-latency
+	// histogram, ack/reject counters, queue-depth gauges) on every sampling
+	// tick, so an obsweb server over the same registry exposes the soak
+	// mid-run. Requires SampleInterval >= 0 for live updates; the final
+	// totals are published regardless when the soak ends.
+	Metrics *obs.SharedRegistry
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -68,6 +76,9 @@ type Runner struct {
 	depths   []DepthSample
 
 	submit Recorder
+	// prevBuckets tracks how much of each recorder bucket has already been
+	// mirrored into cfg.Metrics; see publishMetrics for the access rules.
+	prevBuckets [numRecBuckets]uint64
 }
 
 // DepthSample is one queue-depth observation.
@@ -111,7 +122,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 			cfg.Chaos.At = 0.5
 		}
 	}
-	return &Runner{cfg: cfg}, nil
+	r := &Runner{cfg: cfg}
+	r.registerMetrics()
+	return r, nil
 }
 
 // Run executes the soak and returns its report. A non-nil error means the
@@ -198,6 +211,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	chaosWG.Wait()
 	close(stop)
 	samplerWG.Wait()
+	// Final flush: the sampler has been joined, so the mirrored totals are
+	// exact even when sampling was disabled or the last tick raced the stop.
+	r.publishMetrics(0, 0, false)
 	if chaosErr != nil {
 		return nil, chaosErr
 	}
@@ -301,6 +317,7 @@ func (r *Runner) sample(start time.Time, stop <-chan struct{}, wg *sync.WaitGrou
 			return
 		case <-tick.C:
 			depth, inflight, ok := r.cfg.Client.QueueDepth()
+			r.publishMetrics(depth, inflight, ok)
 			if !ok {
 				continue
 			}

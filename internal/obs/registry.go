@@ -165,6 +165,14 @@ func (r *Registry) row(dst []float64, prev map[string]int64) []float64 {
 	return dst
 }
 
+// Row appends the current scalar values in Columns order to dst. Counters
+// are reported as deltas against prev (keyed by name, updated in place), so
+// a caller sampling a sequence of snapshots accumulates interval rows that
+// sum back to the final totals; gauges and histogram summaries report raw.
+func (r *Registry) Row(dst []float64, prev map[string]int64) []float64 {
+	return r.row(dst, prev)
+}
+
 // Merge folds every metric of o into r, creating names on first sight (in
 // o's registration order) and panicking on kind conflicts. Counters add,
 // gauges take o's value (last merge wins), histograms merge sample-exactly.

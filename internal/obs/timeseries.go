@@ -1,0 +1,212 @@
+package obs
+
+import "sort"
+
+// Point is one sample of a TimeSeries: an X coordinate (cycle number or
+// elapsed milliseconds, whatever the producer samples on) and a value.
+type Point struct {
+	X int64   `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TimeSeries is a fixed-capacity series that always spans the whole run.
+// Storage is allocated once at construction; when the buffer fills, the
+// series decimates itself in place — every other retained point is dropped
+// and the acceptance stride doubles — so a long run keeps full temporal
+// coverage at progressively coarser resolution instead of losing its head
+// (contrast IntervalSampler, whose ring overwrites the oldest samples).
+// The first and the most recently appended point are always retained, so
+// both endpoints of the run survive any amount of decimation.
+//
+// Like Registry, a TimeSeries is single-goroutine; aggregation across
+// goroutines goes through Clone/Merge of snapshots.
+type TimeSeries struct {
+	capacity int
+	stride   int64 // appended points kept: indices ≡ 0 (mod stride)
+	appended int64 // total points ever appended
+	pts      []Point
+	last     Point // most recent append, retained even when off-stride
+}
+
+// minSeriesCap is the floor on capacity: decimation needs headroom to halve.
+const minSeriesCap = 4
+
+// NewTimeSeries returns an empty series holding at most capacity retained
+// points (clamped to a small minimum so decimation is meaningful).
+func NewTimeSeries(capacity int) *TimeSeries {
+	if capacity < minSeriesCap {
+		capacity = minSeriesCap
+	}
+	return &TimeSeries{
+		capacity: capacity,
+		stride:   1,
+		pts:      make([]Point, 0, capacity),
+	}
+}
+
+// bodyCap returns the decimated body's capacity: one slot of the configured
+// capacity is reserved for the always-retained most recent point, so Len
+// never exceeds Cap.
+func (s *TimeSeries) bodyCap() int { return s.capacity - 1 }
+
+// Append records one sample. X coordinates must be non-decreasing; the
+// series never allocates after construction.
+func (s *TimeSeries) Append(x int64, y float64) {
+	p := Point{X: x, Y: y}
+	i := s.appended
+	s.appended++
+	s.last = p
+	if i%s.stride != 0 {
+		return
+	}
+	if len(s.pts) == s.bodyCap() {
+		s.decimate()
+		if i%s.stride != 0 {
+			return
+		}
+	}
+	s.pts = append(s.pts, p)
+}
+
+// decimate halves the retained resolution in place: every other point is
+// dropped (keeping the even-indexed ones, so the first point survives) and
+// the acceptance stride doubles.
+func (s *TimeSeries) decimate() {
+	n := 0
+	for i := 0; i < len(s.pts); i += 2 {
+		s.pts[n] = s.pts[i]
+		n++
+	}
+	s.pts = s.pts[:n]
+	s.stride *= 2
+}
+
+// Len returns the number of points Points would return.
+func (s *TimeSeries) Len() int {
+	if s.appended == 0 {
+		return 0
+	}
+	n := len(s.pts)
+	if n == 0 || s.pts[n-1].X < s.last.X {
+		n++
+	}
+	return n
+}
+
+// Cap returns the configured capacity; Len never exceeds it.
+func (s *TimeSeries) Cap() int { return s.capacity }
+
+// Stride returns how many appended points one retained point currently
+// stands for (1 until the first decimation, then doubling).
+func (s *TimeSeries) Stride() int64 { return s.stride }
+
+// Appended returns the total number of points ever appended.
+func (s *TimeSeries) Appended() int64 { return s.appended }
+
+// First returns the earliest retained point (the first ever appended).
+func (s *TimeSeries) First() (Point, bool) {
+	if s.appended == 0 {
+		return Point{}, false
+	}
+	return s.pts[0], true
+}
+
+// Last returns the most recently appended point.
+func (s *TimeSeries) Last() (Point, bool) {
+	if s.appended == 0 {
+		return Point{}, false
+	}
+	return s.last, true
+}
+
+// Points appends the retained samples, in ascending X order, to dst and
+// returns it. The most recent append is included even if it fell between
+// strides, so the series always ends at the run's true endpoint.
+func (s *TimeSeries) Points(dst []Point) []Point {
+	if s.appended == 0 {
+		return dst
+	}
+	dst = append(dst, s.pts...)
+	if n := len(s.pts); n == 0 || s.pts[n-1].X < s.last.X {
+		dst = append(dst, s.last)
+	}
+	return dst
+}
+
+// Merge folds every retained point of o into s, as if both series had
+// observed one interleaved run: the union is taken in ascending X order
+// (ties keep both, s's points first), then bounded back to s's capacity by
+// dropping every other point while preserving both endpoints. As long as
+// the union fits the capacity no points are dropped, which is what makes
+// Merge associative below capacity.
+func (s *TimeSeries) Merge(o *TimeSeries) {
+	if o == nil || o.appended == 0 {
+		return
+	}
+	merged := s.Points(nil)
+	merged = o.Points(merged)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].X < merged[j].X })
+
+	last := merged[len(merged)-1]
+	for len(merged) > s.bodyCap() {
+		n := 0
+		for i := 0; i < len(merged); i += 2 {
+			merged[n] = merged[i]
+			n++
+		}
+		merged = merged[:n]
+		s.stride *= 2
+	}
+	s.appended += o.appended
+	s.pts = s.pts[:0]
+	s.pts = append(s.pts, merged...)
+	s.last = last
+}
+
+// Clone returns an independent deep copy of s.
+func (s *TimeSeries) Clone() *TimeSeries {
+	c := &TimeSeries{
+		capacity: s.capacity,
+		stride:   s.stride,
+		appended: s.appended,
+		last:     s.last,
+		pts:      make([]Point, len(s.pts), s.capacity),
+	}
+	copy(c.pts, s.pts)
+	return c
+}
+
+// SpecOutcomes is the four-quadrant speculation-outcome counter block of
+// Sazeides' model: every confident prediction either drove speculation
+// (used) or did not (unused), and was either correct or wrong. The four
+// cells partition all predictions, so their sum must reconcile exactly
+// with Predictions.
+//
+//   - CorrectUsed:   predicted correct, speculation used it — pure win.
+//   - WrongUsed:     mispredicted and used — paid invalidation/reissue cost.
+//   - CorrectUnused: correct but low-confidence — lost opportunity.
+//   - WrongUnused:   wrong and not used — the confidence filter saved a squash.
+type SpecOutcomes struct {
+	Predictions   int64 `json:"predictions"`
+	CorrectUsed   int64 `json:"correct_used"`
+	WrongUsed     int64 `json:"wrong_used"`
+	CorrectUnused int64 `json:"correct_unused"`
+	WrongUnused   int64 `json:"wrong_unused"`
+}
+
+// Merge folds o's counts into s.
+func (s *SpecOutcomes) Merge(o SpecOutcomes) {
+	s.Predictions += o.Predictions
+	s.CorrectUsed += o.CorrectUsed
+	s.WrongUsed += o.WrongUsed
+	s.CorrectUnused += o.CorrectUnused
+	s.WrongUnused += o.WrongUnused
+}
+
+// Total returns the sum of the four quadrants.
+func (s SpecOutcomes) Total() int64 {
+	return s.CorrectUsed + s.WrongUsed + s.CorrectUnused + s.WrongUnused
+}
+
+// Reconciled reports whether the quadrants partition Predictions exactly.
+func (s SpecOutcomes) Reconciled() bool { return s.Total() == s.Predictions }

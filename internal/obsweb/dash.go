@@ -1,0 +1,152 @@
+package obsweb
+
+import "net/http"
+
+// handleDash serves the live dashboard: a single self-contained HTML page
+// (no external assets, matching the stdlib-only rule) that subscribes to
+// /series/stream and renders one SVG sparkline per metric column, grouped
+// by name prefix. The backfill frame paints history instantly; tick frames
+// append one point per interval.
+func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashHTML))
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>valuespec live dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1rem 1.5rem; background: #14171c; color: #d6dbe4;
+         font: 13px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace; }
+  h1 { font-size: 1.05rem; margin: 0 0 .25rem; color: #fff; }
+  #status { color: #8b95a5; margin-bottom: 1rem; }
+  #status .live { color: #4cc38a; }
+  #status .dead { color: #e5484d; }
+  h2 { font-size: .85rem; text-transform: uppercase; letter-spacing: .08em;
+       color: #8b95a5; border-bottom: 1px solid #2a2f3a; padding-bottom: .25rem;
+       margin: 1.25rem 0 .5rem; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(240px, 1fr));
+          gap: .5rem; }
+  .card { background: #1b1f27; border: 1px solid #2a2f3a; border-radius: 6px;
+          padding: .4rem .6rem; }
+  .card .name { color: #8b95a5; font-size: .72rem; overflow: hidden;
+                text-overflow: ellipsis; white-space: nowrap; }
+  .card .val { color: #fff; font-size: .95rem; }
+  svg { display: block; width: 100%; height: 36px; margin-top: .2rem; }
+  polyline { fill: none; stroke: #3e97ff; stroke-width: 1.2; }
+  .quad polyline { stroke: #f5a524; }
+</style>
+</head>
+<body>
+<h1>valuespec live dashboard</h1>
+<div id="status">connecting&hellip;</div>
+<div id="sections"></div>
+<script>
+"use strict";
+const MAX_PTS = 600;              // client-side window per series
+const series = new Map();         // name -> {pts: [[x,y],...], card, val, line}
+const sections = new Map();       // prefix -> grid element
+const sectionsEl = document.getElementById("sections");
+const statusEl = document.getElementById("status");
+
+function prefixOf(name) {
+  const i = name.indexOf(".");
+  return i < 0 ? name : name.slice(0, i);
+}
+
+function sectionFor(prefix) {
+  let grid = sections.get(prefix);
+  if (grid) return grid;
+  const h = document.createElement("h2");
+  h.textContent = prefix;
+  grid = document.createElement("div");
+  grid.className = "grid";
+  // Keep section order stable and alphabetical, sim.* first.
+  const keys = [...sections.keys(), prefix].sort(
+    (a, b) => (a === "sim") - (b === "sim") ? (a === "sim" ? -1 : 1) : a.localeCompare(b));
+  sections.set(prefix, grid);
+  const before = keys[keys.indexOf(prefix) + 1];
+  const anchor = before ? sections.get(before).previousElementSibling : null;
+  sectionsEl.insertBefore(h, anchor);
+  sectionsEl.insertBefore(grid, anchor);
+  return grid;
+}
+
+function cardFor(name) {
+  let st = series.get(name);
+  if (st) return st;
+  const card = document.createElement("div");
+  card.className = "card" + (name.startsWith("sim.pred_") ? " quad" : "");
+  const nm = document.createElement("div");
+  nm.className = "name";
+  nm.textContent = name;
+  nm.title = name;
+  const val = document.createElement("div");
+  val.className = "val";
+  val.textContent = "–";
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("viewBox", "0 0 240 36");
+  svg.setAttribute("preserveAspectRatio", "none");
+  const line = document.createElementNS("http://www.w3.org/2000/svg", "polyline");
+  svg.append(line);
+  card.append(nm, val, svg);
+  // Insert alphabetically within the section.
+  const grid = sectionFor(prefixOf(name));
+  const cards = [...grid.children];
+  const next = cards.find(c => c.querySelector(".name").textContent > name);
+  grid.insertBefore(card, next || null);
+  st = { pts: [], card, val, line };
+  series.set(name, st);
+  return st;
+}
+
+function fmt(y) {
+  if (!isFinite(y)) return String(y);
+  if (Math.abs(y) >= 1e6) return (y / 1e6).toFixed(2) + "M";
+  if (Math.abs(y) >= 1e3) return (y / 1e3).toFixed(2) + "k";
+  return Math.abs(y % 1) < 1e-9 ? String(y) : y.toFixed(3);
+}
+
+function draw(st) {
+  const pts = st.pts;
+  if (!pts.length) return;
+  st.val.textContent = fmt(pts[pts.length - 1][1]);
+  let xmin = pts[0][0], xmax = pts[pts.length - 1][0];
+  let ymin = Infinity, ymax = -Infinity;
+  for (const [, y] of pts) { if (y < ymin) ymin = y; if (y > ymax) ymax = y; }
+  if (xmax === xmin) xmax = xmin + 1;
+  if (ymax === ymin) { ymax += 1; ymin -= 1; }
+  st.line.setAttribute("points", pts.map(([x, y]) =>
+    (240 * (x - xmin) / (xmax - xmin)).toFixed(1) + "," +
+    (34 - 32 * (y - ymin) / (ymax - ymin)).toFixed(1)).join(" "));
+}
+
+function push(name, x, y) {
+  const st = cardFor(name);
+  st.pts.push([x, y]);
+  if (st.pts.length > MAX_PTS) st.pts.splice(0, st.pts.length - MAX_PTS);
+  draw(st);
+}
+
+const es = new EventSource("series/stream");
+es.onopen = () => { statusEl.innerHTML = '<span class="live">&#9679; live</span> streaming from /series/stream'; };
+es.onerror = () => { statusEl.innerHTML = '<span class="dead">&#9679; disconnected</span> retrying&hellip;'; };
+es.onmessage = ev => {
+  const msg = JSON.parse(ev.data);
+  if (msg.type === "backfill") {
+    for (const [name, pts] of Object.entries(msg.series || {})) {
+      const st = cardFor(name);
+      st.pts = pts.map(p => [p.x, p.y]).slice(-MAX_PTS);
+      draw(st);
+    }
+  } else if (msg.type === "tick") {
+    for (const [name, y] of Object.entries(msg.values || {})) push(name, msg.x, y);
+  }
+};
+</script>
+</body>
+</html>
+`

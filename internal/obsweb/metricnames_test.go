@@ -9,6 +9,7 @@ import (
 	"valuespec/internal/cpu"
 	"valuespec/internal/harness"
 	"valuespec/internal/jobs"
+	"valuespec/internal/load"
 	"valuespec/internal/obs"
 )
 
@@ -54,6 +55,21 @@ func TestMetricNameLint(t *testing.T) {
 	for _, c := range st.Counters() {
 		names = append(names, c.Name)
 	}
+
+	// Per-run simulator telemetry: the sim.* interval series and the event
+	// latency histograms share the exposition namespace with the live
+	// counters (Progress republishes the quadrant series by these names), so
+	// they go through the same lint.
+	names = append(names, cpu.TelemetrySeriesNames()...)
+	names = append(names,
+		cpu.MetricSimVerifyLatency, cpu.MetricSimInvalidateLatency,
+		harness.MetricPredictions)
+
+	// Load-harness live series (mirrored into a registry by load.Runner).
+	names = append(names,
+		load.MetricSubmitUS, load.MetricAcked, load.MetricRejected,
+		load.MetricQueueDepth, load.MetricInflight)
+
 	if len(names) < 40 {
 		t.Fatalf("collected only %d names; a registration path went missing", len(names))
 	}

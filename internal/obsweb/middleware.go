@@ -38,7 +38,8 @@ func HTTPResponseMetric(route, class string) string {
 // handler is wrapped with its name at registration time.
 var instrumentedRoutes = []string{
 	"index", "metrics", "healthz", "readyz",
-	"progress", "progress_stream", "jobs", "trace", "buildz", "pprof",
+	"progress", "progress_stream", "series", "series_stream", "dash",
+	"jobs", "trace", "buildz", "pprof",
 }
 
 // statusWriter captures the response status for the middleware. It passes

@@ -1,0 +1,175 @@
+package obsweb
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"valuespec/internal/obs"
+)
+
+// seriesCap bounds every tracked series. Capacity is fixed — a long-running
+// server decimates each series to a coarser stride (obs.TimeSeries drops
+// every other retained point when full) instead of growing without bound, so
+// /series stays O(columns * seriesCap) forever.
+const seriesCap = 512
+
+// seriesTracker turns the shared registry into per-column time series: on
+// every stream-loop tick it takes one consistent snapshot and appends one
+// point per flattened column (obs.Registry.Columns order — counters as
+// per-tick deltas, gauges raw, histograms as their summary columns). The X
+// axis is milliseconds since the tracker started, kept strictly ascending.
+type seriesTracker struct {
+	reg   *obs.SharedRegistry
+	start time.Time
+
+	mu     sync.Mutex
+	series map[string]*obs.TimeSeries
+	order  []string
+	prev   map[string]int64
+	row    []float64
+	lastX  int64
+}
+
+func newSeriesTracker(reg *obs.SharedRegistry) *seriesTracker {
+	return &seriesTracker{
+		reg:    reg,
+		start:  time.Now(),
+		series: make(map[string]*obs.TimeSeries),
+		prev:   make(map[string]int64),
+	}
+}
+
+// sample appends one point to every column's series and returns the tick for
+// the SSE delta frame. Columns appear (and their series are created) the
+// first time the registry exposes them, so late-registered metrics join the
+// dashboard mid-run.
+func (t *seriesTracker) sample() (int64, map[string]float64) {
+	snap := t.reg.Snapshot()
+	cols := snap.Columns()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.row = snap.Row(t.row[:0], t.prev)
+	x := time.Since(t.start).Milliseconds()
+	if x <= t.lastX {
+		x = t.lastX + 1
+	}
+	t.lastX = x
+	vals := make(map[string]float64, len(cols))
+	for i, col := range cols {
+		s, ok := t.series[col]
+		if !ok {
+			s = obs.NewTimeSeries(seriesCap)
+			t.series[col] = s
+			t.order = append(t.order, col)
+		}
+		s.Append(x, t.row[i])
+		vals[col] = t.row[i]
+	}
+	return x, vals
+}
+
+// SeriesSnapshot is the GET /series body and the backfill frame of the
+// /series/stream SSE feed: every tracked series in full.
+type SeriesSnapshot struct {
+	Type      string                 `json:"type"` // "backfill"
+	ElapsedMS int64                  `json:"elapsed_ms"`
+	TickMS    int64                  `json:"tick_ms"`
+	Series    map[string][]obs.Point `json:"series"`
+}
+
+// snapshot copies the tracked series out under the lock.
+func (t *seriesTracker) snapshot(tickMS int64) SeriesSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := SeriesSnapshot{
+		Type:      "backfill",
+		ElapsedMS: time.Since(t.start).Milliseconds(),
+		TickMS:    tickMS,
+		Series:    make(map[string][]obs.Point, len(t.order)),
+	}
+	for _, name := range t.order {
+		out.Series[name] = t.series[name].Points(nil)
+	}
+	return out
+}
+
+// seriesTick is the per-tick SSE delta frame: the newest value of every
+// column at one X, so stream clients append instead of refetching.
+type seriesTick struct {
+	Type   string             `json:"type"` // "tick"
+	X      int64              `json:"x"`
+	Values map[string]float64 `json:"values"`
+}
+
+// sseFrame wraps a JSON-marshalable body into one SSE data frame.
+func sseFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 0, len(body)+8)
+	frame = append(frame, "data: "...)
+	frame = append(frame, body...)
+	frame = append(frame, '\n', '\n')
+	return frame, nil
+}
+
+// handleSeries serves the full tracked history as JSON.
+func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.series.snapshot(s.cfg.StreamInterval.Milliseconds()))
+}
+
+// handleSeriesStream serves one SSE subscriber of the metric series: a full
+// backfill frame first so clients render history immediately, then one
+// delta frame per broadcast tick, with heartbeat comments keeping idle
+// proxies from reaping the connection. Slow clients skip to the newest
+// frame (the shared broadcaster semantics) instead of blocking the loop.
+func (s *Server) handleSeriesStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	frame, err := sseFrame(s.series.snapshot(s.cfg.StreamInterval.Milliseconds()))
+	if err != nil {
+		return
+	}
+	if _, err := w.Write(frame); err != nil {
+		return
+	}
+	fl.Flush()
+
+	hb := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	ch := s.seriesBC.subscribe()
+	defer s.seriesBC.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case <-hb.C:
+			if _, err := w.Write(heartbeatFrame); err != nil {
+				return
+			}
+			fl.Flush()
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// heartbeatFrame is the SSE comment written on heartbeat ticks; clients
+// ignore comment lines, proxies see traffic.
+var heartbeatFrame = []byte(": hb\n\n")

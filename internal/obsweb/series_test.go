@@ -1,0 +1,170 @@
+package obsweb
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSeriesEndpoint checks that the stream loop samples the registry into
+// /series: after a few ticks the JSON body carries the counter as a series
+// whose per-tick deltas sum back to the counter's value.
+func TestSeriesEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body, hdr := get(t, ts.URL+"/series")
+		if code != 200 {
+			t.Fatalf("/series = %d, want 200", code)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var snap SeriesSnapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("decoding %q: %v", body, err)
+		}
+		pts := snap.Series["retired"]
+		if len(pts) >= 3 {
+			if snap.Type != "backfill" {
+				t.Errorf("snapshot type %q, want backfill", snap.Type)
+			}
+			// Counters sample as deltas: the first tick carries the whole 42,
+			// later ticks are zero, so the sum reconciles with the counter.
+			var sum float64
+			for i, p := range pts {
+				sum += p.Y
+				if i > 0 && p.X <= pts[i-1].X {
+					t.Errorf("series X not ascending: %v", pts)
+				}
+			}
+			if sum != 42 {
+				t.Errorf("retired deltas sum to %v, want 42", sum)
+			}
+			// Histograms flatten to summary columns.
+			if len(snap.Series["sweep.spec_cycles.count"]) == 0 {
+				t.Error("histogram count column missing from /series")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("series never accumulated 3 points: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSeriesStream reads the SSE feed: a backfill frame first, then delta
+// ticks with ascending X carrying every column.
+func TestSeriesStream(t *testing.T) {
+	_, ts, _ := newTestServer(t, 5*time.Millisecond)
+	resp, err := http.Get(ts.URL + "/series/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	type frame struct {
+		Type   string             `json:"type"`
+		X      int64              `json:"x"`
+		Values map[string]float64 `json:"values"`
+	}
+	var frames []frame
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(frames) < 3 {
+		body, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var f frame
+		if err := json.Unmarshal([]byte(body), &f); err != nil {
+			t.Fatalf("decoding frame %q: %v", body, err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("read %d frames, want 3 (scan err %v)", len(frames), sc.Err())
+	}
+	if frames[0].Type != "backfill" {
+		t.Errorf("first frame type %q, want backfill", frames[0].Type)
+	}
+	for i, f := range frames[1:] {
+		if f.Type != "tick" {
+			t.Errorf("frame %d type %q, want tick", i+1, f.Type)
+		}
+		if _, ok := f.Values["retired"]; !ok {
+			t.Errorf("tick frame missing the retired column: %v", f.Values)
+		}
+	}
+	if frames[2].X <= frames[1].X {
+		t.Errorf("tick X not ascending: %d then %d", frames[1].X, frames[2].X)
+	}
+}
+
+// TestDashPage checks the dashboard ships as one self-contained HTML page
+// wired to the series stream.
+func TestDashPage(t *testing.T) {
+	_, ts, _ := newTestServer(t, time.Hour)
+	code, body, hdr := get(t, ts.URL+"/dash")
+	if code != 200 {
+		t.Fatalf("/dash = %d, want 200", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q, want text/html", ct)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "series/stream", "EventSource", "<script>"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dash missing %q", want)
+		}
+	}
+	if strings.Contains(body, "src=\"http") || strings.Contains(body, "href=\"http") {
+		t.Error("/dash references external assets")
+	}
+}
+
+// TestSSEHeartbeats pins the keepalive contract: with data frames parked
+// (an hour-long stream interval) both streams still emit ": hb" comment
+// frames every heartbeat interval.
+func TestSSEHeartbeats(t *testing.T) {
+	shared := newTestServerRegistry()
+	var n atomic.Int64
+	s := New(Config{
+		Metrics:           shared,
+		Progress:          func() any { return testProgress{Completed: n.Add(1)} },
+		StreamInterval:    time.Hour,
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	for _, path := range []string{"/progress/stream", "/series/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beats := 0
+		sc := bufio.NewScanner(resp.Body)
+		deadline := time.Now().Add(5 * time.Second)
+		for sc.Scan() && beats < 2 && time.Now().Before(deadline) {
+			if strings.HasPrefix(sc.Text(), ": hb") {
+				beats++
+			}
+		}
+		resp.Body.Close()
+		if beats < 2 {
+			t.Errorf("%s produced %d heartbeats, want >= 2 (scan err %v)", path, beats, sc.Err())
+		}
+	}
+}

@@ -17,9 +17,17 @@
 //	GET /progress         one progress snapshot as JSON
 //	GET /progress/stream  SSE: one "data:" frame per interval; slow clients
 //	                      skip to the newest frame instead of blocking anyone
+//	GET /series           every registry column as a time series (JSON):
+//	                      counters sampled as per-tick deltas, gauges raw
+//	GET /series/stream    SSE: a backfill frame, then one delta frame per tick
+//	GET /dash             self-contained live dashboard (SVG sparklines over
+//	                      /series/stream)
 //	GET /trace            every buffered span as Chrome trace JSON
 //	GET /buildz           build/VCS identity of the running binary
 //	GET /debug/pprof/*    net/http/pprof (profile, heap, trace, ...)
+//
+// Both SSE streams write a ": hb" comment every Config.HeartbeatInterval so
+// idle connections keep flowing through buffering proxies.
 //
 // Every route passes through lightweight middleware that feeds the
 // service-level http.* metrics (per-route latency histograms, status-class
@@ -51,6 +59,10 @@ const MetricSSEDropped = "obsweb.sse_dropped_frames"
 // DefaultStreamInterval is the SSE push period when Config leaves it zero.
 const DefaultStreamInterval = 500 * time.Millisecond
 
+// DefaultHeartbeatInterval is the SSE keepalive-comment period when Config
+// leaves it zero.
+const DefaultHeartbeatInterval = 15 * time.Second
+
 // Config wires a Server to its data sources. The zero value of optional
 // fields disables the corresponding endpoints.
 type Config struct {
@@ -63,8 +75,12 @@ type Config struct {
 	// called from server goroutines and must be goroutine-safe.
 	Progress func() any
 	// StreamInterval is the SSE push period; <= 0 means
-	// DefaultStreamInterval.
+	// DefaultStreamInterval. With Metrics configured it is also the /series
+	// sampling interval.
 	StreamInterval time.Duration
+	// HeartbeatInterval is the SSE keepalive-comment period of both streams;
+	// <= 0 means DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
 	// Jobs, when non-nil, is mounted at /jobs — the simulation job API of
 	// internal/jobs (cmd/vserved wires it up).
 	Jobs http.Handler
@@ -89,7 +105,9 @@ type Server struct {
 
 	inflight atomic.Int64 // live requests, behind the http.inflight gauge
 
-	bc       *broadcaster
+	bc       *broadcaster   // /progress/stream fan-out (nil without Progress)
+	series   *seriesTracker // /series sampler (nil without Metrics)
+	seriesBC *broadcaster   // /series/stream fan-out (nil without Metrics)
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -104,6 +122,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = DefaultStreamInterval
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
@@ -127,6 +148,11 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/progress", s.instrument("progress", s.handleProgress))
 		s.mux.HandleFunc("/progress/stream", s.instrument("progress_stream", s.handleStream))
 	}
+	if cfg.Metrics != nil {
+		s.mux.HandleFunc("/series", s.instrument("series", s.handleSeries))
+		s.mux.HandleFunc("/series/stream", s.instrument("series_stream", s.handleSeriesStream))
+		s.mux.HandleFunc("/dash", s.instrument("dash", s.handleDash))
+	}
 	if cfg.Tracer != nil {
 		s.mux.HandleFunc("/trace", s.instrument("trace", s.handleTrace))
 	}
@@ -144,6 +170,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", s.instrument("pprof", pprof.Trace))
 	if cfg.Progress != nil {
 		s.bc = newBroadcaster(s.onDroppedFrame)
+	}
+	if cfg.Metrics != nil {
+		s.series = newSeriesTracker(cfg.Metrics)
+		s.seriesBC = newBroadcaster(s.onDroppedFrame)
+	}
+	if s.bc != nil || s.series != nil {
 		s.wg.Add(1)
 		go s.streamLoop()
 	}
@@ -229,6 +261,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /progress         sweep progress snapshot (JSON)\n"+
 		"  /progress/stream  sweep progress stream (SSE)\n"+
 		"  /debug/pprof/     runtime profiles\n")
+	if s.cfg.Metrics != nil {
+		fmt.Fprintf(w, "  /series           per-metric time series (JSON)\n"+
+			"  /series/stream    per-metric time series stream (SSE)\n"+
+			"  /dash             live dashboard (HTML, SVG sparklines)\n")
+	}
 	if s.cfg.Tracer != nil {
 		fmt.Fprintf(w, "  /trace            buffered spans as Chrome trace JSON\n")
 	}
@@ -341,6 +378,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
+	hb := time.NewTicker(s.cfg.HeartbeatInterval)
+	defer hb.Stop()
 	ch := s.bc.subscribe()
 	defer s.bc.unsubscribe(ch)
 	for {
@@ -349,6 +388,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.stop:
 			return
+		case <-hb.C:
+			if _, err := w.Write(heartbeatFrame); err != nil {
+				return
+			}
+			fl.Flush()
 		case frame := <-ch:
 			if _, err := w.Write(frame); err != nil {
 				return
@@ -358,8 +402,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// streamLoop marshals one frame per interval and fans it out; it idles
-// (skipping even the marshal) while nobody is subscribed.
+// streamLoop drives both SSE feeds on one ticker: it samples the metric
+// registry into the series tracker every interval (so /series carries
+// history whether or not anyone watches), and marshals/fans out each feed's
+// frame only while that feed has subscribers.
 func (s *Server) streamLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.StreamInterval)
@@ -369,7 +415,15 @@ func (s *Server) streamLoop() {
 		case <-s.stop:
 			return
 		case <-t.C:
-			if s.bc.empty() {
+			if s.series != nil {
+				x, vals := s.series.sample()
+				if !s.seriesBC.empty() {
+					if frame, err := sseFrame(seriesTick{Type: "tick", X: x, Values: vals}); err == nil {
+						s.seriesBC.publish(frame)
+					}
+				}
+			}
+			if s.bc == nil || s.bc.empty() {
 				continue
 			}
 			frame, err := s.frame()
@@ -395,9 +449,18 @@ func (s *Server) frame() ([]byte, error) {
 }
 
 // onDroppedFrame publishes the drop count so streaming health shows up in
-// the exposition alongside everything else.
-func (s *Server) onDroppedFrame(total int64) {
-	if s.cfg.Metrics != nil {
-		s.cfg.Metrics.SetCounter(MetricSSEDropped, total)
+// the exposition alongside everything else. Both broadcasters share the one
+// counter, so the published value is their sum, not the caller's total.
+func (s *Server) onDroppedFrame(int64) {
+	if s.cfg.Metrics == nil {
+		return
 	}
+	var total int64
+	if s.bc != nil {
+		total += s.bc.droppedTotal()
+	}
+	if s.seriesBC != nil {
+		total += s.seriesBC.droppedTotal()
+	}
+	s.cfg.Metrics.SetCounter(MetricSSEDropped, total)
 }

@@ -22,11 +22,17 @@ type testProgress struct {
 	Completed int64 `json:"specs_completed"`
 }
 
-func newTestServer(t *testing.T, interval time.Duration) (*Server, *httptest.Server, *atomic.Int64) {
-	t.Helper()
+// newTestServerRegistry seeds the registry every test server samples from.
+func newTestServerRegistry() *obs.SharedRegistry {
 	shared := obs.NewSharedRegistry()
 	shared.SetCounter("retired", 42)
 	shared.Observe("sweep.spec_cycles", 17)
+	return shared
+}
+
+func newTestServer(t *testing.T, interval time.Duration) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	shared := newTestServerRegistry()
 	var n atomic.Int64
 	s := New(Config{
 		Metrics:        shared,

@@ -65,8 +65,42 @@ grep -q '"go_version": "go' "$dir/buildz.json" ||
 curl -fsS "http://$addr/metrics" | grep -q '^valuespec_http_request_us_metrics_count' ||
 	fail "/metrics missing http middleware latency histogram"
 
+# Live time-series endpoint: a backfill snapshot with at least the sweep's
+# retired-instructions series. The tracker samples on the stream interval,
+# so poll until the first tick has landed.
+series=
+i=0
+while [ $i -lt 100 ]; do
+	series=$(curl -fsS "http://$addr/series") || fail "/series unreachable"
+	case $series in
+	*'"retired"'*) break ;;
+	esac
+	kill -0 "$pid" 2>/dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+case $series in
+*'"type": "backfill"'* | *'"type":"backfill"'*) ;;
+*) fail "/series missing backfill type: $series" ;;
+esac
+case $series in
+*'"retired"'*) ;;
+*) fail "/series missing retired series within 10s: $series" ;;
+esac
+
+# The dashboard page must be self-contained HTML wired to the SSE stream.
+dash=$(curl -fsS "http://$addr/dash") || fail "/dash unreachable"
+case $dash in
+*'<!DOCTYPE html>'*) ;;
+*) fail "/dash not an HTML page" ;;
+esac
+case $dash in
+*'series/stream'*) ;;
+*) fail "/dash not wired to series/stream" ;;
+esac
+
 # Let the sweep finish so the final summary path runs too.
 wait "$pid" || fail "vsweep exited nonzero"
 trap - EXIT INT TERM
 grep -q "Sweep progress summary" "$log" || fail "no final progress summary"
-echo "serve_smoke: OK (/healthz /readyz /metrics /progress + summary)"
+echo "serve_smoke: OK (/healthz /readyz /metrics /progress /series /dash + summary)"
