@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-wide benchcheck vet fmt check race-harness serve-smoke jobs-smoke load-smoke reproduce experiments clean
+.PHONY: all build test bench bench-wide benchcheck vet fmt check race-harness serve-smoke jobs-smoke load-smoke fleet-smoke reproduce experiments clean
 
 all: build test
 
@@ -50,7 +50,7 @@ check:
 # worker pool plus the observability stack it publishes through), for quick
 # iteration; `make check` runs the whole suite under -race.
 race-harness:
-	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/load
+	$(GO) test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/fleet ./internal/load
 
 # End-to-end smoke test of the live observability server: a quick sweep
 # with -serve, probed over HTTP while it runs.
@@ -68,6 +68,12 @@ jobs-smoke:
 # proving the gates can fail.
 load-smoke:
 	sh scripts/load_smoke.sh
+
+# End-to-end smoke test of the distributed fleet runner: a sharded Fig. 3
+# sweep drained by remote lease-protocol workers, byte-identical to the
+# local run, surviving a mid-sweep worker SIGKILL with a lease requeue.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Regenerate every table, figure and ablation (several minutes).
 experiments:

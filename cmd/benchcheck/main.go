@@ -38,7 +38,10 @@ var targets = []struct{ pkg, pattern string }{
 	// The jobs benchmarks are disk-bound (atomic file writes), so their
 	// checked-in ns/op baselines are hand-slackened above any observed run —
 	// a gross-regression gate; their allocation budgets are the tight gate.
-	{"./internal/jobs", "^(BenchmarkJobStorePutGet|BenchmarkQueueSubmitDrain)$"},
+	// BenchmarkJournalGroupCommit gates the batched journal's concurrent
+	// submit path; BenchmarkJournalPerJobFsync pins the one-file-per-
+	// transition baseline it replaced, keeping the comparison honest.
+	{"./internal/jobs", "^(BenchmarkJobStorePutGet|BenchmarkQueueSubmitDrain|BenchmarkJournalGroupCommit|BenchmarkJournalPerJobFsync)$"},
 	// BenchmarkLoadRecorder gates the soak harness's concurrent latency
 	// histogram: one lock-free Observe per recorded sample, zero allocations.
 	{"./internal/load", "^BenchmarkLoadRecorder$"},

@@ -17,12 +17,19 @@
 //
 //	vsload -url http://127.0.0.1:9090 -reconcile -manifest soak.manifest.json
 //
+//	vsload -spawn "vserved -addr 127.0.0.1:0 -data ./d -workers 0" \
+//	    -fleet-workers 3 -worker-cmd "vserved -worker -capacity 2" \
+//	    -dist uniform -rate 150 -duration 6s -chaos
+//
 // Distributions: "hotkey" draws from a small pool of duplicate-heavy specs
 // (the content-addressed dedup path under contention); "uniform" makes
 // every submission unique (the durable queue and worker pool). -chaos (with
 // -spawn) SIGKILLs the daemon mid-soak, restarts it over the same data
 // directory, and then proves no acknowledged job was lost or double-counted
-// across the crash. See docs/SERVICE.md, "Load testing & SLOs".
+// across the crash. -fleet-workers N spawns N stateless "vserved -worker"
+// processes leasing from the daemon; -chaos then SIGKILLs a worker instead —
+// the coordinator requeues its lapsed leases and the same reconciliation
+// invariants must hold. See docs/SERVICE.md, "Load testing & SLOs".
 package main
 
 import (
@@ -64,6 +71,8 @@ type options struct {
 	reconcile    bool
 	chaos        bool
 	chaosAt      float64
+	fleetWorkers int
+	workerCmd    string
 	drainTimeout time.Duration
 	sample       time.Duration
 	verify       bool
@@ -94,8 +103,10 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.reportPath, "report", "", "write the full report as JSON to this file")
 	fs.StringVar(&o.manifestPath, "manifest", "", "write the submission manifest to this file (input of -reconcile)")
 	fs.BoolVar(&o.reconcile, "reconcile", false, "skip the soak: reconcile the -manifest against the daemon and verify exactly-once termination")
-	fs.BoolVar(&o.chaos, "chaos", false, "SIGKILL and restart the spawned daemon mid-soak (requires -spawn)")
+	fs.BoolVar(&o.chaos, "chaos", false, "SIGKILL and restart the spawned daemon — or, with -fleet-workers, one fleet worker — mid-soak")
 	fs.Float64Var(&o.chaosAt, "chaos-at", 0.5, "fraction of the soak at which the chaos kill fires")
+	fs.IntVar(&o.fleetWorkers, "fleet-workers", 0, "spawn this many stateless fleet workers against the daemon; -chaos then SIGKILLs a worker instead of the daemon")
+	fs.StringVar(&o.workerCmd, "worker-cmd", "", "fleet worker command line without -coordinator, e.g. \"vserved -worker -capacity 2\" (required with -fleet-workers)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 120*time.Second, "deadline for every acknowledged job to reach a terminal state")
 	fs.DurationVar(&o.sample, "sample", 250*time.Millisecond, "queue-depth sampling interval (negative disables)")
 	fs.BoolVar(&o.verify, "verify-results", true, "re-fetch one stored result per unique content hash and check it")
@@ -129,8 +140,14 @@ func parseOptions(args []string, stderr io.Writer) (*options, error) {
 	if (o.url == "") == (o.spawn == "") {
 		return nil, errors.New("vsload: exactly one of -url or -spawn is required")
 	}
-	if o.chaos && o.spawn == "" {
-		return nil, errors.New("vsload: -chaos requires -spawn (the harness must own the process it kills)")
+	if o.fleetWorkers < 0 {
+		return nil, fmt.Errorf("vsload: negative -fleet-workers %d", o.fleetWorkers)
+	}
+	if (o.fleetWorkers > 0) != (o.workerCmd != "") {
+		return nil, errors.New("vsload: -fleet-workers and -worker-cmd go together")
+	}
+	if o.chaos && o.spawn == "" && o.fleetWorkers == 0 {
+		return nil, errors.New("vsload: -chaos requires -spawn or -fleet-workers (the harness must own the process it kills)")
 	}
 	if o.chaos && o.count > 0 {
 		return nil, errors.New("vsload: -chaos needs a -duration soak, not -count")
@@ -202,6 +219,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		client.SetBase(daemon.Base())
 		logf("spawned daemon at %s (log: %s)", daemon.Base(), logPath)
 	}
+	var fleetWorkers []*load.WorkerProc
+	for i := 0; i < o.fleetWorkers; i++ {
+		logPath := fmt.Sprintf("vsload-worker-%d.log", i+1)
+		cmdline := fmt.Sprintf("%s -coordinator %s", o.workerCmd, client.Base())
+		w, err := load.StartWorkerProc(cmdline, logPath, 30*time.Second)
+		if err != nil {
+			fmt.Fprintln(stderr, "vsload:", err)
+			return 1
+		}
+		fleetWorkers = append(fleetWorkers, w)
+		defer w.Stop()
+		logf("spawned fleet worker %s (log: %s)", w.ID(), logPath)
+	}
 
 	var source load.SpecSource
 	if o.dist == "hotkey" {
@@ -222,7 +252,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Logf:           logf,
 	}
 	if o.chaos {
-		cfg.Chaos = &load.Chaos{At: o.chaosAt, Restart: daemon.Restart}
+		if len(fleetWorkers) > 0 {
+			// Fleet chaos: SIGKILL one worker mid-soak. The coordinator stays
+			// up, so submitters never even notice; its lease-expiry scan
+			// requeues whatever the dead worker held, and reconciliation
+			// proves nothing was lost or double-counted.
+			victim := fleetWorkers[0]
+			cfg.Chaos = &load.Chaos{At: o.chaosAt, Restart: func() (string, error) {
+				id, err := victim.Restart()
+				if err != nil {
+					return "", err
+				}
+				logf("chaos: fleet worker reborn as %s (coordinator untouched)", id)
+				return client.Base(), nil
+			}}
+		} else {
+			cfg.Chaos = &load.Chaos{At: o.chaosAt, Restart: daemon.Restart}
+		}
 	}
 	if o.serve != "" {
 		reg := obs.NewSharedRegistry()

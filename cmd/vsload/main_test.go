@@ -39,6 +39,9 @@ func TestParseOptionsUsageErrors(t *testing.T) {
 		"hotkeys below one":      {"-url", "http://x", "-hotkeys", "0"},
 		"scale below one":        {"-url", "http://x", "-scale", "0"},
 		"chaos-at out of range":  {"-spawn", "vserved", "-chaos", "-chaos-at", "1.5"},
+		"fleet w/o worker-cmd":   {"-url", "http://x", "-fleet-workers", "2"},
+		"worker-cmd w/o fleet":   {"-url", "http://x", "-worker-cmd", "vserved -worker"},
+		"negative fleet workers": {"-url", "http://x", "-fleet-workers", "-1", "-worker-cmd", "vserved -worker"},
 		"unknown workload":       {"-url", "http://x", "-workload", "nope"},
 		"reconcile w/o manifest": {"-reconcile", "-url", "http://x"},
 		"reconcile w/o url":      {"-reconcile", "-manifest", "m.json"},
@@ -51,6 +54,21 @@ func TestParseOptionsUsageErrors(t *testing.T) {
 		if _, err := parseOptions(args, &errb); err == nil {
 			t.Errorf("%s accepted: %v", name, args)
 		}
+	}
+}
+
+func TestParseOptionsFleet(t *testing.T) {
+	// Chaos without -spawn is legal once the harness owns fleet workers:
+	// the kill then targets a worker, not the daemon.
+	var errb bytes.Buffer
+	o, err := parseOptions([]string{
+		"-url", "http://x", "-fleet-workers", "2",
+		"-worker-cmd", "vserved -worker -capacity 2", "-chaos"}, &errb)
+	if err != nil {
+		t.Fatalf("fleet chaos against -url rejected: %v (%s)", err, errb.String())
+	}
+	if o.fleetWorkers != 2 || o.workerCmd == "" || !o.chaos {
+		t.Fatalf("fleet options not parsed: %+v", o)
 	}
 }
 

@@ -70,6 +70,7 @@ func main() {
 		noTraceCache = flag.Bool("no-trace-cache", false, "re-emulate every workload per spec instead of replaying cached traces")
 		lockstep     = flag.Int("lockstep", 0, "advance up to K same-trace specs in lockstep per worker (0 or 1 = one spec per worker); results are byte-identical")
 		submitURL    = flag.String("submit", "", "run -fig3/-fig4 on a vserved daemon at this URL (e.g. http://127.0.0.1:9090) instead of simulating locally")
+		shard        = flag.Int("shard", 0, "with -submit, split each batch into N jobs submitted concurrently, so a fleet of workers drains them in parallel; results are reassembled in order and stay byte-identical")
 		serveAddr    = flag.String("serve", "", "serve live observability on this address for the duration of the run, e.g. 127.0.0.1:9090 (port 0 picks a free one): Prometheus /metrics, /progress JSON + SSE stream, /series, /dash, /healthz, /readyz, /debug/pprof/")
 		specReport   = flag.Bool("spec-report", false, "print the speculation-outcome breakdown — the predicted/used four-quadrant split per (config, model, setting) group — after the sweeps")
 		scale        = flag.Int("scale", 0, "workload scale (0 = defaults)")
@@ -103,6 +104,7 @@ func main() {
 	var sub *submitter
 	if *submitURL != "" {
 		sub = newSubmitter(*submitURL)
+		sub.shards = *shard
 	}
 	// Speculation-outcome collection: both executors fold every completed
 	// speculative spec's four-quadrant counts into the process-wide report.

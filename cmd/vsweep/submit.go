@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"valuespec/internal/harness"
@@ -24,7 +25,12 @@ import (
 type submitter struct {
 	base   string // daemon URL, e.g. http://127.0.0.1:9090
 	client *http.Client
+	// shards > 1 splits each batch into that many contiguous jobs submitted
+	// concurrently, so a fleet of workers drains one sweep in parallel; the
+	// results are reassembled in spec order, so figures stay byte-identical.
+	shards int
 
+	mu         sync.Mutex
 	breakdowns []jobBreakdown // one per completed job, submission order
 }
 
@@ -49,8 +55,55 @@ func newSubmitter(url string) *submitter {
 	}
 }
 
-// run executes one batch remotely, blocking until the job finishes.
+// run executes one batch remotely, blocking until every job finishes. With
+// shards > 1 the batch splits into contiguous chunks submitted as separate
+// jobs; their results concatenate back in spec order.
 func (s *submitter) run(name string, specs []harness.Spec) ([]harness.Result, error) {
+	if s.shards > 1 && len(specs) > 1 {
+		return s.runSharded(name, specs)
+	}
+	return s.runOne(name, specs)
+}
+
+// runSharded fans one batch out as s.shards concurrent jobs.
+func (s *submitter) runSharded(name string, specs []harness.Spec) ([]harness.Result, error) {
+	n := s.shards
+	if n > len(specs) {
+		n = len(specs)
+	}
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, n)
+	for i := range chunks {
+		// Contiguous, near-even split: the first len%n chunks get one extra.
+		lo := i * len(specs) / n
+		hi := (i + 1) * len(specs) / n
+		chunks[i] = chunk{lo, hi}
+	}
+	results := make([][]harness.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, c := range chunks {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			label := fmt.Sprintf("%s [%d/%d]", name, i+1, n)
+			results[i], errs[i] = s.runOne(label, specs[c.lo:c.hi])
+		}()
+	}
+	wg.Wait()
+	var out []harness.Result
+	for i := range chunks {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard %d/%d of %s: %w", i+1, n, name, errs[i])
+		}
+		out = append(out, results[i]...)
+	}
+	return out, nil
+}
+
+// runOne executes one batch as a single remote job.
+func (s *submitter) runOne(name string, specs []harness.Spec) ([]harness.Result, error) {
 	req := jobs.Request{Name: name, Specs: make([]jobs.SimSpec, len(specs))}
 	for i, hs := range specs {
 		ss, err := jobs.FromHarness(hs)
@@ -81,7 +134,10 @@ func (s *submitter) run(name string, specs []harness.Spec) ([]harness.Result, er
 		return nil, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, name, job.State, job.Error)
 	}
 
-	s.breakdowns = append(s.breakdowns, s.fetchBreakdown(name, job.ID, len(specs)))
+	b := s.fetchBreakdown(name, job.ID, len(specs))
+	s.mu.Lock()
+	s.breakdowns = append(s.breakdowns, b)
+	s.mu.Unlock()
 
 	resp, err = s.client.Get(s.base + "/jobs/" + job.ID + "/result")
 	if err != nil {

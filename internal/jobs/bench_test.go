@@ -1,8 +1,12 @@
 package jobs
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"valuespec/internal/cpu"
@@ -35,7 +39,8 @@ func BenchmarkJobStorePutGet(b *testing.B) {
 }
 
 // BenchmarkQueueSubmitDrain measures the durable queue cycle for a batch of
-// jobs: submit, pop, complete — four atomic file writes per job.
+// jobs: submit, pop, complete — three journaled transitions per job, each
+// acknowledged only after its group commit reaches disk.
 func BenchmarkQueueSubmitDrain(b *testing.B) {
 	q, err := OpenQueue(b.TempDir())
 	if err != nil {
@@ -73,6 +78,79 @@ func BenchmarkQueueSubmitDrain(b *testing.B) {
 			if _, err := q.Complete(j.ID); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkJournalGroupCommit measures the durable submit path under
+// concurrency: 8 goroutines submit jobs whose journal records share group
+// commits, so each acknowledgment amortizes its fsync across every
+// submitter staged in the same window. Compare BenchmarkJournalPerJobFsync,
+// the one-durable-file-per-transition design the batched journal replaced.
+func BenchmarkJournalGroupCommit(b *testing.B) {
+	q, err := OpenQueue(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	req := Request{Name: "gc", Specs: []SimSpec{{Workload: "compress", Scale: 2}}}
+	hash, err := req.Hash()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const submitters = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		n := b.N / submitters
+		if g < b.N%submitters {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := q.Submit(req, hash); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkJournalPerJobFsync is the baseline the batched journal replaced:
+// one durable file per queue transition — write, fsync, close for every
+// record, with nothing amortized. The gap to BenchmarkJournalGroupCommit is
+// the group commit's payoff.
+func BenchmarkJournalPerJobFsync(b *testing.B) {
+	dir := b.TempDir()
+	req := Request{Name: "gc", Specs: []SimSpec{{Workload: "compress", Scale: 2}}}
+	hash, err := req.Hash()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := json.Marshal(Job{ID: "j00000001", State: StateQueued, Request: req, SpecHash: hash})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("j%09d.json", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

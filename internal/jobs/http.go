@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ type JobSummary struct {
 	SpecHash    string    `json:"spec_hash"`
 	Attempts    int       `json:"attempts"`
 	Deduped     bool      `json:"deduped,omitempty"`
+	Worker      string    `json:"worker,omitempty"`
 	Error       string    `json:"error,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -46,6 +48,7 @@ func (j Job) Summary() JobSummary {
 		SpecHash:    j.SpecHash,
 		Attempts:    j.Attempts,
 		Deduped:     j.Deduped,
+		Worker:      j.Worker,
 		Error:       j.Error,
 		SubmittedAt: j.SubmittedAt,
 		StartedAt:   j.StartedAt,
@@ -188,25 +191,58 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, s.view(job))
 }
 
+// listPage is the GET /jobs response envelope. Total always reports the
+// full job count, so a paging client (?offset=&limit=) knows when to stop;
+// without paging parameters one page carries everything and Offset/Limit
+// echo 0.
+type listPage[T any] struct {
+	Jobs   []T `json:"jobs"`
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit,omitempty"`
+}
+
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	jobsList := s.Jobs()
-	if strings.EqualFold(r.URL.Query().Get("view"), "summary") {
+	q := r.URL.Query()
+	offset, err := queryInt(q.Get("offset"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad offset: %v", err)
+		return
+	}
+	limit, err := queryInt(q.Get("limit"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad limit: %v", err)
+		return
+	}
+	jobsList, total := s.queue.ListRange(offset, limit)
+	if strings.EqualFold(q.Get("view"), "summary") {
 		sums := make([]JobSummary, len(jobsList))
 		for i, j := range jobsList {
 			sums[i] = j.Summary()
 		}
-		writeJSON(w, http.StatusOK, struct {
-			Jobs []JobSummary `json:"jobs"`
-		}{sums})
+		writeJSON(w, http.StatusOK, listPage[JobSummary]{Jobs: sums, Total: total, Offset: offset, Limit: limit})
 		return
 	}
 	views := make([]JobView, len(jobsList))
 	for i, j := range jobsList {
 		views[i] = s.view(j)
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Jobs []JobView `json:"jobs"`
-	}{views})
+	writeJSON(w, http.StatusOK, listPage[JobView]{Jobs: views, Total: total, Offset: offset, Limit: limit})
+}
+
+// queryInt parses a non-negative integer query parameter; empty means 0.
+func queryInt(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	return n, nil
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {

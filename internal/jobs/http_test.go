@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -216,4 +217,96 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	check(resp, http.StatusConflict, "GET result of queued job")
+}
+
+// TestHTTPListPagination: GET /jobs pages with ?offset=&limit= and reports
+// the total, in both the full and the summary view.
+func TestHTTPListPagination(t *testing.T) {
+	s, err := Open(Config{DataDir: t.TempDir(), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 7
+	var ids []string
+	for i := 0; i < n; i++ {
+		req := Request{Name: "page", Specs: []SimSpec{{Workload: "compress", Scale: i + 1}}}
+		job, _, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	fetch := func(query string) (pageIDs []string, total int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs%s = %d", query, resp.StatusCode)
+		}
+		var out struct {
+			Jobs  []JobSummary `json:"jobs"`
+			Total int          `json:"total"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range out.Jobs {
+			pageIDs = append(pageIDs, j.ID)
+		}
+		return pageIDs, out.Total
+	}
+
+	// Walk in pages of 3: 3 + 3 + 1, all ids in order, total constant.
+	var walked []string
+	for offset := 0; ; offset += 3 {
+		page, total := fetch("?view=summary&offset=" + strconv.Itoa(offset) + "&limit=3")
+		if total != n {
+			t.Fatalf("total = %d, want %d", total, n)
+		}
+		if len(page) == 0 {
+			break
+		}
+		walked = append(walked, page...)
+	}
+	if strings.Join(walked, ",") != strings.Join(ids, ",") {
+		t.Errorf("paged walk %v != submitted %v", walked, ids)
+	}
+
+	// No parameters: one page with everything (back-compat shape).
+	all, total := fetch("?view=summary")
+	if len(all) != n || total != n {
+		t.Errorf("unpaged list has %d jobs, total %d, want %d", len(all), total, n)
+	}
+
+	// Past the end: empty page, total intact.
+	tail, total := fetch("?view=summary&offset=100&limit=3")
+	if len(tail) != 0 || total != n {
+		t.Errorf("past-end page has %d jobs, total %d", len(tail), total)
+	}
+
+	// Bad parameters: 400.
+	resp, err := http.Get(ts.URL + "/jobs?offset=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative offset = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/jobs?limit=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk limit = %d, want 400", resp.StatusCode)
+	}
 }

@@ -3,6 +3,7 @@ package jobs
 import (
 	"container/heap"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,7 +32,7 @@ func (s State) Terminal() bool {
 }
 
 // Job is one queued unit of work and its durable record: everything here is
-// what <data>/jobs/<id>.json holds.
+// one journal record.
 type Job struct {
 	ID  string `json:"id"`
 	Seq int64  `json:"seq"`
@@ -51,7 +52,28 @@ type Job struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
 	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	// Lease state, set while a fleet worker holds the job. Worker names the
+	// holder, LeaseToken fences its completions (a requeue rotates the token,
+	// so a zombie worker's late Complete is rejected), LeaseExpiry is when an
+	// unrenewed lease lapses back into the queue.
+	Worker      string    `json:"worker,omitempty"`
+	LeaseToken  string    `json:"lease_token,omitempty"`
+	LeaseExpiry time.Time `json:"lease_expiry,omitempty"`
 }
+
+// clearLease drops the lease fields (requeue, completion, terminal states).
+func (j *Job) clearLease() {
+	j.Worker = ""
+	j.LeaseToken = ""
+	j.LeaseExpiry = time.Time{}
+}
+
+// ErrStaleLease rejects a lease operation whose token no longer fences the
+// job: the lease expired and the job was requeued (token rotated), finished
+// through another path, or was never leased. Fleet workers treat it as "drop
+// your result, the coordinator moved on".
+var ErrStaleLease = errors.New("jobs: stale lease")
 
 // jobHeap orders pending jobs by priority (higher first), then submission
 // sequence (FIFO).
@@ -68,42 +90,147 @@ func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
 func (h *jobHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-// Queue is the durable job queue: every job lives as one JSON file under
-// its directory, rewritten atomically on every state change, so the
-// in-memory picture can be rebuilt exactly after a crash. Pop blocks until
-// work is available (or the queue closes), which is what the service's
-// workers park on. Safe for concurrent use.
+// Queue is the durable job queue: every state transition appends one record
+// to a group-committed journal (see journal.go), so a burst of transitions
+// costs one fsync rather than one per job, and the in-memory picture can be
+// rebuilt exactly after a crash by replaying the journal (last record per
+// job wins). Pop blocks until work is available (or the queue closes), which
+// is what the service's workers park on. Safe for concurrent use.
+//
+// Durability contract per transition: submissions and terminal transitions
+// (complete, fail, cancel, park) return only after their record is fsynced —
+// they are acknowledgments. Pop and lease bookkeeping (grant, renewal,
+// expiry) stage their records without waiting: losing one to a crash only
+// errs towards re-running a job, which the content-addressed store makes
+// idempotent.
 type Queue struct {
-	dir string
+	dir     string
+	journal *journal
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	jobs      map[string]*Job
 	pending   jobHeap
 	nextSeq   int64
+	nextToken int64
+	epoch     int64 // open-time nanos, embedded in lease tokens for cross-restart uniqueness
 	closed    bool
 	recovered int
 }
 
+// compactMinRecords is the journal length below which compaction never
+// triggers, and compactFactor is how much larger than the live job set the
+// journal must grow before a rewrite is worth it.
+const (
+	compactMinRecords = 512
+	compactFactor     = 4
+)
+
 // OpenQueue opens (creating if needed) the queue rooted at dir and recovers
 // its jobs: records found queued or running — a running job at open time
-// means the previous process died mid-run — go back to the pending queue,
-// terminal records are kept for listing and result serving.
+// means the previous process died mid-run, an outstanding lease that its
+// coordinator never settled — go back to the pending queue, terminal records
+// are kept for listing and result serving. Journal records group-commit with
+// no extra staging window; use OpenQueueCommit to tune it.
 func OpenQueue(dir string) (*Queue, error) {
+	return OpenQueueCommit(dir, 0)
+}
+
+// OpenQueueCommit is OpenQueue with an explicit group-commit interval: every
+// record staged within the same interval shares one append+fsync. 0 still
+// group-commits — whatever stages while a commit's fsync is in flight rides
+// the next batch — but adds no artificial latency.
+func OpenQueueCommit(dir string, commitInterval time.Duration) (*Queue, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: queue: %w", err)
 	}
-	q := &Queue{dir: dir, jobs: make(map[string]*Job), nextSeq: 1}
+	q := &Queue{dir: dir, jobs: make(map[string]*Job), nextSeq: 1, epoch: time.Now().UnixNano()}
 	q.cond = sync.NewCond(&q.mu)
-	entries, err := os.ReadDir(dir)
+
+	// Legacy layout: one <id>.json per job, from before the journal. Load
+	// them first (journal records, being newer, override below), fold them
+	// into the journal, then remove the files.
+	legacy, err := q.loadLegacy()
+	if err != nil {
+		return nil, err
+	}
+
+	j, err := openJournal(dir, commitInterval, func(job Job) {
+		q.applyRecord(job)
+	}, q.snapshotRecords)
+	if err != nil {
+		return nil, err
+	}
+	q.journal = j
+
+	// Normalize recovered state: anything live goes back to queued, leases
+	// do not survive their coordinator.
+	var migrate [][]byte
+	for _, job := range q.jobs {
+		if job.State == StateQueued || job.State == StateRunning {
+			job.State = StateQueued
+			job.clearLease()
+			q.recovered++
+			rec, err := encodeRecord(job)
+			if err != nil {
+				q.journal.Close()
+				return nil, err
+			}
+			migrate = append(migrate, rec)
+			heap.Push(&q.pending, job)
+		}
+		if job.Seq >= q.nextSeq {
+			q.nextSeq = job.Seq + 1
+		}
+	}
+	heap.Init(&q.pending)
+
+	// Migrated legacy jobs need journal records too, or a crash before the
+	// first compaction would lose them.
+	for _, name := range legacy {
+		job := q.jobs[name]
+		if job == nil || job.State == StateQueued { // live ones staged above
+			continue
+		}
+		rec, err := encodeRecord(job)
+		if err != nil {
+			q.journal.Close()
+			return nil, err
+		}
+		migrate = append(migrate, rec)
+	}
+	var last uint64
+	for _, rec := range migrate {
+		if last, err = q.journal.append(rec); err != nil {
+			q.journal.Close()
+			return nil, err
+		}
+	}
+	if last > 0 {
+		if err := q.journal.wait(last); err != nil {
+			q.journal.Close()
+			return nil, err
+		}
+	}
+	for _, name := range legacy {
+		os.Remove(filepath.Join(dir, name+".json"))
+	}
+	return q, nil
+}
+
+// loadLegacy reads pre-journal one-file-per-job records into the job map and
+// returns their ids; the caller re-journals and removes them.
+func (q *Queue) loadLegacy() ([]string, error) {
+	entries, err := os.ReadDir(q.dir)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: queue: %w", err)
 	}
+	var ids []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		data, err := os.ReadFile(filepath.Join(q.dir, e.Name()))
 		if err != nil {
 			return nil, fmt.Errorf("jobs: queue: %w", err)
 		}
@@ -114,21 +241,46 @@ func OpenQueue(dir string) (*Queue, error) {
 		if j.ID == "" || q.jobs[j.ID] != nil {
 			return nil, fmt.Errorf("jobs: queue: %s: bad or duplicate job id %q", e.Name(), j.ID)
 		}
-		if j.State == StateQueued || j.State == StateRunning {
-			j.State = StateQueued
-			q.recovered++
-			if err := q.persistLocked(&j); err != nil {
-				return nil, err
-			}
-			heap.Push(&q.pending, &j)
-		}
 		q.jobs[j.ID] = &j
-		if j.Seq >= q.nextSeq {
-			q.nextSeq = j.Seq + 1
-		}
+		ids = append(ids, j.ID)
 	}
-	heap.Init(&q.pending)
-	return q, nil
+	return ids, nil
+}
+
+// applyRecord folds one replayed journal record into the map (last record
+// per job wins). Runs during open, before any concurrency.
+func (q *Queue) applyRecord(job Job) {
+	if job.ID == "" {
+		return
+	}
+	if existing, ok := q.jobs[job.ID]; ok {
+		*existing = job
+		return
+	}
+	j := job
+	q.jobs[job.ID] = &j
+}
+
+// snapshotRecords is the journal's compaction source: one encoded record per
+// job, under the queue lock so the snapshot is consistent with everything
+// staged before it.
+func (q *Queue) snapshotRecords() [][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	out := make([][]byte, 0, len(jobs))
+	for _, j := range jobs {
+		rec, err := encodeRecord(j)
+		if err != nil {
+			continue // unencodable jobs got here through a record; unreachable
+		}
+		out = append(out, rec)
+	}
+	return out
 }
 
 // Recovered returns how many jobs the open re-queued after a restart.
@@ -138,33 +290,26 @@ func (q *Queue) Recovered() int {
 	return q.recovered
 }
 
-// persistLocked writes j's record atomically. Caller holds q.mu (or, during
-// open, exclusive access).
-func (q *Queue) persistLocked(j *Job) error {
-	data, err := json.MarshalIndent(j, "", " ")
+// Commits returns how many journal group commits have run; the fleet status
+// endpoint reports it next to the record count.
+func (q *Queue) Commits() uint64 { return q.journal.Commits() }
+
+// stageLocked encodes j and stages it for the next group commit, returning
+// the sequence to wait on. Caller holds q.mu. It also arms compaction when
+// the journal has outgrown the live job set.
+func (q *Queue) stageLocked(j *Job) (uint64, error) {
+	rec, err := encodeRecord(j)
 	if err != nil {
-		return fmt.Errorf("jobs: queue: %w", err)
+		return 0, err
 	}
-	data = append(data, '\n')
-	path := filepath.Join(q.dir, j.ID+".json")
-	tmp, err := os.CreateTemp(q.dir, "job-*")
+	seq, err := q.journal.append(rec)
 	if err != nil {
-		return fmt.Errorf("jobs: queue: %w", err)
+		return 0, err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: queue: %w", err)
+	if r := q.journal.Records(); r >= compactMinRecords && r > compactFactor*uint64(len(q.jobs)) {
+		q.journal.requestCompact()
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: queue: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: queue: %w", err)
-	}
-	return nil
+	return seq, nil
 }
 
 // Submit durably enqueues a new job for req and wakes a waiting worker.
@@ -180,8 +325,8 @@ func (q *Queue) SubmitCompleted(req Request, hash string) (Job, error) {
 
 func (q *Queue) submit(req Request, hash string, state State) (Job, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return Job{}, fmt.Errorf("jobs: queue closed")
 	}
 	j := &Job{
@@ -196,16 +341,48 @@ func (q *Queue) submit(req Request, hash string, state State) (Job, error) {
 		j.Deduped = true
 		j.FinishedAt = j.SubmittedAt
 	}
-	if err := q.persistLocked(j); err != nil {
+	seq, err := q.stageLocked(j)
+	if err != nil {
+		q.mu.Unlock()
 		return Job{}, err
 	}
 	q.nextSeq++
 	q.jobs[j.ID] = j
-	if state == StateQueued {
-		heap.Push(&q.pending, j)
-		q.cond.Signal()
+	job := *j
+	q.mu.Unlock()
+	// The submit acknowledgment is durable: wait for the group commit that
+	// covers this record (shared with every concurrent submission). Only
+	// then does the job become poppable — a worker must never observe work
+	// whose submission could still be lost to a crash.
+	if err := q.journal.wait(seq); err != nil {
+		return job, err
 	}
-	return *j, nil
+	if state == StateQueued {
+		q.mu.Lock()
+		if j.State == StateQueued {
+			heap.Push(&q.pending, j)
+			q.cond.Signal()
+		}
+		q.mu.Unlock()
+	}
+	return job, nil
+}
+
+// popLocked takes the best pending job, marks it running and charges one
+// attempt. Caller holds q.mu and has checked pending is non-empty.
+func (q *Queue) popLocked() *Job {
+	j := heap.Pop(&q.pending).(*Job)
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = time.Now().UTC()
+	return j
+}
+
+// skipCanceledLocked drops entries cancelled while pending off the heap top.
+func (q *Queue) skipCanceledLocked() {
+	for q.pending.Len() > 0 && q.pending[0].State != StateQueued {
+		heap.Pop(&q.pending)
+	}
 }
 
 // Pop blocks until a job is available, marks it running (charging one
@@ -219,40 +396,201 @@ func (q *Queue) Pop() (Job, bool) {
 		if q.closed {
 			return Job{}, false
 		}
-		// Skip entries cancelled while pending.
-		for q.pending.Len() > 0 && q.pending[0].State != StateQueued {
-			heap.Pop(&q.pending)
-		}
+		q.skipCanceledLocked()
 		if q.pending.Len() > 0 {
-			j := heap.Pop(&q.pending).(*Job)
-			j.State = StateRunning
-			j.Attempts++
-			j.StartedAt = time.Now().UTC()
-			// A persist failure is survivable here: the record on disk
-			// still says queued, which only errs towards re-running after
-			// a crash.
-			_ = q.persistLocked(j)
-			return *j, true
+			j := q.popLocked()
+			seq, err := q.stageLocked(j)
+			job := *j
+			q.mu.Unlock()
+			// A commit failure is survivable here: the record on disk may
+			// still say queued, which only errs towards re-running after a
+			// crash — but wait for the group commit so that a job observed
+			// running is running on disk too.
+			if err == nil {
+				_ = q.journal.wait(seq)
+			}
+			q.mu.Lock()
+			return job, true
 		}
 		q.cond.Wait()
 	}
 }
 
-// update applies mutate to the named job under the lock and persists it.
-func (q *Queue) update(id string, mutate func(*Job) error) (Job, error) {
+// Lease is the fleet coordinator's non-blocking Pop: it takes up to max
+// pending jobs for worker, marks them running with a fresh lease token and
+// a ttl-long expiry, and returns copies. The lease records ride one group
+// commit and the call waits for it — handing out a lease whose record was
+// lost to a crash would only waste a worker's time, but the fsync is shared
+// across the whole batch, so the wait is cheap.
+func (q *Queue) Lease(worker string, max int, ttl time.Duration) ([]Job, error) {
+	if max <= 0 || worker == "" {
+		return nil, nil
+	}
+	now := time.Now().UTC()
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("jobs: queue closed")
+	}
+	var out []Job
+	var last uint64
+	for len(out) < max {
+		q.skipCanceledLocked()
+		if q.pending.Len() == 0 {
+			break
+		}
+		j := q.popLocked()
+		j.Worker = worker
+		j.LeaseToken = fmt.Sprintf("%x.%d", q.epoch, q.nextToken)
+		j.LeaseExpiry = now.Add(ttl)
+		q.nextToken++
+		seq, err := q.stageLocked(j)
+		if err != nil {
+			q.mu.Unlock()
+			return out, err
+		}
+		last = seq
+		out = append(out, *j)
+	}
+	q.mu.Unlock()
+	if last > 0 {
+		if err := q.journal.wait(last); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Heartbeat renews worker's leases on the named jobs, extending each expiry
+// to now+ttl, and returns the ids actually renewed. Ids missing from the
+// returned set are lost leases: the job expired and was requeued, finished
+// through another path, or was cancelled — the worker should abandon them.
+// Renewal records stage without waiting; losing one to a crash only expires
+// a lease early.
+func (q *Queue) Heartbeat(worker string, ids []string, ttl time.Duration) []string {
+	now := time.Now().UTC()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var renewed []string
+	for _, id := range ids {
+		j, ok := q.jobs[id]
+		if !ok || j.State != StateRunning || j.Worker != worker {
+			continue
+		}
+		j.LeaseExpiry = now.Add(ttl)
+		_, _ = q.stageLocked(j)
+		renewed = append(renewed, id)
+	}
+	return renewed
+}
+
+// ExpireLeases requeues every leased job whose expiry has passed — the
+// existing Park/Release crash semantics applied to a worker that stopped
+// heartbeating: the job goes back to queued with its lease cleared (token
+// rotated away, so the dead worker's late Complete is fenced off) and is
+// immediately poppable again. Expiry does not charge the retry budget; a
+// worker crash is the coordinator's fault to absorb, like its own restart.
+// Returns copies of the requeued jobs.
+func (q *Queue) ExpireLeases(now time.Time) []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Job
+	for _, j := range q.jobs {
+		if j.State != StateRunning || j.Worker == "" || !now.After(j.LeaseExpiry) {
+			continue
+		}
+		worker := j.Worker
+		j.State = StateQueued
+		j.clearLease()
+		// The attempt died with the worker: hand it back.
+		if j.Attempts > 0 {
+			j.Attempts--
+		}
+		j.Error = fmt.Sprintf("lease expired: worker %s stopped heartbeating", worker)
+		_, _ = q.stageLocked(j)
+		heap.Push(&q.pending, j)
+		q.cond.Signal()
+		out = append(out, *j)
+	}
+	return out
+}
+
+// CompleteLease marks a leased job done, but only if token still fences it;
+// otherwise ErrStaleLease (wrapped) tells the worker its lease lapsed and
+// the result was discarded. Durable before returning.
+func (q *Queue) CompleteLease(id, token string) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		if err := checkLease(j, token); err != nil {
+			return err
+		}
+		j.State = StateDone
+		j.Error = ""
+		j.clearLease()
+		j.FinishedAt = time.Now().UTC()
+		return nil
+	})
+}
+
+// ParkLease validates the worker's token and parks the job (queued on disk,
+// not poppable until Release) in one atomic step — the fleet's failure path
+// into the service's usual retry machinery.
+func (q *Queue) ParkLease(id, token string, cause error) (Job, error) {
+	return q.update(id, func(j *Job) error {
+		if err := checkLease(j, token); err != nil {
+			return err
+		}
+		j.State = StateQueued
+		j.clearLease()
+		if cause != nil {
+			j.Error = cause.Error()
+		}
+		return nil
+	})
+}
+
+// ValidateLease reports whether token currently fences the named job.
+func (q *Queue) ValidateLease(id, token string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
+		return fmt.Errorf("jobs: unknown job %q", id)
+	}
+	return checkLease(j, token)
+}
+
+// checkLease verifies token currently fences j.
+func checkLease(j *Job, token string) error {
+	if j.State != StateRunning || j.LeaseToken == "" || j.LeaseToken != token {
+		return fmt.Errorf("%w: job %s is %s (token mismatch)", ErrStaleLease, j.ID, j.State)
+	}
+	return nil
+}
+
+// update applies mutate to the named job under the lock, stages the record,
+// and waits for its group commit: these transitions are acknowledgments.
+func (q *Queue) update(id string, mutate func(*Job) error) (Job, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
 		return Job{}, fmt.Errorf("jobs: unknown job %q", id)
 	}
 	if err := mutate(j); err != nil {
-		return *j, err
+		job := *j
+		q.mu.Unlock()
+		return job, err
 	}
-	if err := q.persistLocked(j); err != nil {
-		return *j, err
+	seq, err := q.stageLocked(j)
+	job := *j
+	q.mu.Unlock()
+	if err != nil {
+		return job, err
 	}
-	return *j, nil
+	if err := q.journal.wait(seq); err != nil {
+		return job, err
+	}
+	return job, nil
 }
 
 // Complete marks a running job done.
@@ -260,6 +598,7 @@ func (q *Queue) Complete(id string) (Job, error) {
 	return q.update(id, func(j *Job) error {
 		j.State = StateDone
 		j.Error = ""
+		j.clearLease()
 		j.FinishedAt = time.Now().UTC()
 		return nil
 	})
@@ -270,6 +609,7 @@ func (q *Queue) Fail(id string, cause error) (Job, error) {
 	return q.update(id, func(j *Job) error {
 		j.State = StateFailed
 		j.Error = cause.Error()
+		j.clearLease()
 		j.FinishedAt = time.Now().UTC()
 		return nil
 	})
@@ -293,6 +633,7 @@ func (q *Queue) Requeue(id string, cause error) (Job, error) {
 func (q *Queue) Park(id string, cause error) (Job, error) {
 	return q.update(id, func(j *Job) error {
 		j.State = StateQueued
+		j.clearLease()
 		if cause != nil {
 			j.Error = cause.Error()
 		}
@@ -331,10 +672,12 @@ func (q *Queue) Cancel(id string) (Job, error) {
 	})
 }
 
-// MarkCanceled marks a running job canceled (its context was cancelled).
+// MarkCanceled marks a running job canceled (its context was cancelled, or
+// its remote lease holder was told to drop it).
 func (q *Queue) MarkCanceled(id string) (Job, error) {
 	return q.update(id, func(j *Job) error {
 		j.State = StateCanceled
+		j.clearLease()
 		j.FinishedAt = time.Now().UTC()
 		return nil
 	})
@@ -363,6 +706,33 @@ func (q *Queue) List() []Job {
 	return out
 }
 
+// ListRange returns up to limit jobs starting at offset in oldest-first
+// order, plus the total job count — the pagination primitive behind
+// GET /jobs?offset=&limit=, so fleet-scale listings stream in pages instead
+// of materializing one giant array per request.
+func (q *Queue) ListRange(offset, limit int) ([]Job, int) {
+	all := q.List()
+	total := len(all)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= total {
+		return nil, total
+	}
+	all = all[offset:]
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	return all, total
+}
+
+// Len returns the total number of jobs (every state).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
 // Depth returns how many jobs are poppable right now.
 func (q *Queue) Depth() int {
 	q.mu.Lock()
@@ -376,10 +746,25 @@ func (q *Queue) Depth() int {
 	return n
 }
 
-// Close rejects further submissions and wakes every blocked Pop.
-func (q *Queue) Close() {
+// Leased returns how many jobs are currently running under a worker lease.
+func (q *Queue) Leased() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.State == StateRunning && j.Worker != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Close rejects further submissions, wakes every blocked Pop, and drains the
+// journal through a final group commit.
+func (q *Queue) Close() {
+	q.mu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.journal.Close()
 }

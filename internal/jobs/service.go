@@ -68,6 +68,12 @@ type Config struct {
 	// RetryBackoff delays the first retry, doubling per attempt; 0 selects
 	// DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// CommitInterval is the journal's group-commit staging window: every
+	// queue/lease state transition within one interval shares a single
+	// append+fsync. 0 still batches (records accumulate while each fsync is
+	// in flight) without adding latency; raise it to trade acknowledgment
+	// latency for fewer fsyncs under sustained load.
+	CommitInterval time.Duration
 	// Metrics, when non-nil, receives the jobs.* counters and gauges.
 	Metrics *obs.SharedRegistry
 	// Tracer, when non-nil, records one span per lifecycle stage of every
@@ -105,11 +111,11 @@ const DefaultRetryBackoff = 500 * time.Millisecond
 
 // DefaultTelemetryInterval is the sampling interval (simulated cycles)
 // used when Config.Telemetry is on and TelemetryInterval is unset, and
-// telemetrySeriesCap bounds each stored series: capacity is fixed, so long
+// TelemetrySeriesCap bounds each stored series: capacity is fixed, so long
 // runs decimate to coarser strides instead of growing the stored result.
 const (
 	DefaultTelemetryInterval = 1024
-	telemetrySeriesCap       = 512
+	TelemetrySeriesCap       = 512
 )
 
 // ErrFinished is returned by Cancel for jobs already in a terminal state.
@@ -164,7 +170,7 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
-	queue, err := OpenQueue(cfg.DataDir + "/jobs")
+	queue, err := OpenQueueCommit(cfg.DataDir+"/jobs", cfg.CommitInterval)
 	if err != nil {
 		return nil, err
 	}
@@ -344,6 +350,21 @@ func (s *Service) Cancel(id string) (Job, error) {
 	}
 	if job.State.Terminal() {
 		return job, ErrFinished
+	}
+	if job.State == StateRunning && job.Worker != "" {
+		// Running on a remote worker: cancel the record now; the worker
+		// learns the lease is lost at its next heartbeat and abandons the
+		// run, and its late Complete is fenced off by the cleared token.
+		job, err := s.queue.MarkCanceled(id)
+		if err != nil {
+			return job, err
+		}
+		s.count(MetricCanceled, 1)
+		s.publish()
+		s.finishJob(job, "canceled")
+		s.cfg.Logger.Warn("leased job canceled",
+			"job", job.ID, "spec_hash", job.SpecHash, "worker", job.Worker)
+		return job, nil
 	}
 	job, err := s.queue.Cancel(id)
 	if err != nil {
@@ -542,7 +563,7 @@ func (s *Service) execute(ctx context.Context, job Job, progress *harness.Progre
 			interval = DefaultTelemetryInterval
 		}
 		for i := range specs {
-			specs[i].Telemetry = cpu.NewTelemetry(interval, telemetrySeriesCap)
+			specs[i].Telemetry = cpu.NewTelemetry(interval, TelemetrySeriesCap)
 		}
 	}
 	results, err := s.cfg.Simulate(ctx, specs, progress)
@@ -599,6 +620,13 @@ type Snapshot struct {
 	StoreEntries int   `json:"store_entries"`
 	StoreBytes   int64 `json:"store_bytes"`
 	Recovered    int   `json:"recovered"`
+	// Leased counts jobs currently running under a fleet worker's lease
+	// (disjoint from Inflight, which counts in-process runs).
+	Leased int `json:"leased"`
+	// JournalCommits counts the queue journal's group commits: the
+	// Θ(commits) durability work actually done, next to the O(transitions)
+	// it absorbed.
+	JournalCommits uint64 `json:"journal_commits"`
 	// States counts every job by state.
 	States map[State]int `json:"states"`
 }
@@ -616,13 +644,15 @@ func (s *Service) Snapshot() Snapshot {
 	recovered := s.queue.Recovered()
 	s.mu.Unlock()
 	return Snapshot{
-		QueueDepth:   s.queue.Depth(),
-		Inflight:     inflight,
-		JobsTotal:    len(jobsList),
-		StoreEntries: s.store.Len(),
-		StoreBytes:   s.store.Bytes(),
-		Recovered:    recovered,
-		States:       states,
+		QueueDepth:     s.queue.Depth(),
+		Inflight:       inflight,
+		JobsTotal:      len(jobsList),
+		StoreEntries:   s.store.Len(),
+		StoreBytes:     s.store.Bytes(),
+		Recovered:      recovered,
+		Leased:         s.queue.Leased(),
+		JournalCommits: s.queue.Commits(),
+		States:         states,
 	}
 }
 

@@ -53,15 +53,29 @@ func StartDaemon(cmdline, logPath string, timeout time.Duration) (*Daemon, error
 // start spawns one daemon process and scans its output for the serving
 // line. Caller holds no lock (initial start) or d.mu (restart).
 func (d *Daemon) start() error {
-	logf, err := os.OpenFile(d.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	cmd, logf, addr, err := startProc(d.args, d.logPath, d.timeout, servingLine, "serving")
 	if err != nil {
-		return fmt.Errorf("load: daemon log: %w", err)
+		return err
 	}
-	cmd := exec.Command(d.args[0], d.args[1:]...)
+	d.cmd = cmd
+	d.base = "http://" + addr
+	d.log = logf
+	return nil
+}
+
+// startProc spawns args with stdout+stderr teed to logPath and waits up to
+// timeout for an output line matching ready (returning its first submatch).
+// Shared by the daemon and fleet-worker process managers.
+func startProc(args []string, logPath string, timeout time.Duration, ready *regexp.Regexp, what string) (*exec.Cmd, *os.File, string, error) {
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("load: process log: %w", err)
+	}
+	cmd := exec.Command(args[0], args[1:]...)
 	pr, pw, err := os.Pipe()
 	if err != nil {
 		logf.Close()
-		return fmt.Errorf("load: daemon pipe: %w", err)
+		return nil, nil, "", fmt.Errorf("load: process pipe: %w", err)
 	}
 	cmd.Stdout = pw
 	cmd.Stderr = pw
@@ -69,22 +83,22 @@ func (d *Daemon) start() error {
 		logf.Close()
 		pr.Close()
 		pw.Close()
-		return fmt.Errorf("load: starting daemon: %w", err)
+		return nil, nil, "", fmt.Errorf("load: starting %s: %w", args[0], err)
 	}
 	pw.Close() // the child holds the write end now
 
-	// Tee the child's output into the log file, capturing the first serving
+	// Tee the child's output into the log file, capturing the first ready
 	// line; the scanner goroutine lives until the child exits and closes the
 	// pipe.
-	addrCh := make(chan string, 1)
+	readyCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(pr)
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintln(logf, line)
-			if m := servingLine.FindStringSubmatch(line); m != nil {
+			if m := ready.FindStringSubmatch(line); m != nil {
 				select {
-				case addrCh <- m[1]:
+				case readyCh <- m[1]:
 				default:
 				}
 			}
@@ -95,15 +109,12 @@ func (d *Daemon) start() error {
 	}()
 
 	select {
-	case addr := <-addrCh:
-		d.cmd = cmd
-		d.base = "http://" + addr
-		d.log = logf
-		return nil
-	case <-time.After(d.timeout):
+	case got := <-readyCh:
+		return cmd, logf, got, nil
+	case <-time.After(timeout):
 		cmd.Process.Kill()
 		cmd.Wait()
-		return fmt.Errorf("load: daemon printed no serving line within %s (log: %s)", d.timeout, d.logPath)
+		return nil, nil, "", fmt.Errorf("load: %s printed no %s line within %s (log: %s)", args[0], what, timeout, logPath)
 	}
 }
 

@@ -140,21 +140,37 @@ func (c *Client) Submit(req jobs.Request) (SubmitAck, error) {
 // job's state without the request payloads, so a drain loop over thousands
 // of jobs stays cheap.
 func (c *Client) Summaries() ([]jobs.JobSummary, error) {
-	resp, err := c.http.Get(c.Base() + "/jobs?view=summary")
-	if err != nil {
-		return nil, err
+	// Page through the listing so a drain loop over tens of thousands of
+	// jobs never asks the daemon for one giant response.
+	const pageSize = 1000
+	var all []jobs.JobSummary
+	for offset := 0; ; {
+		url := fmt.Sprintf("%s/jobs?view=summary&offset=%d&limit=%d", c.Base(), offset, pageSize)
+		resp, err := c.http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("load: GET /jobs?view=summary: HTTP %d", resp.StatusCode)
+		}
+		var out struct {
+			Jobs  []jobs.JobSummary `json:"jobs"`
+			Total int               `json:"total"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load: decoding job summaries: %w", err)
+		}
+		all = append(all, out.Jobs...)
+		offset += len(out.Jobs)
+		// A short page (or an older daemon that serves everything at once,
+		// reporting total 0) ends the walk.
+		if len(out.Jobs) < pageSize || offset >= out.Total {
+			return all, nil
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("load: GET /jobs?view=summary: HTTP %d", resp.StatusCode)
-	}
-	var out struct {
-		Jobs []jobs.JobSummary `json:"jobs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("load: decoding job summaries: %w", err)
-	}
-	return out.Jobs, nil
 }
 
 // ResultHash fetches a done job's stored result and returns its content

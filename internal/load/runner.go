@@ -11,16 +11,19 @@ import (
 )
 
 // Chaos configures the mid-soak kill: at fraction At of the submission
-// phase, Restart is invoked — it must terminate the daemon ungracefully,
-// start a fresh one over the same data directory, and return the new base
-// URL. Submissions that fail while the daemon is down are counted as
-// rejected; reconciliation then proves that everything acknowledged before
-// the kill still terminates exactly once.
+// phase, Restart is invoked — it must terminate its target ungracefully,
+// start a fresh replacement, and return the base URL to submit against
+// afterwards. The target is the daemon itself (restart over the same data
+// directory, new ephemeral port) or, in fleet mode, one worker process (the
+// coordinator's URL comes back unchanged and its leases lapse). Submissions
+// that fail while the daemon is down are counted as rejected; reconciliation
+// then proves that everything acknowledged before the kill still terminates
+// exactly once.
 type Chaos struct {
 	// At is the fraction of the soak at which the kill fires; <= 0 or >= 1
 	// selects 0.5.
 	At float64
-	// Restart kills and restarts the daemon, returning the new base URL.
+	// Restart kills and restarts the target, returning the base URL.
 	Restart func() (string, error)
 }
 
@@ -157,7 +160,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			case <-stop:
 				return
 			}
-			r.cfg.Logf("chaos: killing the daemon %.1fs into the soak", time.Since(start).Seconds())
+			r.cfg.Logf("chaos: firing the kill %.1fs into the soak", time.Since(start).Seconds())
 			base, err := r.cfg.Chaos.Restart()
 			if err != nil {
 				chaosErr = fmt.Errorf("load: chaos restart: %w", err)
@@ -165,7 +168,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			}
 			r.cfg.Client.SetBase(base)
 			chaosRestarts++
-			r.cfg.Logf("chaos: daemon restarted at %s", base)
+			r.cfg.Logf("chaos: target restarted, submitting to %s", base)
 		}()
 	}
 

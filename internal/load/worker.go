@@ -1,0 +1,108 @@
+package load
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"os/exec"
+)
+
+// workerLine matches the parseable identity line "vserved -worker" prints on
+// startup.
+var workerLine = regexp.MustCompile(`worker (\S+) serving coordinator`)
+
+// WorkerProc manages one stateless fleet worker process the harness owns.
+// Fleet chaos kills a worker with SIGKILL — a crash, not a shutdown; the
+// lease protocol's requeue guarantee is exactly what is under test — and
+// starts a fresh worker against the same coordinator. The coordinator's base
+// URL never changes across worker chaos, so submitters keep going untouched.
+type WorkerProc struct {
+	args    []string
+	logPath string
+	timeout time.Duration
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+	id  string
+}
+
+// StartWorkerProc launches cmdline (split on whitespace, e.g.
+// "vserved -worker -coordinator http://... -capacity 2") with output
+// appended to logPath, waits up to timeout for the worker identity line, and
+// returns the managed process. timeout <= 0 selects 30s.
+func StartWorkerProc(cmdline, logPath string, timeout time.Duration) (*WorkerProc, error) {
+	args := strings.Fields(cmdline)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("load: empty worker command line")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	w := &WorkerProc{args: args, logPath: logPath, timeout: timeout}
+	if err := w.start(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WorkerProc) start() error {
+	cmd, _, id, err := startProc(w.args, w.logPath, w.timeout, workerLine, "worker identity")
+	if err != nil {
+		return err
+	}
+	w.cmd = cmd
+	w.id = id
+	return nil
+}
+
+// ID returns the worker's current fleet identity (it changes across Restart
+// unless the command line pins -worker-id).
+func (w *WorkerProc) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Kill terminates the worker ungracefully (SIGKILL) and reaps it. Leased
+// jobs are deliberately left to lapse on the coordinator.
+func (w *WorkerProc) Kill() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killLocked()
+}
+
+func (w *WorkerProc) killLocked() error {
+	if w.cmd == nil {
+		return nil
+	}
+	if err := w.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("load: killing worker: %w", err)
+	}
+	w.cmd.Wait()
+	w.cmd = nil
+	return nil
+}
+
+// Restart is the fleet chaos step: SIGKILL the running worker and start a
+// fresh one with the identical command line. It returns the new worker's
+// identity.
+func (w *WorkerProc) Restart() (string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.killLocked(); err != nil {
+		return "", err
+	}
+	if err := w.start(); err != nil {
+		return "", err
+	}
+	return w.id, nil
+}
+
+// Stop shuts the worker down at the end of a run (same SIGKILL; workers hold
+// no durable state). Safe to call twice.
+func (w *WorkerProc) Stop() {
+	w.Kill()
+}

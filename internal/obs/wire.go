@@ -1,0 +1,160 @@
+package obs
+
+import "sort"
+
+// Wire forms: the JSON-serializable algebraic delta of a Registry, built for
+// the fleet's heartbeat path. A worker snapshots its registry, diffs it
+// against the previous snapshot, and ships only the delta; the coordinator
+// applies the delta into its shared registry. Because counters diff/add
+// exactly and histograms diff/add bucket-wise (the bucket layout is identical
+// on both ends), the merged fleet-wide registry equals the registry a single
+// process would have accumulated — the same Θ(commits) coalescing the journal
+// applies to durability, applied to telemetry.
+
+// WireBucket is one non-empty histogram bucket on the wire, addressed by
+// bucket index (see BucketIndex/BucketLowerBound).
+type WireBucket struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// WireHistogram is a histogram delta: per-bucket count deltas plus exact
+// count and sum deltas. Min and Max are the sender's running totals (valid
+// bounds for the combined distribution, not deltas).
+type WireHistogram struct {
+	Buckets []WireBucket `json:"buckets,omitempty"`
+	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+}
+
+// WireRegistry is a registry delta: counter increments, raw gauge values
+// (last write wins, like Merge), and histogram bucket deltas.
+type WireRegistry struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]WireHistogram `json:"histograms,omitempty"`
+}
+
+// Empty reports whether the delta carries nothing.
+func (w WireRegistry) Empty() bool {
+	return len(w.Counters) == 0 && len(w.Gauges) == 0 && len(w.Histograms) == 0
+}
+
+// Diff returns the algebraic delta that takes prev to cur: counter and
+// histogram increments since prev, gauges at cur's raw value. prev may be nil
+// (the first epoch diffs against zero). Zero counter deltas and empty
+// histogram deltas are omitted, so an idle epoch serializes to "{}" plus the
+// gauges.
+func Diff(cur, prev *Registry) WireRegistry {
+	var w WireRegistry
+	for _, name := range cur.order {
+		switch {
+		case cur.counters[name] != nil:
+			v := cur.counters[name].Value()
+			if prev != nil {
+				if p, ok := prev.counters[name]; ok {
+					v -= p.Value()
+				}
+			}
+			if v != 0 {
+				if w.Counters == nil {
+					w.Counters = make(map[string]int64)
+				}
+				w.Counters[name] = v
+			}
+		case cur.gauges[name] != nil:
+			if w.Gauges == nil {
+				w.Gauges = make(map[string]float64)
+			}
+			w.Gauges[name] = cur.gauges[name].Value()
+		default:
+			h := cur.hists[name]
+			var p *Histogram
+			if prev != nil {
+				p = prev.hists[name]
+			}
+			d := diffHistogram(h, p)
+			if d.Count == 0 {
+				continue
+			}
+			if w.Histograms == nil {
+				w.Histograms = make(map[string]WireHistogram)
+			}
+			w.Histograms[name] = d
+		}
+	}
+	return w
+}
+
+// diffHistogram subtracts prev's bucket counts from cur's. Buckets are
+// monotone (samples only accumulate), so per-bucket subtraction is exact.
+func diffHistogram(cur, prev *Histogram) WireHistogram {
+	d := WireHistogram{Min: cur.Min(), Max: cur.Max()}
+	for i, c := range cur.counts {
+		if prev != nil {
+			c -= prev.counts[i]
+		}
+		if c != 0 {
+			d.Buckets = append(d.Buckets, WireBucket{Index: i, Count: c})
+		}
+	}
+	d.Count = cur.count
+	d.Sum = cur.sum
+	if prev != nil {
+		d.Count -= prev.count
+		d.Sum -= prev.sum
+	}
+	return d
+}
+
+// Apply folds a wire delta into r: counters add, gauges overwrite, histogram
+// bucket deltas add with min/max tightened to the sender's bounds. Applying
+// each epoch's delta exactly once reproduces the sender's registry as if it
+// had been merged directly. Names are applied in sorted order so first-sight
+// registration order — and therefore the exposition — stays deterministic.
+func (r *Registry) Apply(w WireRegistry) {
+	for _, name := range sortedKeys(w.Counters) {
+		r.Counter(name).Add(w.Counters[name])
+	}
+	for _, name := range sortedKeys(w.Gauges) {
+		r.Gauge(name).Set(w.Gauges[name])
+	}
+	for _, name := range sortedKeys(w.Histograms) {
+		wh := w.Histograms[name]
+		h := r.Histogram(name)
+		for _, b := range wh.Buckets {
+			if b.Index >= 0 && b.Index < len(h.counts) {
+				h.counts[b.Index] += b.Count
+			}
+		}
+		h.count += wh.Count
+		h.sum += wh.Sum
+		if wh.Count > 0 {
+			if wh.Min < h.min {
+				h.min = wh.Min
+			}
+			if wh.Max > h.max {
+				h.max = wh.Max
+			}
+		}
+	}
+}
+
+// Apply folds a wire delta into the shared registry under its lock.
+func (s *SharedRegistry) Apply(w WireRegistry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Apply(w)
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

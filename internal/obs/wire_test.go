@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestWireDeltaRoundTrip is the algebra behind the fleet heartbeat: an
+// observation stream split into arbitrary epochs, each epoch shipped as a
+// JSON wire delta and applied remotely, must reproduce the registry a direct
+// merge would have built — counters, gauges, and histograms bucket-exactly.
+func TestWireDeltaRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		src := NewRegistry()    // the worker's live registry
+		remote := NewRegistry() // the coordinator's merged view
+		var prev *Registry
+
+		epochs := 2 + rng.Intn(6)
+		for e := 0; e < epochs; e++ {
+			for i := 0; i < 1+rng.Intn(50); i++ {
+				switch rng.Intn(3) {
+				case 0:
+					src.Counter("work.done").Add(rng.Int63n(100))
+				case 1:
+					src.Gauge("work.depth").Set(rng.Float64() * 100)
+				default:
+					src.Histogram("work.latency").Observe(rng.Int63n(1 << 20))
+				}
+			}
+			// Snapshot, diff against last epoch, round-trip through JSON and
+			// apply — exactly once, like one heartbeat.
+			cur := src.Clone()
+			delta := Diff(cur, prev)
+			data, err := json.Marshal(delta)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			var decoded WireRegistry
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			remote.Apply(decoded)
+			prev = cur
+		}
+
+		// The remote view must match a direct merge of the final registry.
+		direct := NewRegistry()
+		direct.Merge(src)
+		if got, want := remote.String(), direct.String(); got != want {
+			t.Errorf("seed %d: remote view diverged from direct merge:\n got:\n%s\nwant:\n%s", seed, got, want)
+		}
+		h, dh := remote.Histogram("work.latency"), direct.Histogram("work.latency")
+		if h.Count() != dh.Count() || h.Sum() != dh.Sum() || h.Min() != dh.Min() || h.Max() != dh.Max() {
+			t.Errorf("seed %d: histogram totals diverged: count %d/%d sum %d/%d min %d/%d max %d/%d",
+				seed, h.Count(), dh.Count(), h.Sum(), dh.Sum(), h.Min(), dh.Min(), h.Max(), dh.Max())
+		}
+		for i := range h.counts {
+			if h.counts[i] != dh.counts[i] {
+				t.Fatalf("seed %d: bucket %d diverged: %d != %d", seed, i, h.counts[i], dh.counts[i])
+			}
+		}
+	}
+}
+
+// TestWireDeltaEmptyEpoch: an epoch with no new observations must diff to an
+// all-but-gauges-empty delta, and applying it must not disturb histograms.
+func TestWireDeltaEmptyEpoch(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c").Add(5)
+	src.Gauge("g").Set(2.5)
+	src.Histogram("h").Observe(17)
+
+	cur := src.Clone()
+	d := Diff(cur, cur)
+	if len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Fatalf("idle diff not empty: %+v", d)
+	}
+	if d.Gauges["g"] != 2.5 {
+		t.Fatalf("gauges should ship raw every epoch, got %+v", d.Gauges)
+	}
+
+	remote := NewRegistry()
+	remote.Apply(Diff(cur, nil))
+	remote.Apply(d) // idle heartbeat
+	if got := remote.Histogram("h").Count(); got != 1 {
+		t.Fatalf("idle apply changed histogram count: %d", got)
+	}
+	if got := remote.Counter("c").Value(); got != 5 {
+		t.Fatalf("idle apply changed counter: %d", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"valuespec/internal/cpu"
+	"valuespec/internal/fleet"
 	"valuespec/internal/harness"
 	"valuespec/internal/jobs"
 	"valuespec/internal/load"
@@ -69,6 +70,18 @@ func TestMetricNameLint(t *testing.T) {
 	names = append(names,
 		load.MetricSubmitUS, load.MetricAcked, load.MetricRejected,
 		load.MetricQueueDepth, load.MetricInflight)
+
+	// Fleet coordinator and worker-push metrics: NewCoordinator
+	// pre-registers the fleet.* coordinator set into its registry; the
+	// worker-push names travel as heartbeat deltas, so list them here.
+	fleetReg := obs.NewSharedRegistry()
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{Service: svc, Metrics: fleetReg})
+	defer coord.Close()
+	names = append(names, fleetReg.Snapshot().Names()...)
+	names = append(names,
+		fleet.MetricWorkerJobsDone, fleet.MetricWorkerJobsFailed,
+		fleet.MetricWorkerSpecsDone, fleet.MetricWorkerCycles,
+		fleet.MetricWorkerRunMS)
 
 	if len(names) < 40 {
 		t.Fatalf("collected only %d names; a registration path went missing", len(names))

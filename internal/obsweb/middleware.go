@@ -39,7 +39,7 @@ func HTTPResponseMetric(route, class string) string {
 var instrumentedRoutes = []string{
 	"index", "metrics", "healthz", "readyz",
 	"progress", "progress_stream", "series", "series_stream", "dash",
-	"jobs", "trace", "buildz", "pprof",
+	"jobs", "fleet", "trace", "buildz", "pprof",
 }
 
 // statusWriter captures the response status for the middleware. It passes

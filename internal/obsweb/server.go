@@ -84,6 +84,10 @@ type Config struct {
 	// Jobs, when non-nil, is mounted at /jobs — the simulation job API of
 	// internal/jobs (cmd/vserved wires it up).
 	Jobs http.Handler
+	// Fleet, when non-nil, is mounted at the fleet lease-protocol routes —
+	// POST /lease, /heartbeat, /complete, /fail and GET /fleet — the
+	// coordinator handler of internal/fleet.
+	Fleet http.Handler
 	// Tracer, when non-nil, backs GET /trace: the whole buffered span window
 	// exported as Chrome trace JSON.
 	Tracer *obs.Tracer
@@ -162,6 +166,14 @@ func New(cfg Config) *Server {
 		jobs := s.instrument("jobs", cfg.Jobs.ServeHTTP)
 		s.mux.Handle("/jobs", jobs)
 		s.mux.Handle("/jobs/", jobs)
+	}
+	if cfg.Fleet != nil {
+		// The coordinator's own mux routes by method and path; one
+		// instrumentation name covers the whole protocol.
+		fleet := s.instrument("fleet", cfg.Fleet.ServeHTTP)
+		for _, p := range []string{"/lease", "/heartbeat", "/complete", "/fail", "/fleet"} {
+			s.mux.Handle(p, fleet)
+		}
 	}
 	s.mux.HandleFunc("/debug/pprof/", s.instrument("pprof", pprof.Index))
 	s.mux.HandleFunc("/debug/pprof/cmdline", s.instrument("pprof", pprof.Cmdline))
@@ -273,6 +285,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "  /jobs             simulation job API "+
 			"(POST submit, GET list; /jobs/{id}, /jobs/{id}/result, "+
 			"/jobs/{id}/trace, DELETE cancel)\n")
+	}
+	if s.cfg.Fleet != nil {
+		fmt.Fprintf(w, "  /fleet            fleet snapshot (JSON); worker protocol: "+
+			"POST /lease, /heartbeat, /complete, /fail\n")
 	}
 }
 

@@ -32,7 +32,7 @@ echo "== vet =="
 go vet ./...
 
 echo "== race-enabled harness + observability tests =="
-go test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/load | tee "$out/race_harness.txt"
+go test -race ./internal/obs ./internal/cpu ./internal/obsweb ./internal/harness ./internal/jobs ./internal/fleet ./internal/load | tee "$out/race_harness.txt"
 
 echo "== tests =="
 go test ./... | tee "$out/test.txt"
@@ -54,6 +54,9 @@ sh scripts/jobs_smoke.sh "$out/jobs_smoke"
 
 echo "== load/soak/chaos harness smoke test (SLO gate, exactly-once) =="
 sh scripts/load_smoke.sh "$out/load_smoke"
+
+echo "== fleet runner smoke test (sharded sweep, worker SIGKILL, requeue) =="
+sh scripts/fleet_smoke.sh "$out/fleet_smoke"
 
 echo "== Fig. 1 diagrams =="
 go run ./cmd/vpipe | tee "$out/fig1.txt"

@@ -7,7 +7,11 @@
 #   2. a chaos pass: vsload SIGKILLs the daemon mid-soak, restarts it over
 #      the same data directory, and proves every acknowledged job still
 #      terminated exactly once;
-#   3. the negative legs: an impossible SLO must fail the run, a reconcile of
+#   3. a fleet pass: the daemon runs as a pure coordinator (-workers 0), two
+#      spawned "vserved -worker" processes drain it over the lease protocol,
+#      and the chaos kill SIGKILLs a *worker* mid-soak — its leases lapse,
+#      the coordinator requeues, and the same exactly-once invariants hold;
+#   4. the negative legs: an impossible SLO must fail the run, a reconcile of
 #      the soak's manifest against the surviving data must pass, and a
 #      manifest tampered with a fabricated job must fail (lost-job
 #      detection).
@@ -23,7 +27,7 @@ pid=
 
 fail() {
 	echo "load_smoke: FAIL: $*" >&2
-	for f in "$dir"/vsload-daemon.log "$dir"/vserved.log; do
+	for f in "$dir"/vsload-daemon.log "$dir"/vsload-worker-*.log "$dir"/vserved.log; do
 		[ -f "$f" ] && { echo "load_smoke: ---- $f ----" >&2; tail -40 "$f" >&2; }
 	done
 	exit 1
@@ -82,7 +86,22 @@ grep -q 'chaos .*kill-restart' "$dir/chaos.txt" || fail "chaos pass never killed
 grep -q 'verdict      OK' "$dir/chaos.txt" || fail "chaos report has no OK verdict"
 echo "load_smoke: exactly-once held across the kill-restart"
 
-# --- 3a. an impossible SLO must make vsload exit nonzero -------------------
+# --- 3. fleet pass: remote workers drain, one gets SIGKILLed mid-soak ------
+echo "load_smoke: fleet soak (coordinator -workers 0, 2 fleet workers, worker SIGKILL mid-run)"
+(
+	cd "$dir" &&
+		./vsload -spawn "$dir/vserved -addr 127.0.0.1:0 -data $dir/fleet-data -workers 0 -lease-ttl 2s" \
+			-fleet-workers 2 -worker-cmd "$dir/vserved -worker -capacity 2" \
+			-dist uniform -rate 100 -duration 6s -conc 4 -chaos -chaos-at 0.5 \
+			-slo "$dir/chaos.slo.json" -report "$dir/fleet.report.json"
+) >"$dir/fleet.txt" 2>&1 || { cat "$dir/fleet.txt"; fail "fleet soak lost or double-counted a job across the worker kill"; }
+cat "$dir/fleet.txt"
+grep -q 'spawned fleet worker' "$dir/fleet.txt" || fail "fleet pass spawned no workers"
+grep -q 'fleet worker reborn' "$dir/fleet.txt" || fail "fleet chaos never killed a worker"
+grep -q 'verdict      OK' "$dir/fleet.txt" || fail "fleet report has no OK verdict"
+echo "load_smoke: exactly-once held across the worker SIGKILL"
+
+# --- 4a. an impossible SLO must make vsload exit nonzero -------------------
 cat >"$dir/impossible.slo.json" <<'EOF'
 {
   "note": "deliberately unsatisfiable: proves the SLO gate can fail",
@@ -99,7 +118,7 @@ fi
 grep -q 'SLO BREACH' "$dir/neg.txt" || fail "impossible SLO failed without a breach line"
 echo "load_smoke: impossible SLO correctly exited nonzero"
 
-# --- 3b. reconcile the soak manifest against the surviving data ------------
+# --- 4b. reconcile the soak manifest against the surviving data ------------
 "$dir/vserved" -addr 127.0.0.1:0 -data "$dir/soak-data" -workers 2 >"$dir/vserved.log" 2>&1 &
 pid=$!
 trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null || true' EXIT INT TERM
@@ -119,7 +138,7 @@ wait_for "$deadline" "daemon health" curl -fsS "http://$addr/healthz"
 	fail "reconcile of the soak manifest failed: $(cat "$dir/reconcile.txt")"
 echo "load_smoke: soak manifest reconciled cleanly against the restarted daemon"
 
-# --- 3c. a fabricated manifest entry must be reported as a lost job --------
+# --- 4c. a fabricated manifest entry must be reported as a lost job --------
 sed "s/\"entries\": \[/\"entries\": [\n  {\"id\": \"j999999\", \"spec_hash\": \"$(printf '0%.0s' $(seq 1 64))\"},/" \
 	"$dir/soak.manifest.json" >"$dir/tampered.manifest.json"
 grep -q 'j999999' "$dir/tampered.manifest.json" || fail "manifest tampering did not take"
@@ -134,4 +153,4 @@ kill "$pid" 2>/dev/null || true
 wait "$pid" 2>/dev/null || true
 pid=
 trap - EXIT INT TERM
-echo "load_smoke: OK (SLO-gated soak + chaos exactly-once + negative legs)"
+echo "load_smoke: OK (SLO-gated soak + chaos exactly-once + fleet worker-kill + negative legs)"
